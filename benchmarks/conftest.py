@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration.
+
+Each experiment benchmark regenerates its result table and prints it,
+so a ``pytest benchmarks/ --benchmark-only -s`` run doubles as the
+EXPERIMENTS.md transcript generator.
+"""

@@ -1,0 +1,12 @@
+"""Benchmark E6: the ablation suite (phase count, FIFO, trickle)."""
+
+from repro.experiments.exp_ablation import run as run_e6
+
+
+def test_e6_ablation_tables(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_e6(fast=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed

@@ -1,0 +1,46 @@
+"""Benchmark E3: Theorem 4.1 -- cost per message vs backlog.
+
+Regenerates the E3 curves and times the per-backlog probe, which *is*
+the measured quantity: the probe's extension search performs exactly
+the packet exchanges the theorem counts.
+"""
+
+import pytest
+
+from repro.core.theorem41 import probe_backlog_cost, run_dichotomy
+from repro.datalink.alternating_bit import make_alternating_bit
+from repro.datalink.flooding import make_flooding
+from repro.experiments.exp_backlog import run as run_e3
+
+
+def test_e3_backlog_tables(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_e3(fast=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed
+
+
+@pytest.mark.parametrize("backlog", [32, 128, 512])
+def test_probe_cost_scales_with_backlog(benchmark, backlog):
+    """Per-point timing of the E3 curve (the figure's x-axis sweep)."""
+    probe = benchmark.pedantic(
+        lambda: probe_backlog_cost(lambda: make_flooding(3), backlog),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\nbacklog={probe.backlog_actual} cost={probe.extension_packets} "
+        f"floor(l/k)={probe.lower_bound} ratio={probe.ratio:.3f}"
+    )
+    assert probe.extension_packets > probe.lower_bound
+
+
+def test_dichotomy_forges_abp(benchmark):
+    outcome = benchmark.pedantic(
+        lambda: run_dichotomy(make_alternating_bit, 12),
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.theorem_confirmed and outcome.forged

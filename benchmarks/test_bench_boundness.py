@@ -1,0 +1,16 @@
+"""Benchmark E1: Theorem 2.1 -- boundness vs the state product.
+
+Regenerates and prints the E1 table (see DESIGN.md and EXPERIMENTS.md)
+while timing the full analysis.
+"""
+
+from repro.experiments.exp_boundness import run as run_e1
+
+
+def test_e1_boundness_table(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_e1(fast=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed

@@ -1,0 +1,80 @@
+"""Microbenchmarks of the simulation substrate.
+
+Not paper results -- these keep the engine honest: the experiment
+benchmarks above it are only meaningful if stepping, cloning and
+channel operations stay cheap.
+"""
+
+from repro.channels.adversary import OptimalAdversary
+from repro.channels.base import Channel
+from repro.channels.packets import Packet
+from repro.core.extensions import find_extension
+from repro.datalink.flooding import make_flooding
+from repro.datalink.sequence import make_sequence_protocol
+from repro.datalink.system import make_system
+from repro.ioa.actions import Direction
+
+PKT = Packet(header=("DATA", 0), body="m")
+
+
+def test_channel_send_deliver(benchmark):
+    """One send + one deliver on the bag channel."""
+    channel = Channel(Direction.T2R)
+
+    def roundtrip():
+        copy = channel.send(PKT)
+        channel.deliver(copy.copy_id)
+
+    benchmark(roundtrip)
+
+
+def test_channel_transit_count_with_large_bag(benchmark):
+    channel = Channel(Direction.T2R)
+    for index in range(2_000):
+        channel.send(Packet(header=("DATA", index % 3), body="m"))
+    benchmark(channel.transit_count, PKT)
+
+
+def test_engine_step_sequence_protocol(benchmark):
+    system = make_system(
+        *make_sequence_protocol(), adversary=OptimalAdversary()
+    )
+    system.submit_message("m")
+    benchmark(system.step)
+
+
+def test_end_to_end_message_sequence_protocol(benchmark):
+    def deliver_ten():
+        system = make_system(
+            *make_sequence_protocol(), adversary=OptimalAdversary()
+        )
+        stats = system.run(["m"] * 10)
+        assert stats.completed
+
+    benchmark(deliver_ten)
+
+
+def test_end_to_end_message_flooding(benchmark):
+    def deliver_ten():
+        system = make_system(
+            *make_flooding(3), adversary=OptimalAdversary()
+        )
+        stats = system.run(["m"] * 10)
+        assert stats.completed
+
+    benchmark(deliver_ten)
+
+
+def test_system_clone(benchmark):
+    system = make_system(*make_sequence_protocol())
+    system.submit_message("m")
+    system.pump_sender(bursts=50)
+    benchmark(system.clone)
+
+
+def test_extension_search(benchmark):
+    system = make_system(
+        *make_sequence_protocol(), adversary=OptimalAdversary()
+    )
+    system.run(["m"] * 3)
+    benchmark(find_extension, system, "m")

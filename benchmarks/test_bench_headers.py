@@ -1,0 +1,50 @@
+"""Benchmark E2: Theorem 3.1 -- the header-exhaustion forgery.
+
+Times the attack per protocol and regenerates the E2 table.
+"""
+
+from repro.core.theorem31 import HeaderExhaustionAttack
+from repro.datalink.alternating_bit import make_alternating_bit
+from repro.datalink.flooding import make_capacity_flooding
+from repro.datalink.sequence import make_sequence_protocol
+from repro.datalink.system import make_system
+from repro.experiments.exp_headers import run as run_e2
+
+
+def test_e2_headers_table(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_e2(fast=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed
+
+
+def test_forge_alternating_bit(benchmark):
+    def forge():
+        system = make_system(*make_alternating_bit())
+        outcome = HeaderExhaustionAttack(system, max_rounds=16).run()
+        assert outcome.forged
+
+    benchmark(forge)
+
+
+def test_forge_capacity_flooding(benchmark):
+    def forge():
+        system = make_system(*make_capacity_flooding(3, 4))
+        outcome = HeaderExhaustionAttack(system, max_rounds=32).run()
+        assert outcome.forged
+
+    benchmark(forge)
+
+
+def test_attack_budget_on_sequence_protocol(benchmark):
+    """The attack spinning against the unforgeable protocol: this is
+    the cost of *certifying* the naive protocol's escape."""
+
+    def certify():
+        system = make_system(*make_sequence_protocol())
+        outcome = HeaderExhaustionAttack(system, max_rounds=8).run()
+        assert not outcome.forged
+
+    benchmark(certify)

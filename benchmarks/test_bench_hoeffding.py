@@ -1,0 +1,19 @@
+"""Benchmark E5: Theorem 5.4 -- the Hoeffding grid."""
+
+from repro.core.hoeffding import exact_binomial_tail
+from repro.experiments.exp_hoeffding import run as run_e5
+
+
+def test_e5_hoeffding_tables(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_e5(fast=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed
+
+
+def test_exact_tail_large_n(benchmark):
+    """Cost of the exact summation at the grid's largest n."""
+    value = benchmark(exact_binomial_tail, 2000, 0.5, 0.25)
+    assert 0.0 <= value <= 1.0

@@ -1,0 +1,34 @@
+"""Benchmark: attack cost vs header count (the [LMF88] Omega(n/k) curve).
+
+[LMF88] proved any k-bounded protocol needs n/k headers; dually, a
+protocol with M headers survives about M messages before the
+header-exhaustion adversary covers its repertoire.  This benchmark
+sweeps the modulus of the wrap-around protocol and times the forgery,
+printing the messages-spent curve (linear in M, slope ~1).
+"""
+
+import pytest
+
+from repro.core.theorem31 import HeaderExhaustionAttack
+from repro.datalink.sequence_mod import make_modular_sequence
+from repro.datalink.system import make_system
+
+
+@pytest.mark.parametrize("modulus", [2, 4, 8, 16])
+def test_forgery_cost_vs_modulus(benchmark, modulus):
+    def forge():
+        system = make_system(*make_modular_sequence(modulus))
+        outcome = HeaderExhaustionAttack(
+            system, max_rounds=4 * modulus
+        ).run()
+        assert outcome.forged
+        return outcome
+
+    outcome = benchmark.pedantic(forge, rounds=1, iterations=1)
+    print(
+        f"\nM={modulus}: forged after {outcome.messages_spent} messages "
+        f"(pool {outcome.pool.total()} copies, "
+        f"{outcome.rounds} rounds)"
+    )
+    # The Omega(n/k) shape: about one message per data header.
+    assert outcome.messages_spent == modulus

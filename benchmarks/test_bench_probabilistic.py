@@ -1,0 +1,56 @@
+"""Benchmark E4: Theorem 5.1 -- the probabilistic blowup.
+
+Regenerates the E4 series/fits and times the protocol runs whose packet
+counts are the figure.
+"""
+
+import pytest
+
+from repro.core.theorem51 import run_probabilistic_delivery
+from repro.datalink.flooding import make_flooding
+from repro.datalink.sequence import make_sequence_protocol
+from repro.experiments.exp_probabilistic import run as run_e4
+
+
+def test_e4_probabilistic_tables(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_e4(fast=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed
+
+
+@pytest.mark.parametrize("q", [0.1, 0.3, 0.5])
+def test_flooding_blowup_at_q(benchmark, q):
+    """One exponential series per q (the figure's family of curves)."""
+    result = benchmark.pedantic(
+        lambda: run_probabilistic_delivery(
+            lambda: make_flooding(3),
+            q=q,
+            n=24,
+            seed=0,
+            packet_budget=150_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\nq={q} delivered={result.delivered} "
+        f"total={result.total_packets} backlog={result.final_backlog_t2r}"
+    )
+    assert result.delivered > 0
+
+
+@pytest.mark.parametrize("q", [0.1, 0.3, 0.5])
+def test_naive_linear_at_q(benchmark, q):
+    """The naive protocol's linear series at the same q values."""
+    result = benchmark.pedantic(
+        lambda: run_probabilistic_delivery(
+            make_sequence_protocol, q=q, n=200, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nq={q} total={result.total_packets} for 200 messages")
+    assert result.completed

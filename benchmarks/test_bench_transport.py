@@ -1,0 +1,29 @@
+"""Benchmark L2: transport protocols over the multi-hop virtual link."""
+
+from repro.experiments.exp_transport import host_to_host, run as run_l2
+from repro.datalink.sequence import make_sequence_protocol
+
+
+def test_l2_transport_table(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_l2(fast=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed
+
+
+def test_host_to_host_delivery_cost(benchmark):
+    """Per-message cost of reliable transport over 4 hops."""
+
+    def deliver():
+        system = host_to_host(make_sequence_protocol, seed=1)
+        stats = system.run(["m"] * 10, max_steps=100_000)
+        assert stats.completed
+        return stats
+
+    stats = benchmark.pedantic(deliver, rounds=1, iterations=1)
+    print(
+        f"\n10 messages over 4 hops: {stats.packets_total} packets, "
+        f"{stats.steps} steps"
+    )

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Theorem 3.1 live: forging a delivery against the alternating-bit
+protocol.
+
+The adversary delivers messages legitimately while hoarding stale
+copies of both data packet values, then replays the stale copies to
+make the receiver deliver a message that was never sent -- the
+execution ends with ``rm = sm + 1``, violating (DL1).  The same attack
+is then pointed at the naive sequence-number protocol, where it
+provably starves: every forgery attempt needs a header the channel has
+never carried.
+
+Run:
+    python examples/forging_alternating_bit.py
+"""
+
+from repro.analysis.timeline import render_timeline
+from repro.core import HeaderExhaustionAttack
+from repro.datalink import (
+    check_execution,
+    make_alternating_bit,
+    make_sequence_protocol,
+    make_system,
+)
+
+
+def attack(label, factory, max_rounds):
+    print(f"--- attacking {label} ---")
+    sender, receiver = factory()
+    system = make_system(sender, receiver)
+    outcome = HeaderExhaustionAttack(system, max_rounds=max_rounds).run()
+
+    for record in outcome.history:
+        status = "FORGE" if record.replay_feasible else "pump "
+        missing = (
+            ", ".join(f"{p}x{c}" for p, c in record.deficit.items())
+            or "-"
+        )
+        print(
+            f"  round {record.round_index}: {status} "
+            f"pool={record.pool_total:3d} missing: {missing}"
+        )
+
+    print(f"  => {outcome.reason}")
+    if outcome.forged:
+        execution = system.execution
+        print(f"  sm={execution.sm()} rm={execution.rm()}  "
+              "(one delivery was forged)")
+        report = check_execution(execution)
+        violation = report.by_property("DL1")[0]
+        print(f"  checker says: {violation}")
+        # The forged extension starts after the last genuine send_msg;
+        # every receipt in it is a replayed stale copy.
+        last_sm = max(
+            event.index
+            for event in execution
+            if event.action.type.value == "send_msg"
+        )
+        print("  the forged extension, as a message-sequence chart:")
+        chart = render_timeline(
+            execution, start=last_sm + 1, highlight_stale_before=last_sm
+        )
+        for line in chart.splitlines():
+            print(f"    {line}")
+    print()
+    return outcome
+
+
+def main() -> None:
+    abp = attack("alternating-bit (2 headers)", make_alternating_bit, 16)
+    assert abp.forged, "Theorem 3.1 says this must succeed"
+
+    seq = attack("sequence-number (n headers)", make_sequence_protocol, 8)
+    assert not seq.forged, "the naive protocol must escape"
+
+    print("Theorem 3.1 demonstrated: the 2-header protocol was forged "
+          f"after {abp.messages_spent} legitimate messages; the n-header "
+          "protocol kept minting fresh headers and the hoard never "
+          "caught up.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: reliable delivery over an unreliable non-FIFO channel.
+
+Composes the naive sequence-number protocol with two adversarial
+non-FIFO channels driven by a fair-but-chaotic adversary (random
+reordering, bounded delay), delivers a message sequence, and checks the
+recorded execution against the paper's data link specification
+(DL1/DL2/DL3) and physical layer safety (PL1).
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.channels import FairAdversary
+from repro.datalink import check_execution, make_sequence_protocol, make_system
+from repro.ioa import Direction
+
+
+def main() -> None:
+    sender, receiver = make_sequence_protocol()
+    system = make_system(
+        sender,
+        receiver,
+        adversary=FairAdversary(seed=2024, p_deliver=0.3, max_delay=12),
+    )
+
+    messages = [f"payload-{i}" for i in range(20)]
+    print(f"submitting {len(messages)} messages over a reordering, "
+          "delaying non-FIFO channel...")
+    stats = system.run(messages, max_steps=100_000)
+
+    print(f"  delivered : {stats.delivered}/{stats.submitted}")
+    print(f"  steps     : {stats.steps}")
+    print(f"  packets   : {stats.packets_t2r} data + "
+          f"{stats.packets_r2t} acks")
+    print(f"  headers   : {system.execution.header_count(Direction.T2R)} "
+          "distinct forward packet values (one per message -- the naive "
+          "protocol's price)")
+
+    received = system.execution.received_messages()
+    assert received == messages, "order or content mismatch!"
+    print("  order     : FIFO, intact")
+
+    report = check_execution(system.execution)
+    print(f"  spec      : DL1/DL2/PL1 {'OK' if report.ok else 'VIOLATED'}, "
+          f"{report.pending_messages} pending")
+    assert report.valid
+
+    print("\nAll good: the execution is valid in the sense of the paper "
+          "(Definition 3).")
+
+
+if __name__ == "__main__":
+    main()

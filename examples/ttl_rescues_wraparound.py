@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Why real networks get away with finite sequence numbers.
+
+The paper proves that any fixed-header protocol over a non-FIFO channel
+can be forged -- yet TCP wraps its sequence numbers at 2^32 and the
+Internet works.  Both are right: the lower bound's adversary needs
+packets that can be delayed *forever*, and real networks kill packets
+after a bounded lifetime.
+
+This example runs the same 8-value modular sequence protocol over two
+channels:
+
+1. the paper's unbounded non-FIFO channel, where the Theorem 3.1
+   adversary hoards one stale copy of every data value and forges a
+   delivery; and
+2. a TTL channel (copies expire after 4 subsequent sends), where the
+   very same protocol survives a reordering, delaying adversary for a
+   long message sequence.
+
+Run:
+    python examples/ttl_rescues_wraparound.py
+"""
+
+from repro.channels import BoundedReorderChannel, FairAdversary
+from repro.core import HeaderExhaustionAttack
+from repro.datalink import (
+    DataLinkSystem,
+    check_execution,
+    make_modular_sequence,
+    make_system,
+)
+from repro.ioa import Direction
+
+MODULUS = 4
+
+
+def over_paper_adversary() -> None:
+    print(f"--- modular sequence numbers (mod {MODULUS}) over the "
+          "paper's unbounded non-FIFO channel ---")
+    sender, receiver = make_modular_sequence(MODULUS)
+    system = make_system(sender, receiver)
+    outcome = HeaderExhaustionAttack(system, max_rounds=8 * MODULUS).run()
+    assert outcome.forged, "Theorem 3.1 guarantees this forgery"
+    print(f"  forged after {outcome.messages_spent} legitimate messages "
+          f"(one hoard per data value: {MODULUS} values)")
+    report = check_execution(system.execution)
+    print(f"  checker: {report.by_property('DL1')[0]}")
+    print()
+
+
+def over_ttl_channel() -> None:
+    print("--- the same protocol (mod 8) over a TTL channel "
+          "(lifetime = 4 sends) ---")
+    sender, receiver = make_modular_sequence(8)
+    system = DataLinkSystem(
+        sender,
+        receiver,
+        chan_t2r=BoundedReorderChannel(Direction.T2R, lifetime=4),
+        chan_r2t=BoundedReorderChannel(Direction.R2T, lifetime=4),
+        adversary=FairAdversary(seed=42, p_deliver=0.35, max_delay=6),
+    )
+    messages = [f"m{i}" for i in range(60)]
+    stats = system.run(messages, max_steps=200_000)
+    report = check_execution(system.execution)
+    expired = system.chan_t2r.expired_total + system.chan_r2t.expired_total
+    print(f"  delivered {stats.delivered}/{len(messages)} in order, "
+          f"spec {'OK' if report.valid else 'VIOLATED'}")
+    print(f"  {expired} packets expired in transit -- every one of them "
+          "a stale copy the paper's adversary would have hoarded")
+    assert stats.completed and report.valid
+    print()
+
+
+def main() -> None:
+    over_paper_adversary()
+    over_ttl_channel()
+    print("Same protocol, same header budget, opposite verdicts: the "
+          "1989 lower bound assumes unbounded delay, and bounded packet "
+          "lifetime is exactly the assumption the Internet refuses to "
+          "grant it.")
+
+
+if __name__ == "__main__":
+    main()

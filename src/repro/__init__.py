@@ -1,0 +1,37 @@
+"""repro: executable reproduction of Mansour & Schieber, PODC 1989.
+
+*The Intractability of Bounded Protocols for Non-FIFO Channels* proves
+three lower bounds on data link protocols running over non-FIFO
+physical channels.  This library rebuilds the paper's entire model as
+running code -- I/O automata, adversarial and probabilistic channel
+simulators, the (DL)/(PL) specifications as checkers, a protocol zoo --
+and turns each proof into an executable adversary or experiment:
+
+* :mod:`repro.ioa` -- the Lynch-Tuttle I/O automaton substrate;
+* :mod:`repro.channels` -- non-FIFO, FIFO and probabilistic physical
+  layers with programmable adversaries;
+* :mod:`repro.datalink` -- the data-link specification, the engine and
+  the protocols (naive sequence-number, alternating-bit, fixed-header
+  flooding);
+* :mod:`repro.core` -- the paper's contribution: boundness analysis
+  (Theorem 2.1), the header-exhaustion forgery (Theorem 3.1), the
+  backlog bound (Theorem 4.1) and the probabilistic blowup
+  (Theorem 5.1), all runnable;
+* :mod:`repro.analysis` -- growth-rate fitting and reporting;
+* :mod:`repro.experiments` -- the per-theorem experiment harness
+  (``python -m repro.experiments``).
+
+Quickstart::
+
+    from repro.datalink import make_sequence_protocol, make_system
+    from repro.channels import FairAdversary
+
+    sender, receiver = make_sequence_protocol()
+    system = make_system(sender, receiver, adversary=FairAdversary(seed=7))
+    stats = system.run(messages=["a", "b", "c"])
+    assert stats.completed
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,102 @@
+"""Terminal line plots for the examples and experiment transcripts.
+
+A tiny dependency-free plotter: multiple named series on a shared
+x-axis, rendered as a character grid, with optional log-scaled y axis
+(the natural scale for the Theorem 5.1 blowup curves).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+def line_plot(
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named series as an ASCII chart.
+
+    Args:
+        series: mapping of label -> y-values; all series share the
+            implicit x-axis 1..len(values).  Each series is drawn with
+            a distinct marker character (its label's first letter).
+        width: plot columns.
+        height: plot rows.
+        log_y: plot log10(y); non-positive values are dropped.
+        x_label: caption under the x axis.
+        y_label: caption for the y axis (printed above the plot).
+
+    Returns:
+        The chart as a multi-line string.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    points: Dict[str, List[tuple]] = {}
+    y_min = math.inf
+    y_max = -math.inf
+    x_max = 1
+    for label, values in series.items():
+        kept = []
+        for index, value in enumerate(values, start=1):
+            if log_y:
+                if value <= 0:
+                    continue
+                value = math.log10(value)
+            kept.append((index, float(value)))
+            y_min = min(y_min, value)
+            y_max = max(y_max, value)
+            x_max = max(x_max, index)
+        points[label] = kept
+    if y_min is math.inf:
+        raise ValueError("no plottable points (log scale drops y <= 0)")
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = {}
+    used = set()
+    for label in sorted(points):
+        marker = next(
+            (ch for ch in label if ch.isalnum() and ch not in used), "*"
+        )
+        used.add(marker)
+        markers[label] = marker
+
+    for label, kept in points.items():
+        marker = markers[label]
+        for x, y in kept:
+            column = round((x - 1) / max(1, x_max - 1) * (width - 1))
+            row = round((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    def axis_value(fraction: float) -> float:
+        value = y_min + fraction * (y_max - y_min)
+        return 10**value if log_y else value
+
+    lines: List[str] = []
+    if y_label:
+        lines.append(f"{y_label}{' (log scale)' if log_y else ''}")
+    top = f"{axis_value(1.0):.3g}"
+    bottom = f"{axis_value(0.0):.3g}"
+    margin = max(len(top), len(bottom)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    if x_label:
+        lines.append(" " * (margin + 1) + f"1 .. {x_max}  ({x_label})")
+    legend = "  ".join(
+        f"{markers[label]}={label}" for label in sorted(points)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)

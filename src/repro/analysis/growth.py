@@ -1,0 +1,169 @@
+"""Growth-rate fitting for the experiment series.
+
+The experiments produce integer series -- cumulative packet counts
+versus messages delivered, extension cost versus backlog -- and the
+paper's theorems predict their *shape*: linear with a particular slope
+(Theorem 4.1), or exponential with a particular base (Theorem 5.1).
+This module fits both models by ordinary least squares (exponentials
+via log-linear regression) and classifies which fits better, so the
+experiment harness can report "exponential with base 1.41 (theory:
+>= 1.30)" rather than raw numbers.
+
+Implemented in pure Python: the fits are two-parameter closed forms and
+do not justify a numpy dependency in the core library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares line ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Model value at ``x``."""
+        return self.slope * x + self.intercept
+
+
+@dataclass(frozen=True)
+class ExponentialFit:
+    """Least-squares exponential ``y = scale * base ** x``.
+
+    Fitted as a line in log space, so requires positive ``y`` values.
+    """
+
+    base: float
+    scale: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Model value at ``x``."""
+        return self.scale * self.base**x
+
+    @property
+    def rate(self) -> float:
+        """``ln(base)``, the continuous growth rate."""
+        return math.log(self.base)
+
+
+def fit_linear(
+    xs: Sequence[float], ys: Sequence[float]
+) -> LinearFit:
+    """Ordinary least squares fit of ``ys`` against ``xs``."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal lengths")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points to fit a line")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("xs are all equal; the line is vertical")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    ss_res = sum(
+        (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+    )
+    r_squared = 1.0 if ss_tot == 0 else max(0.0, 1.0 - ss_res / ss_tot)
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared)
+
+
+def fit_exponential(
+    xs: Sequence[float], ys: Sequence[float]
+) -> ExponentialFit:
+    """Fit ``y = scale * base ** x`` by regressing ``log y`` on ``x``.
+
+    Raises:
+        ValueError: if any ``y`` is not positive (no exponential model
+            passes through zero or below).
+    """
+    if any(y <= 0 for y in ys):
+        raise ValueError("exponential fit requires positive y values")
+    log_fit = fit_linear(xs, [math.log(y) for y in ys])
+    return ExponentialFit(
+        base=math.exp(log_fit.slope),
+        scale=math.exp(log_fit.intercept),
+        r_squared=log_fit.r_squared,
+    )
+
+
+def classify_growth(
+    xs: Sequence[float], ys: Sequence[float]
+) -> Tuple[str, float]:
+    """Decide whether a positive series grows linearly or exponentially.
+
+    Compares the R^2 of the linear fit in linear space against the
+    R^2 of the exponential fit in *log* space.  Returns
+    ``("linear", slope)`` or ``("exponential", base)``.
+
+    Heuristic, as all model selection is; the experiments report both
+    fits and this verdict together.
+    """
+    linear = fit_linear(xs, ys)
+    try:
+        exponential = fit_exponential(xs, ys)
+    except ValueError:
+        return ("linear", linear.slope)
+    if exponential.r_squared > linear.r_squared and exponential.base > 1.001:
+        return ("exponential", exponential.base)
+    return ("linear", linear.slope)
+
+
+def find_crossover(
+    xs: Sequence[float],
+    ys_a: Sequence[float],
+    ys_b: Sequence[float],
+) -> Optional[float]:
+    """First ``x`` at which series ``a`` overtakes series ``b``.
+
+    Returns the interpolated crossover abscissa, or ``None`` when ``a``
+    never exceeds ``b`` on the sampled range.  Used to report e.g.
+    "the bounded-header protocol becomes more expensive than the naive
+    protocol after 7 messages at q = 0.3".
+    """
+    if not (len(xs) == len(ys_a) == len(ys_b)):
+        raise ValueError("all series must have equal lengths")
+    previous_gap: Optional[float] = None
+    previous_x: Optional[float] = None
+    for x, a, b in zip(xs, ys_a, ys_b):
+        gap = a - b
+        if gap > 0:
+            if previous_gap is None or previous_gap >= 0 or previous_x is None:
+                return float(x)
+            # Linear interpolation between the sign change.
+            span = gap - previous_gap
+            if span == 0:
+                return float(x)
+            fraction = -previous_gap / span
+            return previous_x + fraction * (x - previous_x)
+        previous_gap = gap
+        previous_x = float(x)
+    return None
+
+
+def doubling_points(ys: Sequence[float]) -> List[int]:
+    """Indices at which the series first reaches successive doublings.
+
+    A cheap scale-free fingerprint of exponential growth: for a
+    geometric series the gaps between doubling points are constant.
+    """
+    points: List[int] = []
+    if not ys:
+        return points
+    target = max(ys[0], 1e-12) * 2
+    for index, y in enumerate(ys):
+        while y >= target:
+            points.append(index)
+            target *= 2
+    return points

@@ -1,0 +1,107 @@
+"""Small-sample statistics for experiment reporting.
+
+Pure-Python summary statistics and a bootstrap confidence interval:
+enough to report seeded-replication experiments honestly without
+dragging scipy into the core library.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean.  Raises on empty input."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (n - 1 denominator); 0 for n < 2."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    centre = mean(values)
+    return math.sqrt(sum((v - centre) ** 2 for v in values) / (n - 1))
+
+
+def median(values: Sequence[float]) -> float:
+    """Median.  Raises on empty input."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[middle])
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of one measured quantity."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean:.3g} sd={self.stdev:.3g} "
+            f"min={self.minimum:.3g} med={self.median:.3g} "
+            f"max={self.maximum:.3g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Build a :class:`Summary` of the sample."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        count=len(values),
+        mean=mean(values),
+        stdev=stdev(values),
+        minimum=min(values),
+        median=median(values),
+        maximum=max(values),
+    )
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2_000,
+    rng: Optional[random.Random] = None,
+) -> Tuple[float, float]:
+    """Percentile bootstrap confidence interval for the mean.
+
+    Args:
+        values: the sample.
+        confidence: two-sided confidence level in (0, 1).
+        resamples: bootstrap resample count.
+        rng: seeded random source (``Random(0)`` by default, so reports
+            are reproducible).
+
+    Returns:
+        ``(low, high)`` bounds of the interval.
+    """
+    if not values:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be strictly between 0 and 1")
+    rng = rng if rng is not None else random.Random(0)
+    n = len(values)
+    means = sorted(
+        sum(rng.choice(values) for _ in range(n)) / n
+        for _ in range(resamples)
+    )
+    tail = (1.0 - confidence) / 2.0
+    low_index = int(tail * resamples)
+    high_index = min(resamples - 1, int((1.0 - tail) * resamples))
+    return means[low_index], means[high_index]

@@ -1,0 +1,76 @@
+"""Fixed-width ASCII tables for experiment reports.
+
+The experiment harness prints the rows/series each theorem predicts;
+this module renders them legibly on a terminal and into the
+EXPERIMENTS.md transcript without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_float(value: float, width: int = 10) -> str:
+    """Format a float compactly: integers plainly, rest to 3 sig figs."""
+    if value != value:  # NaN
+        return "-"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+        return f"{value:.3g}"
+    return f"{value:.3f}".rstrip("0").rstrip(".")
+
+
+class Table:
+    """A simple fixed-width table builder.
+
+    Usage::
+
+        table = Table(["q", "n", "packets", "base"])
+        table.add_row([0.1, 40, 1234, 1.08])
+        print(table.render(title="E4: probabilistic blowup"))
+    """
+
+    def __init__(self, headers: Sequence[str]) -> None:
+        self.headers: List[str] = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Iterable) -> None:
+        """Append one row; cells are stringified (floats compactly)."""
+        rendered = []
+        for cell in cells:
+            if isinstance(cell, bool):
+                rendered.append("yes" if cell else "no")
+            elif isinstance(cell, float):
+                rendered.append(format_float(cell))
+            else:
+                rendered.append(str(cell))
+        if len(rendered) != len(self.headers):
+            raise ValueError(
+                f"row has {len(rendered)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(rendered)
+
+    def render(self, title: str = "") -> str:
+        """Render the table to a string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(
+                cell.rjust(width) for cell, width in zip(cells, widths)
+            )
+
+        parts: List[str] = []
+        if title:
+            parts.append(title)
+        parts.append(line(self.headers))
+        parts.append(line(["-" * width for width in widths]))
+        parts.extend(line(row) for row in self.rows)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,75 @@
+"""Physical layer substrate: unreliable channel simulators.
+
+The paper's physical layer (Section 2.1) is a non-FIFO, lossy,
+non-duplicating packet transport satisfying:
+
+* (PL1) every ``receive_pkt`` corresponds to a unique preceding
+  ``send_pkt`` and every ``send_pkt`` to at most one ``receive_pkt``
+  (no forgery, no duplication);
+* (PL2) if infinitely many packets are sent, some packet is delivered
+  (weak liveness);
+* (PL2p) -- the probabilistic variant of Section 5 -- each sent packet
+  is delivered immediately with probability ``1 - q``.
+
+The simulators here enforce (PL1) *structurally*: each ``send`` mints a
+unique :class:`~repro.channels.packets.TransitCopy`, and only copies
+currently in transit can be delivered, each at most once.  Everything
+else (delay, loss, reordering) is programmable, either by a
+:class:`~repro.channels.adversary.ChannelAdversary` (for the worst-case
+channels of Sections 3-4) or by seeded randomness (for the
+probabilistic channel of Section 5).
+"""
+
+from repro.channels.adversary import (
+    ChannelAdversary,
+    DelayAllAdversary,
+    FairAdversary,
+    HoldValuesAdversary,
+    OptimalAdversary,
+    OptimalFromNowAdversary,
+    RandomAdversary,
+    ScriptedAdversary,
+)
+from repro.channels.base import Channel, ChannelError, ChannelOracle
+from repro.channels.bounded import BoundedReorderChannel
+from repro.channels.faults import (
+    DuplicateAttemptAdversary,
+    FaultPhase,
+    PartitionAdversary,
+    PhasedAdversary,
+    ReplayFloodAdversary,
+    burst_loss_timeline,
+)
+from repro.channels.fifo import FifoChannel
+from repro.channels.nonfifo import NonFifoChannel
+from repro.channels.packets import Packet, TransitCopy
+from repro.channels.probabilistic import ProbabilisticChannel, TricklePolicy
+from repro.channels.virtual_link import VirtualLinkChannel
+
+__all__ = [
+    "BoundedReorderChannel",
+    "Channel",
+    "ChannelAdversary",
+    "ChannelError",
+    "ChannelOracle",
+    "DelayAllAdversary",
+    "DuplicateAttemptAdversary",
+    "FairAdversary",
+    "FaultPhase",
+    "PartitionAdversary",
+    "PhasedAdversary",
+    "ReplayFloodAdversary",
+    "burst_loss_timeline",
+    "FifoChannel",
+    "HoldValuesAdversary",
+    "NonFifoChannel",
+    "OptimalAdversary",
+    "OptimalFromNowAdversary",
+    "Packet",
+    "ProbabilisticChannel",
+    "RandomAdversary",
+    "ScriptedAdversary",
+    "TransitCopy",
+    "TricklePolicy",
+    "VirtualLinkChannel",
+]

@@ -1,0 +1,286 @@
+"""Channel adversaries: programmable physical-layer behaviour.
+
+Every lower bound in the paper is proved by exhibiting a behaviour of
+the physical layer -- delaying these packets, delivering those stale
+copies -- that drives the protocol into trouble.  In this reproduction
+that behaviour is a :class:`ChannelAdversary`: an object the engine
+consults every step with a read view of both channels, returning
+deliver/drop decisions.
+
+The stock adversaries here are the building blocks the theorem drivers
+in :mod:`repro.core` compose, plus fair/random ones for liveness tests:
+
+* :class:`OptimalAdversary` -- deliver everything immediately (the
+  "optimal behaviour" that the boundness definitions quantify over).
+* :class:`OptimalFromNowAdversary` -- deliver everything sent after a
+  cut, never the stale copies from before it (the ``gamma`` behaviour
+  in the proof of Theorem 2.1 and the extension ``beta`` of
+  Definitions 5/6).
+* :class:`DelayAllAdversary` -- deliver nothing (pumps up the
+  in-transit pool).
+* :class:`HoldValuesAdversary` -- delay exactly the packets whose
+  values are in a designated set ("we make the channel delay all the
+  packets in beta_1 which are not from the set P_i", Theorem 3.1).
+* :class:`FairAdversary` / :class:`RandomAdversary` -- randomised
+  channels with bounded / unbounded delay for testing liveness and
+  safety under noise.
+* :class:`ScriptedAdversary` -- an explicit per-step script, for unit
+  tests.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Set
+
+from repro.channels.base import Channel
+from repro.channels.packets import Packet
+from repro.ioa.actions import Direction
+
+
+class DecisionKind(enum.Enum):
+    """What to do with one in-transit copy."""
+
+    DELIVER = "deliver"
+    DROP = "drop"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One adversary decision about one transit copy."""
+
+    kind: DecisionKind
+    direction: Direction
+    copy_id: int
+
+    @staticmethod
+    def deliver(direction: Direction, copy_id: int) -> "Decision":
+        """Convenience constructor for a delivery decision."""
+        return Decision(DecisionKind.DELIVER, direction, copy_id)
+
+    @staticmethod
+    def drop(direction: Direction, copy_id: int) -> "Decision":
+        """Convenience constructor for a loss decision."""
+        return Decision(DecisionKind.DROP, direction, copy_id)
+
+
+class AdversaryView:
+    """Read-only view of the system state handed to adversaries."""
+
+    def __init__(self, channels: Dict[Direction, Channel], step_index: int) -> None:
+        self._channels = channels
+        self.step_index = step_index
+
+    def channel(self, direction: Direction) -> Channel:
+        """The channel carrying packets in ``direction``."""
+        return self._channels[direction]
+
+    def directions(self) -> Iterable[Direction]:
+        """The directions present in the system."""
+        return self._channels.keys()
+
+
+class ChannelAdversary(abc.ABC):
+    """Decides, each engine step, which copies to deliver or drop."""
+
+    @abc.abstractmethod
+    def decide(self, view: AdversaryView) -> List[Decision]:
+        """Return this step's decisions.
+
+        Decisions are applied in list order; referencing a copy not in
+        transit is an error (the engine lets the channel raise).
+        """
+
+
+class OptimalAdversary(ChannelAdversary):
+    """Deliver every in-transit copy immediately, oldest first.
+
+    Under this adversary both channels behave like reliable links with
+    instantaneous delivery -- the best the physical layer can do, and
+    the behaviour against which boundness is measured.
+    """
+
+    def decide(self, view: AdversaryView) -> List[Decision]:
+        decisions = []
+        for direction in view.directions():
+            for copy_id in view.channel(direction).in_transit_ids():
+                decisions.append(Decision.deliver(direction, copy_id))
+        return decisions
+
+
+class OptimalFromNowAdversary(ChannelAdversary):
+    """Deliver everything sent after a cut; hold all stale copies.
+
+    This is the physical-layer behaviour used throughout the proofs:
+    "(1) No packet that has been sent while executing alpha is
+    delivered while executing gamma.  (2) A packet that is sent while
+    executing gamma is delivered immediately." (Theorem 2.1).
+
+    Args:
+        stale_ids: per-direction sets of copy ids that existed at the
+            cut and must never be delivered.
+    """
+
+    def __init__(self, stale_ids: Dict[Direction, Set[int]]) -> None:
+        self.stale_ids = {d: set(ids) for d, ids in stale_ids.items()}
+
+    @staticmethod
+    def from_channels(channels: Dict[Direction, Channel]) -> "OptimalFromNowAdversary":
+        """Cut at the present moment of the given channels."""
+        return OptimalFromNowAdversary(
+            {d: set(ch.in_transit_ids()) for d, ch in channels.items()}
+        )
+
+    def decide(self, view: AdversaryView) -> List[Decision]:
+        decisions = []
+        for direction in view.directions():
+            held = self.stale_ids.get(direction, set())
+            for copy_id in view.channel(direction).in_transit_ids():
+                if copy_id not in held:
+                    decisions.append(Decision.deliver(direction, copy_id))
+        return decisions
+
+
+class DelayAllAdversary(ChannelAdversary):
+    """Deliver nothing: every packet stays in transit.
+
+    Composed with repeated polling of the sending station, this is the
+    pump that accumulates the stale copies all three proofs require.
+    """
+
+    def decide(self, view: AdversaryView) -> List[Decision]:
+        return []
+
+
+class HoldValuesAdversary(ChannelAdversary):
+    """Delay copies whose packet value matches a predicate; deliver the
+    rest immediately.
+
+    Theorem 3.1's induction step delays "all the packets ... which are
+    not from the set P_i"; instantiate with
+    ``held=lambda p: p not in P_i`` on the forward direction.
+
+    Args:
+        direction: the direction the predicate applies to.  The other
+            direction is delivered optimally.
+        held: predicate over packet values; ``True`` means hold.
+        stop_after_first_passed: when True, after the first non-held
+            copy is delivered on ``direction`` the adversary stops
+            delivering anything further there (the proofs cut the
+            extension at "the first ``receive_pkt(p)`` such that
+            ``p`` is not in ``P_i``").
+    """
+
+    def __init__(
+        self,
+        direction: Direction,
+        held: Callable[[Packet], bool],
+        stop_after_first_passed: bool = False,
+    ) -> None:
+        self.direction = direction
+        self.held = held
+        self.stop_after_first_passed = stop_after_first_passed
+        self._stopped = False
+
+    def decide(self, view: AdversaryView) -> List[Decision]:
+        decisions: List[Decision] = []
+        for direction in view.directions():
+            channel = view.channel(direction)
+            if direction is not self.direction:
+                decisions.extend(
+                    Decision.deliver(direction, cid)
+                    for cid in channel.in_transit_ids()
+                )
+                continue
+            if self._stopped:
+                continue
+            for copy in channel.in_transit():
+                if self.held(copy.packet):
+                    continue
+                decisions.append(Decision.deliver(direction, copy.copy_id))
+                if self.stop_after_first_passed:
+                    self._stopped = True
+                    break
+        return decisions
+
+
+class FairAdversary(ChannelAdversary):
+    """Random reordering with a hard delay bound.
+
+    Each step every copy is delivered with probability ``p_deliver``;
+    a copy that has been in transit for ``max_delay`` steps is
+    delivered unconditionally.  Satisfies (PL2) within any window of
+    ``max_delay`` steps, so liveness tests can assert delivery by a
+    computable deadline.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        p_deliver: float = 0.5,
+        max_delay: int = 16,
+    ) -> None:
+        self._rng = random.Random(seed)
+        self.p_deliver = p_deliver
+        self.max_delay = max_delay
+        self._first_seen: Dict[tuple, int] = {}
+
+    def decide(self, view: AdversaryView) -> List[Decision]:
+        decisions = []
+        for direction in view.directions():
+            for copy_id in view.channel(direction).in_transit_ids():
+                key = (direction, copy_id)
+                born = self._first_seen.setdefault(key, view.step_index)
+                overdue = view.step_index - born >= self.max_delay
+                if overdue or self._rng.random() < self.p_deliver:
+                    decisions.append(Decision.deliver(direction, copy_id))
+                    del self._first_seen[key]
+        return decisions
+
+
+class RandomAdversary(ChannelAdversary):
+    """Memoryless random loss and delay, with no delivery guarantee.
+
+    Each step each copy is independently delivered with probability
+    ``p_deliver``, dropped with probability ``p_drop``, and otherwise
+    left in transit.  Used by property-based safety tests: protocols
+    must never violate (DL1)/(DL2) no matter what this does.
+    """
+
+    def __init__(
+        self, seed: int = 0, p_deliver: float = 0.3, p_drop: float = 0.1
+    ) -> None:
+        if p_deliver + p_drop > 1.0:
+            raise ValueError("p_deliver + p_drop must not exceed 1")
+        self._rng = random.Random(seed)
+        self.p_deliver = p_deliver
+        self.p_drop = p_drop
+
+    def decide(self, view: AdversaryView) -> List[Decision]:
+        decisions = []
+        for direction in view.directions():
+            for copy_id in view.channel(direction).in_transit_ids():
+                roll = self._rng.random()
+                if roll < self.p_deliver:
+                    decisions.append(Decision.deliver(direction, copy_id))
+                elif roll < self.p_deliver + self.p_drop:
+                    decisions.append(Decision.drop(direction, copy_id))
+        return decisions
+
+
+class ScriptedAdversary(ChannelAdversary):
+    """Plays back an explicit per-step decision script, then idles."""
+
+    def __init__(self, script: List[List[Decision]]) -> None:
+        self.script = [list(step) for step in script]
+        self._cursor = 0
+
+    def decide(self, view: AdversaryView) -> List[Decision]:
+        if self._cursor >= len(self.script):
+            return []
+        step = self.script[self._cursor]
+        self._cursor += 1
+        return step

@@ -1,0 +1,237 @@
+"""Channel base class: PL1-enforcing bag semantics.
+
+A channel is a bag (multiset) of :class:`~repro.channels.packets.TransitCopy`
+values.  The base class implements the operations every concrete
+channel shares and enforces the safety property (PL1) structurally:
+
+* ``send`` mints a fresh copy with a unique id -- so every receipt can
+  be traced to a unique preceding send;
+* ``deliver`` removes the copy from the bag -- so no copy is delivered
+  twice (no duplication);
+* ``deliver`` of an unknown or already-delivered copy id raises -- so
+  nothing is forged.
+
+Loss is modelled by ``drop`` (the copy leaves the bag without a
+receipt) or simply by leaving a copy in transit forever; both are
+allowed by (PL1)/(PL2).
+
+Concrete channels differ only in *which* copies may be delivered when:
+
+* :class:`~repro.channels.nonfifo.NonFifoChannel` -- any copy, chosen
+  by an external adversary (the paper's worst-case channel);
+* :class:`~repro.channels.fifo.FifoChannel` -- oldest copy first;
+* :class:`~repro.channels.probabilistic.ProbabilisticChannel` -- the
+  channel itself decides at send time with error probability ``q``
+  (PL2p).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from typing import Callable, Dict, List, Optional
+
+from repro.channels.packets import Packet, TransitCopy
+from repro.ioa.actions import Direction
+
+
+class ChannelError(Exception):
+    """Raised when an operation would violate (PL1).
+
+    Seeing this exception means a bug in the engine or an adversary
+    trying an illegal move (delivering a copy that is not in transit),
+    never legitimate protocol behaviour.
+    """
+
+
+class Channel:
+    """A bag of in-transit packet copies for one direction.
+
+    Args:
+        direction: which way this channel carries packets.
+        copy_ids: iterator producing unique copy ids.  Sharing one
+            iterator between the two channels of a system gives
+            globally unique ids, which makes recorded executions easier
+            to read; each channel defaults to its own counter.
+    """
+
+    def __init__(
+        self,
+        direction: Direction,
+        copy_ids: Optional[itertools.count] = None,
+    ) -> None:
+        self.direction = direction
+        self._copy_ids = copy_ids if copy_ids is not None else itertools.count()
+        self._in_transit: Dict[int, TransitCopy] = {}
+        self._sent_total = 0
+        self._delivered_total = 0
+        self._dropped_total = 0
+
+    # ------------------------------------------------------------------
+    # the three channel moves
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet, at_index: int = 0) -> TransitCopy:
+        """Accept ``packet`` from the sending station.
+
+        Returns the freshly minted transit copy (already in the bag).
+        """
+        copy = TransitCopy(next(self._copy_ids), packet, at_index)
+        self._in_transit[copy.copy_id] = copy
+        self._sent_total += 1
+        self._on_send(copy)
+        return copy
+
+    def deliver(self, copy_id: int) -> TransitCopy:
+        """Remove the copy from the bag for delivery.
+
+        Raises:
+            ChannelError: if no such copy is in transit (this is the
+                (PL1) guard), or if the concrete channel's ordering
+                discipline forbids delivering this copy now.
+        """
+        if copy_id not in self._in_transit:
+            raise ChannelError(
+                f"copy #{copy_id} is not in transit on {self.direction}; "
+                "delivering it would violate (PL1)"
+            )
+        self._check_deliverable(copy_id)
+        copy = self._in_transit.pop(copy_id)
+        self._delivered_total += 1
+        return copy
+
+    def drop(self, copy_id: int) -> TransitCopy:
+        """Lose the copy: it leaves the bag and is never delivered."""
+        if copy_id not in self._in_transit:
+            raise ChannelError(
+                f"copy #{copy_id} is not in transit on {self.direction}; "
+                "it cannot be dropped"
+            )
+        copy = self._in_transit.pop(copy_id)
+        self._dropped_total += 1
+        return copy
+
+    # ------------------------------------------------------------------
+    # hooks for concrete channels
+    # ------------------------------------------------------------------
+    def _on_send(self, copy: TransitCopy) -> None:
+        """Called after a copy joins the bag.  Default: nothing."""
+
+    def _check_deliverable(self, copy_id: int) -> None:
+        """Raise :class:`ChannelError` if the channel's ordering
+        discipline forbids delivering ``copy_id`` now.  Default: any
+        in-transit copy is deliverable (non-FIFO semantics)."""
+
+    def mandatory_deliveries(self) -> List[int]:
+        """Copy ids the channel itself insists on delivering now.
+
+        Adversary-driven channels return nothing; reliable and
+        probabilistic channels use this to push copies out without an
+        adversary's help.
+        """
+        return []
+
+    # ------------------------------------------------------------------
+    # observation (used by adversaries, oracles and analyses)
+    # ------------------------------------------------------------------
+    def in_transit(self) -> List[TransitCopy]:
+        """All copies currently in the bag, oldest send first."""
+        return sorted(self._in_transit.values(), key=lambda c: c.copy_id)
+
+    def in_transit_ids(self) -> List[int]:
+        """Copy ids currently in the bag, oldest send first."""
+        return sorted(self._in_transit)
+
+    def transit_size(self) -> int:
+        """Number of copies in the bag (the paper's "packets delayed
+        on the channel")."""
+        return len(self._in_transit)
+
+    def transit_count(self, packet: Packet) -> int:
+        """Number of in-transit copies of the given packet value."""
+        return sum(1 for c in self._in_transit.values() if c.packet == packet)
+
+    def transit_value_counts(self) -> Counter:
+        """Multiset of in-transit packet values."""
+        return Counter(c.packet for c in self._in_transit.values())
+
+    def copies_of(self, packet: Packet) -> List[TransitCopy]:
+        """In-transit copies of the given value, oldest first."""
+        return [c for c in self.in_transit() if c.packet == packet]
+
+    def count_matching(self, predicate: Callable[[Packet], bool]) -> int:
+        """Number of in-transit copies whose value satisfies ``predicate``."""
+        return sum(1 for c in self._in_transit.values() if predicate(c.packet))
+
+    @property
+    def sent_total(self) -> int:
+        """Total ``send`` calls over the channel's lifetime."""
+        return self._sent_total
+
+    @property
+    def delivered_total(self) -> int:
+        """Total successful deliveries over the channel's lifetime."""
+        return self._delivered_total
+
+    @property
+    def dropped_total(self) -> int:
+        """Total losses over the channel's lifetime."""
+        return self._dropped_total
+
+    # ------------------------------------------------------------------
+    # cloning (used by the extension finder and replay attack)
+    # ------------------------------------------------------------------
+    def clone(self) -> "Channel":
+        """Independent channel with the same bag contents and counters.
+
+        The clone gets its own copy-id counter starting past every id
+        seen so far, so ids stay unique within the clone.
+        """
+        twin = self._fresh_like()
+        twin._in_transit = dict(self._in_transit)
+        twin._sent_total = self._sent_total
+        twin._delivered_total = self._delivered_total
+        twin._dropped_total = self._dropped_total
+        max_id = max(self._in_transit, default=-1)
+        twin._copy_ids = itertools.count(max(max_id + 1, self._sent_total))
+        return twin
+
+    def _fresh_like(self) -> "Channel":
+        """New empty channel of the same concrete type and settings."""
+        return type(self)(self.direction)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}({self.direction}, "
+            f"{self.transit_size()} in transit)"
+        )
+
+
+class ChannelOracle:
+    """Read-only view of a pair of channels, handed to protocols that
+    are *outside* the paper's model.
+
+    The paper's stations are I/O automata whose only inputs are
+    ``send_msg`` and ``receive_pkt``: they cannot see the channel.  The
+    flooding protocol (:mod:`repro.datalink.flooding`) deliberately
+    breaks this rule -- it reads in-transit multiplicity counts through
+    this oracle, standing in for the unbounded-state tracking machinery
+    of the [AFWZ88]/[Afe88] protocols whose full descriptions are not
+    available.  See DESIGN.md, "Documented substitutions".
+    """
+
+    def __init__(self, channels: Dict[Direction, Channel]) -> None:
+        self._channels = channels
+
+    def transit_count(self, direction: Direction, packet: Packet) -> int:
+        """In-transit copies of ``packet`` on the channel in ``direction``."""
+        return self._channels[direction].transit_count(packet)
+
+    def count_matching(
+        self, direction: Direction, predicate: Callable[[Packet], bool]
+    ) -> int:
+        """In-transit copies matching ``predicate`` in ``direction``."""
+        return self._channels[direction].count_matching(predicate)
+
+    def transit_size(self, direction: Direction) -> int:
+        """Total in-transit copies in ``direction``."""
+        return self._channels[direction].transit_size()

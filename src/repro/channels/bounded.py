@@ -1,0 +1,93 @@
+"""A non-FIFO channel with bounded packet lifetime (TTL semantics).
+
+The paper's adversary may delay a packet *forever* and replay it
+arbitrarily late; that unbounded patience powers all three lower
+bounds.  Real transmission media are gentler: a packet that has not
+arrived after some window is gone (TTL expiry, buffer eviction, line
+timeouts).  This channel models that middle ground:
+
+* still non-FIFO -- any in-transit copy may be delivered in any order;
+* still lossy -- copies may be dropped;
+* but every copy **expires** (is silently dropped) once ``lifetime``
+  further sends have occurred on the channel.
+
+Expiry preserves (PL1) trivially (expired copies are just losses) and
+bounds the age of any stale copy, which is exactly the assumption that
+rescues finite sequence numbers: over this channel the
+:mod:`repro.datalink.sequence_mod` protocol is safe, while over the
+unbounded :class:`~repro.channels.nonfifo.NonFifoChannel` the
+Theorem 3.1 adversary forges it.  The E6(d) ablation walks the
+boundary.
+"""
+
+from __future__ import annotations
+
+
+from repro.channels.base import Channel
+from repro.channels.packets import TransitCopy
+
+
+class BoundedReorderChannel(Channel):
+    """Non-FIFO channel whose copies expire after ``lifetime`` sends.
+
+    Args:
+        direction: channel direction.
+        lifetime: maximum number of *subsequent sends* a copy may
+            survive in transit.  A copy sent as send number ``s``
+            expires when send number ``s + lifetime`` occurs.
+    """
+
+    def __init__(self, direction, lifetime: int = 16) -> None:
+        super().__init__(direction)
+        if lifetime < 1:
+            raise ValueError("lifetime must be at least 1")
+        self.lifetime = lifetime
+        self._send_seq = 0
+        self._birth: dict = {}
+        self.expired_total = 0
+
+    def _on_send(self, copy: TransitCopy) -> None:
+        self._send_seq += 1
+        self._birth[copy.copy_id] = self._send_seq
+        self._expire()
+
+    def _expire(self) -> None:
+        cutoff = self._send_seq - self.lifetime
+        doomed = [
+            copy_id
+            for copy_id, born in self._birth.items()
+            if born <= cutoff and copy_id in self._in_transit
+        ]
+        for copy_id in doomed:
+            # Expiry is a loss: (PL1) allows it, nothing is recorded.
+            self._in_transit.pop(copy_id)
+            self._dropped_total += 1
+            self.expired_total += 1
+            del self._birth[copy_id]
+
+    def deliver(self, copy_id: int) -> TransitCopy:
+        copy = super().deliver(copy_id)
+        self._birth.pop(copy_id, None)
+        return copy
+
+    def drop(self, copy_id: int) -> TransitCopy:
+        copy = super().drop(copy_id)
+        self._birth.pop(copy_id, None)
+        return copy
+
+    def age_in_sends(self, copy_id: int) -> int:
+        """How many sends have happened since this copy was sent."""
+        if copy_id not in self._birth:
+            raise KeyError(f"copy #{copy_id} is not in transit")
+        return self._send_seq - self._birth[copy_id]
+
+    def _fresh_like(self) -> "BoundedReorderChannel":
+        return BoundedReorderChannel(self.direction, self.lifetime)
+
+    def clone(self) -> "BoundedReorderChannel":
+        twin = super().clone()
+        assert isinstance(twin, BoundedReorderChannel)
+        twin._send_seq = self._send_seq
+        twin._birth = dict(self._birth)
+        twin.expired_total = self.expired_total
+        return twin

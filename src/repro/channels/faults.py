@@ -1,0 +1,146 @@
+"""Composable fault injection for channel adversaries.
+
+The stock adversaries in :mod:`repro.channels.adversary` each model one
+behaviour.  Real channel pathologies come in combinations and phases --
+a burst of loss, then a partition, then a flood of long-delayed
+packets.  This module provides:
+
+* :class:`FaultPhase` -- one adversary active for a step interval;
+* :class:`PhasedAdversary` -- a timeline of phases (burst faults);
+* :class:`PartitionAdversary` -- total blackout windows on a schedule,
+  optimal delivery otherwise;
+* :class:`DuplicateAttemptAdversary` -- an *illegal* adversary that
+  tries to deliver the same copy twice, used by tests to prove the
+  (PL1) guard actually guards;
+* :class:`ReplayFloodAdversary` -- delivers every copy as soon as
+  possible but in newest-first order (maximal reordering pressure).
+
+Everything here stays within (PL1) except the deliberately illegal
+duplicate injector, whose whole purpose is to be caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.channels.adversary import (
+    AdversaryView,
+    ChannelAdversary,
+    Decision,
+    OptimalAdversary,
+)
+
+
+@dataclass
+class FaultPhase:
+    """One phase of a fault timeline.
+
+    Attributes:
+        start: first step index (inclusive) the phase covers.
+        end: last step index (exclusive).
+        adversary: the behaviour during the phase.
+    """
+
+    start: int
+    end: int
+    adversary: ChannelAdversary
+
+    def active_at(self, step: int) -> bool:
+        """Whether this phase covers the given step."""
+        return self.start <= step < self.end
+
+
+class PhasedAdversary(ChannelAdversary):
+    """Runs a timeline of fault phases over a default behaviour.
+
+    The first phase covering the current step wins; steps covered by no
+    phase use ``default`` (an :class:`OptimalAdversary` unless given).
+    """
+
+    def __init__(
+        self,
+        phases: Sequence[FaultPhase],
+        default: Optional[ChannelAdversary] = None,
+    ) -> None:
+        self.phases = list(phases)
+        self.default = default if default is not None else OptimalAdversary()
+
+    def decide(self, view: AdversaryView) -> List[Decision]:
+        for phase in self.phases:
+            if phase.active_at(view.step_index):
+                return phase.adversary.decide(view)
+        return self.default.decide(view)
+
+
+class PartitionAdversary(ChannelAdversary):
+    """Blackout windows on a fixed schedule, optimal delivery between.
+
+    Args:
+        period: schedule length in steps.
+        blackout: number of steps at the start of each period during
+            which nothing is delivered.
+    """
+
+    def __init__(self, period: int = 10, blackout: int = 5) -> None:
+        if not 0 <= blackout <= period:
+            raise ValueError("blackout must be within the period")
+        self.period = period
+        self.blackout = blackout
+        self._optimal = OptimalAdversary()
+
+    def decide(self, view: AdversaryView) -> List[Decision]:
+        if view.step_index % self.period < self.blackout:
+            return []
+        return self._optimal.decide(view)
+
+
+class ReplayFloodAdversary(ChannelAdversary):
+    """Delivers everything, newest copies first: maximal reordering
+    pressure while remaining lossless and prompt."""
+
+    def decide(self, view: AdversaryView) -> List[Decision]:
+        decisions: List[Decision] = []
+        for direction in view.directions():
+            for copy_id in reversed(
+                view.channel(direction).in_transit_ids()
+            ):
+                decisions.append(Decision.deliver(direction, copy_id))
+        return decisions
+
+
+class DuplicateAttemptAdversary(ChannelAdversary):
+    """DELIBERATELY ILLEGAL: tries to deliver each copy twice.
+
+    Exists so the test suite can demonstrate that the channel's (PL1)
+    guard rejects duplication at the source -- the engine will raise
+    :class:`~repro.channels.base.ChannelError` on the second delivery.
+    Never use outside tests.
+    """
+
+    def decide(self, view: AdversaryView) -> List[Decision]:
+        decisions: List[Decision] = []
+        for direction in view.directions():
+            for copy_id in view.channel(direction).in_transit_ids():
+                decisions.append(Decision.deliver(direction, copy_id))
+                decisions.append(Decision.deliver(direction, copy_id))
+        return decisions
+
+
+def burst_loss_timeline(
+    bursts: Sequence[Tuple[int, int]],
+) -> PhasedAdversary:
+    """Timeline helper: total loss during each ``(start, end)`` burst,
+    optimal delivery otherwise.
+
+    During a burst nothing is delivered (packets pile up in transit --
+    they are delayed, not dropped, so the post-burst flood exercises
+    reordering too).
+    """
+    from repro.channels.adversary import DelayAllAdversary
+
+    phases = [
+        FaultPhase(start, end, DelayAllAdversary())
+        for start, end in bursts
+    ]
+    return PhasedAdversary(phases)

@@ -1,0 +1,40 @@
+"""A reliable FIFO channel, for contrast.
+
+The paper's lower bounds all depend on the channel being non-FIFO; over
+a reliable FIFO channel the 2-header alternating-bit protocol [BSW69]
+already solves the data link problem with constant space.  This channel
+exists so that tests and the E6 ablation can demonstrate the contrast:
+the same alternating-bit automata that our Theorem 3.1 adversary forges
+over a :class:`~repro.channels.nonfifo.NonFifoChannel` run forever
+correctly here.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.channels.base import Channel, ChannelError
+
+
+class FifoChannel(Channel):
+    """In-order, lossless channel.
+
+    ``mandatory_deliveries`` returns every in-transit copy in send
+    order, so the engine drains the channel each step; ``deliver`` of
+    any copy other than the oldest raises, enforcing FIFO order even
+    against a buggy adversary.
+    """
+
+    def _check_deliverable(self, copy_id: int) -> None:
+        oldest = min(self._in_transit, default=None)
+        if oldest is not None and copy_id != oldest:
+            raise ChannelError(
+                f"FIFO channel must deliver copy #{oldest} before "
+                f"copy #{copy_id}"
+            )
+
+    def mandatory_deliveries(self) -> List[int]:
+        return self.in_transit_ids()
+
+    def drop(self, copy_id: int):
+        raise ChannelError("a reliable FIFO channel never loses packets")

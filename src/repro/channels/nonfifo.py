@@ -1,0 +1,23 @@
+"""The adversarial non-FIFO channel of Sections 2-4.
+
+A :class:`NonFifoChannel` imposes no ordering discipline at all: any
+in-transit copy may be delivered at any time, or held forever, or
+dropped.  It makes no delivery decisions of its own -- those belong to
+the :class:`~repro.channels.adversary.ChannelAdversary` driving the
+run.  This is exactly the conservative model of Section 2.1: "We
+allowed any packet to get lost, or be delivered far in the future."
+"""
+
+from __future__ import annotations
+
+from repro.channels.base import Channel
+
+
+class NonFifoChannel(Channel):
+    """Bag channel with adversary-chosen deliveries.
+
+    Inherits everything from :class:`~repro.channels.base.Channel`;
+    the base semantics (deliver any in-transit copy) are already
+    non-FIFO.  The subclass exists to make intent explicit at
+    construction sites and in recorded experiment configurations.
+    """

@@ -1,0 +1,60 @@
+"""Packet values and transit copies.
+
+The paper distinguishes sharply between a *packet value* -- the pair of
+protocol-appended header and (possibly empty) message body, drawn from
+the fixed alphabet ``P`` -- and a particular *copy* of that value
+travelling on the channel.  Stations see only values; channels track
+copies.  All three lower bounds exploit the gap: a station cannot tell
+a fresh copy from a stale one of the same value, while the channel (and
+hence the adversary) can.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A packet value ``p`` from the alphabet ``P``.
+
+    Attributes:
+        header: the additional information appended by the data link
+            protocol (Section 2.3, "Headers").  The paper's header
+            count is the number of distinct packet values sent; when
+            all message bodies are equal this collapses to the number
+            of distinct headers, which is why we keep the two fields
+            separate.
+        body: the message payload being carried, or ``None`` for pure
+            control packets (acknowledgements).
+    """
+
+    header: Hashable
+    body: Hashable = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.body is None:
+            return f"<{self.header}>"
+        return f"<{self.header}|{self.body!r}>"
+
+
+@dataclass(frozen=True)
+class TransitCopy:
+    """One copy of a packet value in transit on a channel.
+
+    Attributes:
+        copy_id: channel-unique identifier; the structural enforcement
+            of (PL1) keys on it.
+        packet: the packet value carried.
+        sent_at: index of the ``send_pkt`` event that created the copy,
+            in the recording execution.  Lets analyses distinguish
+            "stale" copies (sent before some cut) from "fresh" ones.
+    """
+
+    copy_id: int
+    packet: Packet
+    sent_at: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"copy#{self.copy_id}({self.packet})@{self.sent_at}"

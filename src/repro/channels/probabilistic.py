@@ -1,0 +1,122 @@
+"""The probabilistic physical layer of Section 5 (PL2p).
+
+Property (PL2p): *for any ``send_pkt(p)`` a corresponding
+``receive_pkt(p)`` is generated immediately with probability
+``1 - q``*.  With probability ``q`` the packet is delayed -- it joins
+the in-transit pool, where it sits until (optionally) released by a
+trickle policy or exploited as a stale copy.
+
+The channel draws from its own seeded :class:`random.Random`, so every
+experiment is exactly reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import List, Optional
+
+from repro.channels.base import Channel
+from repro.channels.packets import TransitCopy
+from repro.ioa.actions import Direction
+
+
+class TricklePolicy(enum.Enum):
+    """What happens to delayed packets.
+
+    NEVER: delayed packets stay in transit for the whole run.  This is
+        the configuration the Theorem 5.1 experiment uses: the delayed
+        pool is exactly the stale-copy population whose compounding
+        forces the exponential blowup.  (PL2) still holds in the
+        probabilistic sense -- every *burst* of sends delivers
+        something with overwhelming probability.
+    UNIFORM: each engine step, every delayed packet is independently
+        released with a small probability.  This makes (PL2) hold
+        almost surely in finite time and is used by liveness tests.
+    """
+
+    NEVER = "never"
+    UNIFORM = "uniform"
+
+
+class ProbabilisticChannel(Channel):
+    """Channel satisfying (PL1) and (PL2p) with error probability ``q``.
+
+    Args:
+        direction: channel direction.
+        q: probability that a sent packet is delayed rather than
+            delivered immediately.  ``0 <= q < 1``.
+        rng: seeded random source; a fresh ``Random(0)`` by default.
+        trickle: policy for delayed packets (see
+            :class:`TricklePolicy`).
+        trickle_probability: per-step release probability under
+            ``TricklePolicy.UNIFORM``.
+    """
+
+    def __init__(
+        self,
+        direction: Direction,
+        q: float,
+        rng: Optional[random.Random] = None,
+        trickle: TricklePolicy = TricklePolicy.NEVER,
+        trickle_probability: float = 0.01,
+    ) -> None:
+        if not 0.0 <= q < 1.0:
+            raise ValueError(f"error probability q={q} must be in [0, 1)")
+        super().__init__(direction)
+        self.q = q
+        self.trickle = trickle
+        self.trickle_probability = trickle_probability
+        self._rng = rng if rng is not None else random.Random(0)
+        self._due: List[int] = []
+        self._delayed_ever = 0
+
+    # ------------------------------------------------------------------
+    # PL2p: the send-time coin flip
+    # ------------------------------------------------------------------
+    def _on_send(self, copy: TransitCopy) -> None:
+        if self._rng.random() >= self.q:
+            self._due.append(copy.copy_id)
+        else:
+            self._delayed_ever += 1
+
+    def mandatory_deliveries(self) -> List[int]:
+        """Copies due now: the immediate ones, plus any trickled."""
+        due, self._due = self._due, []
+        # A due copy may have been dropped or force-delivered by a test
+        # in the meantime; silently skip such ids.
+        due = [cid for cid in due if cid in self._in_transit]
+        if self.trickle is TricklePolicy.UNIFORM:
+            due_set = set(due)
+            for cid in self.in_transit_ids():
+                if cid not in due_set and (
+                    self._rng.random() < self.trickle_probability
+                ):
+                    due.append(cid)
+        return due
+
+    @property
+    def delayed_ever(self) -> int:
+        """How many sends the q-coin delayed over the channel lifetime."""
+        return self._delayed_ever
+
+    # ------------------------------------------------------------------
+    # cloning
+    # ------------------------------------------------------------------
+    def _fresh_like(self) -> "ProbabilisticChannel":
+        twin = ProbabilisticChannel(
+            self.direction,
+            self.q,
+            rng=random.Random(),
+            trickle=self.trickle,
+            trickle_probability=self.trickle_probability,
+        )
+        twin._rng.setstate(self._rng.getstate())
+        return twin
+
+    def clone(self) -> "ProbabilisticChannel":
+        twin = super().clone()
+        assert isinstance(twin, ProbabilisticChannel)
+        twin._due = list(self._due)
+        twin._delayed_ever = self._delayed_ever
+        return twin

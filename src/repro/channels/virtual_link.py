@@ -1,0 +1,129 @@
+"""Non-FIFO virtual links: the transport-layer remark, executable.
+
+Section 1 of the paper closes with: "all our results can be extended to
+transport layer protocols over non-FIFO *virtual links*.  Recall that
+the task of the transport layer is to establish reliable host to host
+communication."
+
+A virtual link is a multi-hop network path: each packet is
+store-and-forwarded through ``hops`` stages, each stage imposing its
+own random delay, so the end-to-end behaviour reorders even when every
+stage is individually well-behaved.  This module implements such a path
+as a :class:`~repro.channels.base.Channel`:
+
+* externally it is just another (PL1)-safe packet transport -- the
+  station automata, the specification checkers, *and the lower-bound
+  adversaries* compose with it unchanged, which is precisely why the
+  paper's results port to the transport layer;
+* internally each copy has a position along the path; the channel
+  advances positions randomly each engine flush and emits copies that
+  reach the far end;
+* the non-FIFO-ness is emergent: two copies sent in order race through
+  independent stage delays and arrive in either order.
+
+The external adversary interface stays fully available: any in-flight
+copy may be delivered (the network adversary can always rush or stall a
+datagram) or dropped, so :class:`repro.core.theorem31.HeaderExhaustionAttack`
+runs against transport protocols over this link verbatim --
+demonstrated in ``tests/channels/test_virtual_link.py`` and the
+``examples/transport_over_network.py`` walkthrough.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.channels.base import Channel
+from repro.channels.packets import TransitCopy
+from repro.ioa.actions import Direction
+
+
+class VirtualLinkChannel(Channel):
+    """A multi-hop store-and-forward path with per-stage random delay.
+
+    Args:
+        direction: which way this link carries packets.
+        hops: number of store-and-forward stages (>= 1).
+        p_advance: per-flush probability that a copy moves one stage
+            closer to the destination.  Lower values mean more
+            reordering between racing copies.
+        rng: seeded randomness; ``Random(0)`` by default.
+        p_loss: per-flush probability that a copy is lost at its
+            current stage (router drop).
+    """
+
+    def __init__(
+        self,
+        direction: Direction,
+        hops: int = 3,
+        p_advance: float = 0.6,
+        rng: Optional[random.Random] = None,
+        p_loss: float = 0.0,
+    ) -> None:
+        super().__init__(direction)
+        if hops < 1:
+            raise ValueError("a virtual link needs at least one hop")
+        if not 0.0 < p_advance <= 1.0:
+            raise ValueError("p_advance must be in (0, 1]")
+        if not 0.0 <= p_loss < 1.0:
+            raise ValueError("p_loss must be in [0, 1)")
+        self.hops = hops
+        self.p_advance = p_advance
+        self.p_loss = p_loss
+        self._rng = rng if rng is not None else random.Random(0)
+        self._position: Dict[int, int] = {}
+
+    def _on_send(self, copy: TransitCopy) -> None:
+        self._position[copy.copy_id] = 0
+
+    def mandatory_deliveries(self) -> List[int]:
+        """Advance every copy one random step; emit arrivals.
+
+        Called once per engine flush, this is the network "ticking":
+        each copy independently advances (or is dropped) and copies
+        past the final stage are due for delivery.
+        """
+        due: List[int] = []
+        for copy_id in self.in_transit_ids():
+            if self.p_loss and self._rng.random() < self.p_loss:
+                self.drop(copy_id)
+                continue
+            if self._rng.random() < self.p_advance:
+                self._position[copy_id] += 1
+            if self._position[copy_id] >= self.hops:
+                due.append(copy_id)
+        return due
+
+    def deliver(self, copy_id: int) -> TransitCopy:
+        copy = super().deliver(copy_id)
+        self._position.pop(copy_id, None)
+        return copy
+
+    def drop(self, copy_id: int) -> TransitCopy:
+        copy = super().drop(copy_id)
+        self._position.pop(copy_id, None)
+        return copy
+
+    def position_of(self, copy_id: int) -> int:
+        """Current stage index of an in-flight copy (0-based)."""
+        if copy_id not in self._position:
+            raise KeyError(f"copy #{copy_id} is not in flight")
+        return self._position[copy_id]
+
+    def _fresh_like(self) -> "VirtualLinkChannel":
+        twin = VirtualLinkChannel(
+            self.direction,
+            hops=self.hops,
+            p_advance=self.p_advance,
+            rng=random.Random(),
+            p_loss=self.p_loss,
+        )
+        twin._rng.setstate(self._rng.getstate())
+        return twin
+
+    def clone(self) -> "VirtualLinkChannel":
+        twin = super().clone()
+        assert isinstance(twin, VirtualLinkChannel)
+        twin._position = dict(self._position)
+        return twin

@@ -1,0 +1,113 @@
+"""The paper's contribution, executable.
+
+Each result of Mansour & Schieber (PODC 1989) maps to one module here:
+
+* :mod:`repro.core.extensions` -- computes the extension ``beta`` of a
+  semi-valid execution under optimal channel behaviour: the object the
+  boundness definitions (constant-, ``M_f``- and ``P_f``-boundness)
+  quantify over.
+* :mod:`repro.core.boundness` -- the definitions of Section 2.3 as
+  predicates, plus the Theorem 2.1 analysis (boundness is at most the
+  product of the station state counts, certified by the pigeonhole
+  cycle argument).
+* :mod:`repro.core.replay` -- the simulation trick shared by all three
+  lower-bound proofs: replace the fresh packets of an extension by
+  stale in-transit copies of the same values, making the receiver
+  deliver a message that was never sent.
+* :mod:`repro.core.pumping` -- the adversarial scheduling that
+  accumulates stale copies while the protocol makes legitimate
+  progress.
+* :mod:`repro.core.theorem31` -- the header-exhaustion forgery:
+  any protocol using fewer headers than messages is driven to an
+  invalid execution (``rm = sm + 1``).
+* :mod:`repro.core.theorem41` -- the backlog dichotomy: with ``k``
+  headers and ``l`` packets in transit, delivering the next message
+  either costs more than ``floor(l/k)`` packets or the protocol is
+  forged.
+* :mod:`repro.core.theorem51` -- the probabilistic blowup experiment:
+  over a channel with error probability ``q``, fixed-header protocols
+  send ``(1 + q - eps_n)^Omega(n)`` packets for n messages.
+* :mod:`repro.core.hoeffding` -- Theorem 5.4 (the Hoeffding bound) and
+  the quantitative helpers of Lemmas 5.2/5.3.
+"""
+
+from repro.core.audit import AuditReport, audit_system
+from repro.core.boundness import (
+    BoundnessReport,
+    check_mf_bounded_sample,
+    check_pf_bounded_sample,
+    measure_boundness,
+    verify_theorem21,
+)
+from repro.core.extensions import CycleCertificate, Extension, find_extension
+from repro.core.hoeffding import (
+    empirical_binomial_tail,
+    epsilon_n,
+    hoeffding_tail_bound,
+    lemma52_failure_bound,
+    predicted_growth_factor,
+    theorem51_packet_lower_bound,
+)
+from repro.core.proof_bounds import (
+    identity_f,
+    lmf88_header_lower_bound,
+    theorem31_basis_copies,
+    theorem31_budget_schedule,
+    theorem31_invariant_copies,
+    theorem31_total_budget,
+)
+from repro.core.pumping import ReservePool, pump_message
+from repro.core.replay import ReplayOutcome, attempt_replay
+from repro.core.theorem31 import (
+    HeaderExhaustionAttack,
+    HeaderExhaustionResult,
+)
+from repro.core.theorem41 import (
+    BacklogDichotomy,
+    BacklogProbe,
+    plant_backlog,
+    probe_backlog_cost,
+    run_dichotomy,
+)
+from repro.core.theorem51 import (
+    ProbabilisticRunResult,
+    run_probabilistic_delivery,
+)
+
+__all__ = [
+    "AuditReport",
+    "BacklogDichotomy",
+    "BacklogProbe",
+    "BoundnessReport",
+    "CycleCertificate",
+    "Extension",
+    "HeaderExhaustionAttack",
+    "HeaderExhaustionResult",
+    "ProbabilisticRunResult",
+    "ReplayOutcome",
+    "ReservePool",
+    "attempt_replay",
+    "audit_system",
+    "check_mf_bounded_sample",
+    "check_pf_bounded_sample",
+    "empirical_binomial_tail",
+    "epsilon_n",
+    "find_extension",
+    "hoeffding_tail_bound",
+    "identity_f",
+    "lmf88_header_lower_bound",
+    "lemma52_failure_bound",
+    "measure_boundness",
+    "plant_backlog",
+    "predicted_growth_factor",
+    "probe_backlog_cost",
+    "pump_message",
+    "run_dichotomy",
+    "run_probabilistic_delivery",
+    "theorem31_basis_copies",
+    "theorem31_budget_schedule",
+    "theorem31_invariant_copies",
+    "theorem31_total_budget",
+    "theorem51_packet_lower_bound",
+    "verify_theorem21",
+]

@@ -1,0 +1,127 @@
+"""One-call deep audit of a recorded run.
+
+The specification checkers in :mod:`repro.datalink.spec` decide the
+paper's properties; an *audit* goes further and cross-checks every
+piece of bookkeeping the simulator maintains against the recorded
+execution -- the kind of end-to-end consistency check a downstream user
+wants before trusting any number a run produced:
+
+* the (DL)/(PL) specification report;
+* packet conservation per channel
+  (``sent = delivered + dropped + in_transit``);
+* agreement between execution counters and channel counters;
+* header accounting (distinct packet values per direction);
+* per-message packet costs (the series most experiments consume);
+* delivery ordering relative to submission.
+
+``audit_system(system)`` returns a structured :class:`AuditReport`;
+``report.ok`` is True only when every cross-check passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.datalink.spec import SpecReport, check_execution
+from repro.datalink.system import DataLinkSystem
+from repro.ioa.actions import ActionType, Direction
+
+
+@dataclass
+class AuditReport:
+    """Outcome of :func:`audit_system`.
+
+    Attributes:
+        spec: the (DL)/(PL) specification report.
+        problems: cross-check failures (empty when consistent).
+        headers: distinct packet values sent, per direction.
+        per_message_packets: forward-channel packets attributable to
+            each delivered message (split at ``receive_msg`` events).
+        messages_delivered: ``rm`` of the execution.
+        packets_sent: total ``send_pkt`` count, both directions.
+    """
+
+    spec: SpecReport
+    problems: List[str] = field(default_factory=list)
+    headers: Dict[Direction, int] = field(default_factory=dict)
+    per_message_packets: List[int] = field(default_factory=list)
+    messages_delivered: int = 0
+    packets_sent: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Specification holds and every cross-check passed."""
+        return self.spec.ok and not self.problems
+
+
+def audit_system(system: DataLinkSystem) -> AuditReport:
+    """Cross-check a system's recorded execution against its state."""
+    execution = system.execution
+    report = AuditReport(
+        spec=check_execution(execution),
+        headers={
+            Direction.T2R: execution.header_count(Direction.T2R),
+            Direction.R2T: execution.header_count(Direction.R2T),
+        },
+        messages_delivered=execution.rm(),
+        packets_sent=(
+            execution.sp(Direction.T2R) + execution.sp(Direction.R2T)
+        ),
+    )
+
+    # Packet conservation and counter agreement, per channel.
+    for direction, channel in system.channels.items():
+        if channel.sent_total != (
+            channel.delivered_total
+            + channel.dropped_total
+            + channel.transit_size()
+        ):
+            report.problems.append(
+                f"{direction}: conservation broken "
+                f"(sent {channel.sent_total} != delivered "
+                f"{channel.delivered_total} + dropped "
+                f"{channel.dropped_total} + in transit "
+                f"{channel.transit_size()})"
+            )
+        if execution.sp(direction) != channel.sent_total:
+            report.problems.append(
+                f"{direction}: execution records "
+                f"{execution.sp(direction)} sends, channel counted "
+                f"{channel.sent_total}"
+            )
+        if execution.rp(direction) != channel.delivered_total:
+            report.problems.append(
+                f"{direction}: execution records "
+                f"{execution.rp(direction)} receipts, channel counted "
+                f"{channel.delivered_total}"
+            )
+
+    # Station counters vs execution.
+    if system.receiver.messages_delivered != execution.rm():
+        report.problems.append(
+            f"receiver counted {system.receiver.messages_delivered} "
+            f"deliveries, execution records {execution.rm()}"
+        )
+    station_sends = system.sender.packets_sent
+    if station_sends != execution.sp(Direction.T2R):
+        report.problems.append(
+            f"sender counted {station_sends} sends, execution records "
+            f"{execution.sp(Direction.T2R)}"
+        )
+
+    # Per-message forward packet costs: split the send_pkt series at
+    # receive_msg events.
+    current = 0
+    for event in execution:
+        action = event.action
+        if (
+            action.type is ActionType.SEND_PKT
+            and action.direction is Direction.T2R
+        ):
+            current += 1
+        elif action.type is ActionType.RECEIVE_MSG:
+            report.per_message_packets.append(current)
+            current = 0
+
+    return report

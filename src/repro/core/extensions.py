@@ -1,0 +1,206 @@
+"""Computing the extension ``beta`` of a semi-valid execution.
+
+Every boundness definition in the paper (Section 2.3) quantifies over
+the same object: given a semi-valid execution ``alpha`` (a valid prefix
+plus one outstanding ``send_msg``), an extension ``beta`` such that
+
+  (i)   ``alpha . beta`` is valid (the pending message gets delivered),
+  (ii)  ``beta`` delivers no packet that was sent during ``alpha``
+        (stale copies stay in transit), and
+  (iii) ``sp^{t->r}(beta)`` is small (this is what boundness bounds).
+
+For the deterministic automata in this library the minimal such
+extension is computable by brute force in its literal sense: clone the
+system, switch the channels to the *optimal-from-now* behaviour used in
+the proof of Theorem 2.1 ("no packet sent in alpha is delivered; a
+packet sent now is delivered immediately"), and run until the pending
+message is delivered.  :func:`find_extension` does exactly that and
+reports the packet counts, the receiver's receipt sequence (the input
+the replay attack must counterfeit) and the station state-pair history
+(the input to the pigeonhole argument of Theorem 2.1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Tuple
+
+from repro.channels.adversary import OptimalFromNowAdversary
+from repro.channels.packets import Packet
+from repro.datalink.system import DataLinkSystem
+from repro.ioa.actions import ActionType, Direction
+from repro.ioa.execution import Execution
+
+
+@dataclass
+class CycleCertificate:
+    """A repeated station state pair along an extension.
+
+    This is the witness from the proof of Theorem 2.1: if an extension
+    under optimal channel behaviour revisits the same
+    ``(q_t, q_r)`` pair between two ``receive_pkt^{t->r}`` actions
+    without delivering a message, the segment between the visits can be
+    repeated forever, so no valid extension passes through it.  Finding
+    one certifies that the protocol's boundness cannot be smaller than
+    the packets sent up to the second visit.
+    """
+
+    first_receipt_index: int
+    second_receipt_index: int
+    state_pair: Tuple[Hashable, Hashable]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"state pair repeated between t->r receipts "
+            f"{self.first_receipt_index} and {self.second_receipt_index}"
+        )
+
+
+@dataclass
+class Extension:
+    """The computed extension ``beta`` and everything measured on it.
+
+    Attributes:
+        delivered: True when the pending deliveries happened within the
+            step budget (i.e. an extension satisfying (i)-(ii) exists
+            and was found).
+        execution: the events of ``beta`` alone.
+        sp_t2r: ``sp^{t->r}(beta)``, the quantity boundness bounds.
+        sp_r2t: ``sp^{r->t}(beta)``.
+        receipt_sequence: packet values received by the receiver
+            station during ``beta``, in order -- the receiver's entire
+            view of the forward channel, and hence the script a replay
+            must reproduce from stale copies.
+        receipt_counts: the same as a multiset.
+        steps: engine steps the extension took.
+        cycle: a repeated station state pair, when one occurred before
+            delivery (only tracked when ``track_states`` is set).
+        state_pairs: station state pairs observed after each
+            ``receive_pkt^{t->r}``, when ``track_states`` is set.
+    """
+
+    delivered: bool
+    execution: Execution
+    sp_t2r: int
+    sp_r2t: int
+    receipt_sequence: List[Packet]
+    receipt_counts: Counter
+    steps: int
+    cycle: Optional[CycleCertificate] = None
+    state_pairs: List[Tuple[Hashable, Hashable]] = field(default_factory=list)
+
+
+def find_extension(
+    system: DataLinkSystem,
+    message: Optional[Hashable] = None,
+    deliveries_needed: int = 1,
+    max_steps: int = 100_000,
+    track_states: bool = False,
+) -> Extension:
+    """Compute the optimal-channel extension of the system's current
+    configuration.
+
+    The real ``system`` is never touched: everything happens on a
+    clone, so callers may probe "what would the protocol do next"
+    without advancing it (this is how the adversaries peek).
+
+    Args:
+        system: the live system whose configuration is the semi-valid
+            execution ``alpha`` (with a pending message), or a valid
+            one if ``message`` is provided.
+        message: when given, a ``send_msg(message)`` is injected into
+            the clone first -- i.e. the semi-valid execution considered
+            is ``alpha . send_msg(message)``.
+        deliveries_needed: how many ``receive_msg`` actions ``beta``
+            must contain (1 in the paper's one-outstanding regime).
+        max_steps: step budget; exceeding it with ``delivered=False``
+            means no bounded extension was found (for finite-state
+            protocols this coincides with a livelock certificate).
+        track_states: record station state pairs after each
+            ``receive_pkt^{t->r}`` and detect repetitions (the
+            Theorem 2.1 machinery).  Costs one snapshot per receipt.
+
+    Returns:
+        The :class:`Extension` measured on the clone.
+    """
+    clone = system.clone()
+    clone.adversary = OptimalFromNowAdversary.from_channels(clone.channels)
+    if message is not None:
+        if not clone.sender.ready_for_message():
+            raise RuntimeError(
+                "cannot inject a message: the sender still has one "
+                "outstanding (the configuration is already semi-valid; "
+                "call find_extension with message=None)"
+            )
+        clone.submit_message(message)
+
+    base_delivered = clone.receiver.messages_delivered
+    goal = base_delivered + deliveries_needed
+
+    state_pairs: List[Tuple[Hashable, Hashable]] = []
+    seen_pairs = {}
+    cycle: Optional[CycleCertificate] = None
+    receipts_seen = 0
+    steps = 0
+
+    while clone.receiver.messages_delivered < goal and steps < max_steps:
+        before = len(clone.execution)
+        clone.step()
+        steps += 1
+        made_receipt = any(
+            event.action.type is ActionType.RECEIVE_PKT
+            and event.action.direction is Direction.T2R
+            for event in clone.execution.events[before:]
+        )
+        if track_states and cycle is None and made_receipt:
+            # One snapshot per step that contained a t->r receipt.
+            # Under the optimal-from-now channel the only in-transit
+            # copies between steps are the permanently withheld stale
+            # ones, so the station state pair determines the entire
+            # future: a repeat before delivery certifies an infinite
+            # message-free extension (the pigeonhole step in the proof
+            # of Theorem 2.1), and the search can stop.
+            receipts_seen += 1
+            pair = (
+                clone.sender.protocol_state(),
+                clone.receiver.protocol_state(),
+            )
+            state_pairs.append(pair)
+            if pair in seen_pairs and clone.receiver.messages_delivered < goal:
+                cycle = CycleCertificate(
+                    first_receipt_index=seen_pairs[pair],
+                    second_receipt_index=receipts_seen,
+                    state_pair=pair,
+                )
+                break
+            seen_pairs.setdefault(pair, receipts_seen)
+        if _quiescent(clone):
+            break
+
+    return Extension(
+        delivered=clone.receiver.messages_delivered >= goal,
+        execution=clone.execution,
+        sp_t2r=clone.execution.sp(Direction.T2R),
+        sp_r2t=clone.execution.sp(Direction.R2T),
+        receipt_sequence=clone.execution.received_packet_sequence(
+            Direction.T2R
+        ),
+        receipt_counts=clone.execution.received_packet_values(Direction.T2R),
+        steps=steps,
+        cycle=cycle,
+        state_pairs=state_pairs,
+    )
+
+
+def _quiescent(system: DataLinkSystem) -> bool:
+    """True when nothing can ever happen again in the clone.
+
+    Under the optimal-from-now adversary every fresh copy is delivered
+    within the step it is sent, so the system is stuck exactly when
+    neither station has an enabled output.
+    """
+    return (
+        system.sender.next_output() is None
+        and system.receiver.next_output() is None
+    )

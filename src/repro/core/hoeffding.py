@@ -1,0 +1,148 @@
+"""Theorem 5.4 (the Hoeffding bound) and the Section 5 quantities.
+
+The probabilistic lower bound (Theorem 5.1) rests on two applications
+of the Hoeffding tail bound for sums of independent (0,1) variables
+with success probability ``q``:
+
+    **Theorem 5.4 ([Hoe63]).**  For ``alpha < q``,
+    ``Prob{ sum X_i <= alpha n } <= exp(-2 n (alpha - q)^2)``.
+
+* Lemma 5.2 uses it to show the dominant packet accumulates
+  ``m >= n q / (4 k^2)`` delayed copies with probability
+  ``1 - e^{-Omega(n)}``.
+* Lemma 5.3 uses it to pick ``eps_n = O(1/sqrt(n))`` so that a
+  dominant epoch multiplies the delayed-copy count by
+  ``(1 + q - eps_n)`` with probability at least ``1/2k``, giving the
+  final ``(1 + q - eps_n)^{Omega(n)}`` packet bound.
+
+This module implements the bound, Monte Carlo estimators to check it
+empirically (experiment E5), and the closed-form quantities the
+Theorem 5.1 experiment plots as its theory lines.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+
+def hoeffding_tail_bound(n: int, q: float, alpha: float) -> float:
+    """Upper bound on ``Prob{ sum_{i<=n} X_i <= alpha * n }``.
+
+    Args:
+        n: number of independent (0,1) trials.
+        q: success probability of each trial.
+        alpha: the tail threshold, as a fraction of ``n``; must satisfy
+            ``alpha < q`` for the bound to be meaningful.
+
+    Returns:
+        ``exp(-2 n (alpha - q)^2)``, clipped to 1.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be a probability")
+    if alpha >= q:
+        return 1.0
+    return min(1.0, math.exp(-2.0 * n * (alpha - q) ** 2))
+
+
+def empirical_binomial_tail(
+    n: int,
+    q: float,
+    alpha: float,
+    trials: int = 10_000,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Monte Carlo estimate of ``Prob{ Binomial(n, q) <= alpha * n }``.
+
+    Experiment E5 compares this against :func:`hoeffding_tail_bound`
+    over a grid; the property tests assert the bound dominates within
+    sampling error.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    threshold = alpha * n
+    hits = 0
+    for _ in range(trials):
+        total = sum(1 for _ in range(n) if rng.random() < q)
+        if total <= threshold:
+            hits += 1
+    return hits / trials
+
+
+def exact_binomial_tail(n: int, q: float, alpha: float) -> float:
+    """Exact ``Prob{ Binomial(n, q) <= alpha * n }`` by summation.
+
+    Fine for the modest ``n`` of the E5 grid; the experiment prefers it
+    to Monte Carlo when ``n <= 2000``.
+    """
+    threshold = math.floor(alpha * n)
+    if threshold < 0:
+        return 0.0
+    log_q = math.log(q) if q > 0 else float("-inf")
+    log_p = math.log(1 - q) if q < 1 else float("-inf")
+    total = 0.0
+    for successes in range(min(threshold, n) + 1):
+        log_term = (
+            math.lgamma(n + 1)
+            - math.lgamma(successes + 1)
+            - math.lgamma(n - successes + 1)
+            + successes * log_q
+            + (n - successes) * log_p
+        )
+        total += math.exp(log_term)
+    return min(1.0, total)
+
+
+# ----------------------------------------------------------------------
+# Section 5 closed forms
+# ----------------------------------------------------------------------
+def epsilon_n(n: int, q: float, k: int) -> float:
+    """The ``eps_n = O(1/sqrt(n))`` of Theorem 5.1.
+
+    Lemma 5.3 needs ``exp(-n q eps^2 / (2 k^2)) <= 1/2``, i.e.
+    ``eps >= sqrt(2 k^2 ln 2 / (n q))``; we return that threshold.
+    """
+    if n <= 0 or q <= 0:
+        raise ValueError("need n > 0 and q > 0")
+    return math.sqrt(2.0 * k * k * math.log(2.0) / (n * q))
+
+
+def lemma52_failure_bound(n: int, q: float, k: int) -> float:
+    """Lemma 5.2's failure probability ``exp(-n q^2 / (4 k^3))``.
+
+    With probability at least ``1 -`` this value, the probable-dominant
+    packet has accumulated ``m >= n q / (4 k^2)`` delayed copies by its
+    ``(n/2k + 1)``-th dominant epoch.
+    """
+    return min(1.0, math.exp(-n * q * q / (4.0 * k**3)))
+
+
+def predicted_growth_factor(q: float, k: int, n: Optional[int] = None) -> float:
+    """Per-message growth factor the theorem predicts (its base).
+
+    Theorem 5.1: total packets are at least
+    ``(1 + q - eps_n)^{Omega(n)}``.  The exponent hides a ``1/(8k^2)``
+    (the fraction of epochs that are growth epochs in Lemma 5.3), so
+    as a *per-message* factor the theory line is
+    ``(1 + q - eps_n)^{1/(8 k^2)}``.  With ``n`` given, ``eps_n`` is
+    subtracted; without, the asymptotic base ``(1 + q)^{1/(8 k^2)}``.
+    """
+    base = 1.0 + q - (epsilon_n(n, q, k) if n is not None else 0.0)
+    if base <= 1.0:
+        return 1.0
+    return base ** (1.0 / (8.0 * k * k))
+
+
+def theorem51_packet_lower_bound(n: int, q: float, k: int) -> float:
+    """The literal ``(1 + q - eps_n)^{n / (8 k^2)}`` lower-bound value.
+
+    Used as the theory line in experiment E4.  For small ``n`` the
+    ``eps_n`` correction may exceed ``q``, in which case the bound
+    degenerates to 1 (the theorem is asymptotic).
+    """
+    base = 1.0 + q - epsilon_n(n, q, k)
+    if base <= 1.0:
+        return 1.0
+    return base ** (n / (8.0 * k * k))

@@ -1,0 +1,77 @@
+"""The proofs' worst-case bookkeeping, as closed forms.
+
+The inductive construction in Theorem 3.1 does not know the protocol it
+is attacking, so it budgets for the worst case: the claim maintains
+``(k - i - 1)! * f(k+1)^(k-i)`` in-transit copies of each packet value
+in ``P_{i+1}``, and the basis delays the first
+``k! * f(k+1)^k - k + 1`` packets outright.  Our operational adversary
+(:mod:`repro.core.theorem31`) reads the concrete protocol's needs off
+failed replay attempts instead, and gets away with a tiny fraction of
+that budget.
+
+This module computes the proof's budgets so experiments can put the two
+side by side -- a vivid demonstration of the gap between a lower-bound
+proof's universally quantified bookkeeping and any single protocol's
+actual attack surface.  It also provides the [LMF88] predecessor bound
+(``Omega(n/k)`` headers) for the E2 commentary.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List
+
+
+def theorem31_basis_copies(k: int, f: Callable[[int], int]) -> int:
+    """Copies delayed by the proof's basis step.
+
+    "the first ``k! f(k+1)^k - k + 1`` packets sent from the
+    transmitting station are delayed on the channel."
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    return math.factorial(k) * f(k + 1) ** k - k + 1
+
+
+def theorem31_invariant_copies(k: int, i: int, f: Callable[[int], int]) -> int:
+    """Copies of each ``p in P_{i+1}`` the induction maintains.
+
+    The claim at step ``i`` guarantees ``(k-i-1)! * f(k+1)^(k-i)``
+    copies of each value in the grown set.
+    """
+    if not 0 <= i < k:
+        raise ValueError("need 0 <= i < k")
+    return math.factorial(k - i - 1) * f(k + 1) ** (k - i)
+
+
+def theorem31_budget_schedule(
+    k: int, f: Callable[[int], int]
+) -> List[int]:
+    """The per-step invariant copy counts, ``i = 0 .. k-1``.
+
+    A decreasing sequence: the proof front-loads its hoard and spends it
+    down as the set ``P_i`` grows.
+    """
+    return [theorem31_invariant_copies(k, i, f) for i in range(k)]
+
+
+def theorem31_total_budget(k: int, f: Callable[[int], int]) -> int:
+    """A coarse upper bound on the copies the proof ever reserves:
+    basis copies plus the step-0 invariant for each of the k values."""
+    return theorem31_basis_copies(k, f) + k * theorem31_invariant_copies(
+        k, 0, f
+    )
+
+
+def lmf88_header_lower_bound(n: int, k_bound: int) -> int:
+    """[LMF88]: any ``k``-bounded protocol needs ``n / k`` headers for
+    ``n`` messages (the predecessor of Theorem 3.1)."""
+    if k_bound < 1:
+        raise ValueError("boundness must be positive")
+    return -(-n // k_bound)  # ceil
+
+
+def identity_f(x: int) -> int:
+    """The smallest boundness function the theorem admits
+    (``f(1) >= 2`` is assumed w.l.o.g.; identity satisfies it from 2)."""
+    return max(2, x)

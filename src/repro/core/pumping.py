@@ -1,0 +1,131 @@
+"""Adversarial pumping: accumulate stale copies during legitimate progress.
+
+All three lower-bound proofs need the physical layer to hoard copies of
+chosen packet values while the protocol, from the stations' point of
+view, simply delivers messages over a slightly lossy channel.  The
+mechanism is always the same and lives here:
+
+* the sending station retransmits whenever polled (its timer model);
+* the adversary *reserves* the first ``quota(p)`` fresh copies of each
+  value ``p`` -- they stay in transit forever, indistinguishable from
+  ordinary delays -- and delivers every further copy immediately;
+* the reverse channel is delivered promptly, so the protocol completes
+  each message exchange like clockwork.
+
+The resulting execution is perfectly valid (the stale pool is just
+"packets delayed on the channel"), which is exactly what the proofs
+require of the prefix ``alpha_i``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Hashable, Optional, Set
+
+from repro.channels.packets import Packet
+from repro.datalink.system import DataLinkSystem
+from repro.ioa.actions import Direction
+
+
+class ReservePool:
+    """Bookkeeping for copies the adversary is hoarding.
+
+    The pool records which transit copies are reserved (never to be
+    delivered during pumping) and how many copies of each packet value
+    that amounts to.  The replay attack later spends from this pool.
+    """
+
+    def __init__(self) -> None:
+        self.reserved_ids: Set[int] = set()
+        self.counts: Counter = Counter()
+
+    def reserve(self, copy_id: int, packet: Packet) -> None:
+        """Mark one transit copy as hoarded."""
+        if copy_id not in self.reserved_ids:
+            self.reserved_ids.add(copy_id)
+            self.counts[packet] += 1
+
+    def release(self, copy_id: int, packet: Packet) -> None:
+        """Un-hoard a copy (used when the replay attack spends it)."""
+        if copy_id in self.reserved_ids:
+            self.reserved_ids.remove(copy_id)
+            self.counts[packet] -= 1
+
+    def count(self, packet: Packet) -> int:
+        """Hoarded copies of one packet value."""
+        return self.counts[packet]
+
+    def total(self) -> int:
+        """Hoarded copies altogether."""
+        return len(self.reserved_ids)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inside = ", ".join(
+            f"{packet}x{count}" for packet, count in sorted(
+                self.counts.items(), key=lambda item: repr(item[0])
+            ) if count
+        )
+        return f"ReservePool({inside})"
+
+
+def pump_message(
+    system: DataLinkSystem,
+    message: Hashable,
+    quota: Callable[[Packet], int],
+    pool: Optional[ReservePool] = None,
+    max_steps: int = 50_000,
+) -> bool:
+    """Deliver one message legitimately while hoarding copies.
+
+    Args:
+        system: the live system.  Its own adversary (if any) is ignored
+            for the duration: this function drives the channels itself.
+        message: the message the environment submits.
+        quota: target hoard size per packet value on the forward
+            channel; copies beyond the quota are delivered immediately.
+        pool: the hoard (shared across calls so quotas accumulate
+            globally); a fresh one is created when omitted.
+        max_steps: scheduling budget.
+
+    Returns:
+        True when the message was delivered within the budget.  False
+        means the quota starves the protocol (e.g. hoarding *every*
+        copy of a value the receiver needs) -- callers treat that as a
+        failed pumping strategy, not an error.
+    """
+    pool = pool if pool is not None else ReservePool()
+    if not system.sender.ready_for_message():
+        raise RuntimeError(
+            "pump_message needs the sender to be ready; deliver the "
+            "outstanding message first"
+        )
+    system.submit_message(message)
+    goal = system.receiver.messages_delivered + 1
+
+    def done() -> bool:
+        # The exchange is complete when the message is delivered AND
+        # the sender has processed the confirmation (otherwise the next
+        # submission would arrive while a message is still pending).
+        return (
+            system.receiver.messages_delivered >= goal
+            and system.sender.ready_for_message()
+        )
+
+    steps = 0
+    while not done() and steps < max_steps:
+        system.pump_receiver()
+        system.pump_sender()
+        # Forward channel: hoard up to quota, deliver the rest.
+        for copy in system.chan_t2r.in_transit():
+            if copy.copy_id in pool.reserved_ids:
+                continue
+            if pool.count(copy.packet) < quota(copy.packet):
+                pool.reserve(copy.copy_id, copy.packet)
+            else:
+                system.deliver_copy(Direction.T2R, copy.copy_id)
+        # Reverse channel: prompt delivery keeps the exchange moving.
+        for copy_id in system.chan_r2t.in_transit_ids():
+            system.deliver_copy(Direction.R2T, copy_id)
+        system.pump_receiver()
+        steps += 1
+    return done()

@@ -1,0 +1,155 @@
+"""The replay ("simulation") attack at the heart of all three proofs.
+
+From the proof of Theorem 3.1:
+
+    "Observe that if for each ``send_pkt(p)`` action in ``beta`` there
+    is a copy of the packet ``p`` in transition at the end of
+    ``alpha_i``, then the extension ``beta`` can be 'simulated' by the
+    physical layer, simply by replacing each packet which is sent by
+    ``A^t`` in ``beta`` by the respective packet in transition. [...]
+    ``A^r`` can not distinguish between ``beta`` and ``beta'``."
+
+Executable version: compute the extension ``beta`` on a clone (what the
+receiver *would* see if a new message were sent and the channel turned
+optimal), then deliver stale in-transit copies with exactly those
+packet values, in exactly that order, to the *real* receiver -- without
+any ``send_msg`` ever happening.  A deterministic receiver reacts
+identically, ending in ``receive_msg``: the execution now has
+``rm = sm + 1`` and violates (DL1).
+
+:func:`attempt_replay` packages the whole move: it checks the stale
+pool covers the extension's receipt multiset, and (unless ``dry_run``)
+executes the forgery against the live system.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional
+
+from repro.core.extensions import Extension, find_extension
+from repro.datalink.system import DataLinkSystem
+from repro.ioa.actions import Direction
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of one replay attempt.
+
+    Attributes:
+        success: a forged ``receive_msg`` happened (or, in a dry run,
+            provably would happen).
+        executed: the live system was actually driven (False for dry
+            runs and for failed attempts, which never touch it).
+        reason: human-readable explanation.
+        deficit: for failed attempts, how many more stale copies of
+            each packet value the attack would need.
+        extension: the computed extension the attack tried to simulate.
+        forged_deliveries: number of ``receive_msg`` actions obtained
+            without a corresponding ``send_msg``.
+        stale_spent: copies consumed from the transit pool.
+    """
+
+    success: bool
+    executed: bool
+    reason: str
+    deficit: Counter = field(default_factory=Counter)
+    extension: Optional[Extension] = None
+    forged_deliveries: int = 0
+    stale_spent: int = 0
+
+
+def attempt_replay(
+    system: DataLinkSystem,
+    message: Hashable = "m",
+    max_steps: int = 100_000,
+    dry_run: bool = False,
+) -> ReplayOutcome:
+    """Try to forge the delivery of ``message`` from stale copies.
+
+    Args:
+        system: the live system.  Mutated only when the attack is
+            possible and ``dry_run`` is False.
+        message: hypothetical next message used to compute the
+            extension.  The paper's setting has all messages equal; an
+            attack against a protocol whose packets embed the body
+            needs the stale pool to have been built from equal bodies.
+        max_steps: budget for the extension search.
+        dry_run: only determine feasibility; never touch the system.
+
+    Returns:
+        A :class:`ReplayOutcome`; ``outcome.success and
+        outcome.executed`` means ``system.execution`` now contains a
+        (DL1)-violating forged delivery.
+    """
+    extension = find_extension(system, message=message, max_steps=max_steps)
+    if not extension.delivered:
+        return ReplayOutcome(
+            success=False,
+            executed=False,
+            reason=(
+                "no delivering extension found: the protocol does not "
+                "deliver the hypothetical message even under optimal "
+                "channel behaviour"
+            ),
+            extension=extension,
+        )
+
+    available = system.chan_t2r.transit_value_counts()
+    deficit = Counter()
+    for packet, needed in extension.receipt_counts.items():
+        short = needed - available.get(packet, 0)
+        if short > 0:
+            deficit[packet] = short
+    if deficit:
+        return ReplayOutcome(
+            success=False,
+            executed=False,
+            reason="stale pool does not cover the extension's receipts",
+            deficit=deficit,
+            extension=extension,
+        )
+
+    if dry_run:
+        return ReplayOutcome(
+            success=True,
+            executed=False,
+            reason="stale pool covers the extension; forgery possible",
+            extension=extension,
+        )
+
+    # Execute beta': deliver stale copies following the receipt script.
+    rm_before = system.receiver.messages_delivered
+    spent = 0
+    spent_ids: List[int] = []
+    for packet in extension.receipt_sequence:
+        candidates = [
+            copy
+            for copy in system.chan_t2r.copies_of(packet)
+            if copy.copy_id not in spent_ids
+        ]
+        # Coverage was verified above; an empty candidate list would be
+        # an engine bug, not an attack failure.
+        copy = candidates[0]
+        spent_ids.append(copy.copy_id)
+        system.deliver_copy(Direction.T2R, copy.copy_id)
+        spent += 1
+        system.pump_receiver()
+        if system.receiver.messages_delivered > rm_before:
+            break
+
+    forged = system.receiver.messages_delivered - rm_before
+    return ReplayOutcome(
+        success=forged > 0,
+        executed=True,
+        reason=(
+            "forged delivery: rm = sm + 1, (DL1) violated"
+            if forged
+            else "replay executed but the receiver did not deliver "
+            "(non-deterministic station?)"
+        ),
+        extension=extension,
+        forged_deliveries=forged,
+        stale_spent=spent,
+    )

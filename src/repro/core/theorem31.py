@@ -1,0 +1,225 @@
+"""Theorem 3.1 as an executable adversary: the header-exhaustion forgery.
+
+    **Theorem 3.1.** Let ``f`` be any function.  Any ``M_f``-bounded
+    data link protocol for sending ``n`` messages requires ``n``
+    headers.
+
+The proof constructs, against any protocol that uses fewer packet
+values than messages, an execution in which the receiver delivers a
+message that was never sent (``rm = sm + 1``, violating (DL1)).  The
+construction alternates two moves:
+
+1. **Accumulate.**  Let the protocol deliver a legitimate message while
+   the channel delays ("hoards") copies of chosen packet values --
+   the inductive claim grows a set ``P_i`` of values with many stale
+   copies in transit.
+2. **Forge.**  Once the stale pool covers every ``receive_pkt`` of the
+   extension that delivering one more message would produce, simulate
+   that extension from stale copies alone (:mod:`repro.core.replay`).
+
+:class:`HeaderExhaustionAttack` is the operational version.  Instead of
+the proof's worst-case factorial bookkeeping (which must work for
+*every* protocol simultaneously), it reads the concrete protocol's
+actual needs off the failed replay attempt -- the deficit tells it
+exactly which values to hoard next round -- and loops.  Against any
+deterministic protocol whose packet values for the forged message have
+all been used before (the fixed-header case), the pool eventually
+covers the extension and the forgery lands.  Against the naive
+sequence-number protocol the deficit always names a brand-new value
+(the next header), so the loop runs out of budget: exactly the escape
+hatch the theorem grants to n-header protocols.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, List, Optional
+
+from repro.channels.packets import Packet
+from repro.core.pumping import ReservePool, pump_message
+from repro.core.replay import ReplayOutcome, attempt_replay
+from repro.datalink.spec import check_dl1
+from repro.datalink.system import DataLinkSystem
+from repro.ioa.actions import Direction
+
+
+@dataclass
+class RoundRecord:
+    """What happened in one accumulate-or-forge round."""
+
+    round_index: int
+    replay_feasible: bool
+    deficit: Counter
+    pool_total: int
+    distinct_values_in_pool: int
+    pumped: bool
+
+
+@dataclass
+class HeaderExhaustionResult:
+    """Outcome of the Theorem 3.1 attack.
+
+    Attributes:
+        forged: the invalid execution was produced; ``violation`` holds
+            the (DL1) violation found by the independent checker.
+        rounds: accumulate/forge rounds executed.
+        messages_spent: legitimate messages delivered while building
+            the stale pool (the ``i <= k < n`` of the proof).
+        headers_observed: distinct packet values the protocol used on
+            the forward channel during the attack.
+        pool: the final stale pool.
+        history: per-round records (experiment E2 reports these).
+        replay: the final replay outcome.
+    """
+
+    forged: bool
+    rounds: int
+    messages_spent: int
+    headers_observed: int
+    pool: ReservePool
+    history: List[RoundRecord] = field(default_factory=list)
+    replay: Optional[ReplayOutcome] = None
+    violation_found: bool = False
+
+    @property
+    def reason(self) -> str:
+        """Why the attack ended the way it did."""
+        if self.forged:
+            return (
+                f"forged a delivery after {self.messages_spent} real "
+                f"messages using {self.headers_observed} headers"
+            )
+        return (
+            "attack budget exhausted without covering the extension "
+            "(protocol keeps minting fresh headers)"
+        )
+
+
+class HeaderExhaustionAttack:
+    """Drive a protocol into an invalid execution by hoarding headers.
+
+    Args:
+        system: a live system over adversarial non-FIFO channels.  The
+            attack assumes full control: the system's configured
+            adversary, if any, is not consulted.
+        message_factory: produces the message submitted in round ``i``.
+            The default sends the same message every time -- the
+            paper's "all messages are equal" setting, which is the
+            honest hardest case for the *protocol* (headers are its
+            only distinguisher) and for the *attack* (stale bodies must
+            collide with fresh ones for body-carrying protocols).
+        margin: extra copies hoarded beyond the observed deficit, to
+            absorb protocols whose extensions lengthen as the pool
+            (and hence their backlog bookkeeping) grows.
+        max_rounds: accumulate/forge rounds before giving up.
+        max_steps_per_round: engine budget per legitimate delivery.
+    """
+
+    def __init__(
+        self,
+        system: DataLinkSystem,
+        message_factory: Callable[[int], Hashable] = lambda i: "m",
+        margin: int = 2,
+        max_rounds: int = 64,
+        max_steps_per_round: int = 50_000,
+    ) -> None:
+        self.system = system
+        self.message_factory = message_factory
+        self.margin = margin
+        self.max_rounds = max_rounds
+        self.max_steps_per_round = max_steps_per_round
+        self.pool = ReservePool()
+        self._wanted: Counter = Counter()
+
+    def run(self) -> HeaderExhaustionResult:
+        """Execute the attack to success or budget exhaustion."""
+        history: List[RoundRecord] = []
+        messages_spent = 0
+        replay: Optional[ReplayOutcome] = None
+
+        for round_index in range(self.max_rounds):
+            replay = attempt_replay(
+                self.system,
+                message=self.message_factory(messages_spent),
+                max_steps=self.max_steps_per_round,
+            )
+            if replay.success:
+                history.append(
+                    RoundRecord(
+                        round_index=round_index,
+                        replay_feasible=True,
+                        deficit=Counter(),
+                        pool_total=self.pool.total(),
+                        distinct_values_in_pool=sum(
+                            1 for c in self.pool.counts.values() if c
+                        ),
+                        pumped=False,
+                    )
+                )
+                return self._finish(history, messages_spent, replay)
+
+            # The deficit names exactly the values to hoard; remember
+            # every demand ever seen so quotas only grow.
+            for packet, short in replay.deficit.items():
+                needed = (
+                    replay.extension.receipt_counts[packet] + self.margin
+                    if replay.extension is not None
+                    else short + self.margin
+                )
+                if needed > self._wanted[packet]:
+                    self._wanted[packet] = needed
+
+            delivered = pump_message(
+                self.system,
+                self.message_factory(messages_spent),
+                quota=self._quota,
+                pool=self.pool,
+                max_steps=self.max_steps_per_round,
+            )
+            messages_spent += 1
+            history.append(
+                RoundRecord(
+                    round_index=round_index,
+                    replay_feasible=False,
+                    deficit=Counter(replay.deficit),
+                    pool_total=self.pool.total(),
+                    distinct_values_in_pool=sum(
+                        1 for c in self.pool.counts.values() if c
+                    ),
+                    pumped=delivered,
+                )
+            )
+            if not delivered:
+                # Hoarding starved the protocol: relax nothing, just
+                # stop -- the run is no longer in a clean semi-valid
+                # state to attack from.
+                break
+
+        return self._finish(history, messages_spent, replay)
+
+    def _quota(self, packet: Packet) -> int:
+        return self._wanted[packet]
+
+    def _finish(
+        self,
+        history: List[RoundRecord],
+        messages_spent: int,
+        replay: Optional[ReplayOutcome],
+    ) -> HeaderExhaustionResult:
+        forged = bool(replay is not None and replay.success and replay.executed)
+        violation = (
+            check_dl1(self.system.execution) is not None if forged else False
+        )
+        return HeaderExhaustionResult(
+            forged=forged,
+            rounds=len(history),
+            messages_spent=messages_spent,
+            headers_observed=self.system.execution.header_count(
+                Direction.T2R
+            ),
+            pool=self.pool,
+            history=history,
+            replay=replay,
+            violation_found=violation,
+        )

@@ -1,0 +1,137 @@
+"""Theorem 5.1 as an executable experiment: the probabilistic blowup.
+
+    **Theorem 5.1.** Any data link protocol with a fixed number ``k``
+    of headers implemented over a probabilistic physical layer with
+    error probability ``q`` has to send, with probability
+    ``1 - e^{-Omega(n)}``, at least ``(1 + q - eps_n)^{Omega(n)}``
+    packets to deliver ``n`` messages, where ``eps_n = O(1/sqrt(n))``.
+
+The mechanism the proof isolates: every message exchange has a
+*dominant* packet value -- the protocol must send more copies of it
+than are already in transit, or the channel could simulate the exchange
+from stale copies.  Each dominant exchange loses a ``q`` fraction of
+those copies to the delayed pool, so the pool (and with it the price of
+every later exchange) compounds geometrically.
+
+:func:`run_probabilistic_delivery` runs any protocol pair over a
+probabilistic channel, recording the cumulative packet count after each
+delivered message.  Experiment E4 feeds the fixed-header flooding
+protocol (pool compounds -> exponential series) and the naive
+sequence-number protocol (fresh header each message, stale pool
+harmless -> linear series) through it and fits the growth rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, List, Optional, Tuple
+
+from repro.channels.probabilistic import TricklePolicy
+from repro.datalink.stations import ReceiverStation, SenderStation
+from repro.datalink.system import DataLinkSystem, make_system
+from repro.ioa.actions import Direction
+
+
+@dataclass
+class ProbabilisticRunResult:
+    """One protocol run over a probabilistic channel.
+
+    Attributes:
+        q: channel error probability.
+        n: messages requested.
+        delivered: messages actually delivered within the budget.
+        seed: channel randomness seed.
+        cumulative_packets: total ``send_pkt`` count (both directions)
+            after each delivered message; ``cumulative_packets[i]`` is
+            the price of the first ``i + 1`` messages.
+        per_message_packets: first differences of the above.
+        final_backlog_t2r: delayed pool size on the forward channel at
+            the end (the compounding quantity).
+        completed: all ``n`` messages were delivered.
+        steps: engine steps consumed.
+    """
+
+    q: float
+    n: int
+    delivered: int
+    seed: int
+    cumulative_packets: List[int] = field(default_factory=list)
+    per_message_packets: List[int] = field(default_factory=list)
+    final_backlog_t2r: int = 0
+    completed: bool = False
+    steps: int = 0
+
+    @property
+    def total_packets(self) -> int:
+        """Packets sent over the whole run."""
+        return self.cumulative_packets[-1] if self.cumulative_packets else 0
+
+
+def run_probabilistic_delivery(
+    pair_factory: Callable[[], Tuple[SenderStation, ReceiverStation]],
+    q: float,
+    n: int,
+    seed: int = 0,
+    message: Hashable = "m",
+    max_steps: int = 2_000_000,
+    trickle: TricklePolicy = TricklePolicy.NEVER,
+    packet_budget: Optional[int] = None,
+) -> ProbabilisticRunResult:
+    """Deliver ``n`` (identical) messages over a probabilistic channel.
+
+    Args:
+        pair_factory: builds the protocol pair.
+        q: channel error probability (both directions).
+        n: number of messages.
+        seed: seeds the two channels deterministically.
+        message: the constant message body (the paper's all-equal
+            setting -- the regime in which header counting is the
+            protocol's only defence).
+        max_steps: total engine budget.
+        trickle: what happens to delayed packets (see
+            :class:`~repro.channels.probabilistic.TricklePolicy`).
+            The default NEVER keeps them in the stale pool, the
+            configuration the theorem's adversary distribution models.
+        packet_budget: optional early stop once this many packets have
+            been sent -- exponential runs get expensive fast, and the
+            truncated series is still fit-able.
+
+    Returns:
+        The per-message cumulative packet series and final pool size.
+    """
+    sender, receiver = pair_factory()
+    system: DataLinkSystem = make_system(
+        sender, receiver, q=q, seed=seed, trickle=trickle
+    )
+    cumulative: List[int] = []
+    steps_used = 0
+    delivered = 0
+    for _ in range(n):
+        stats = system.run([message], max_steps=max_steps - steps_used)
+        steps_used += stats.steps
+        if not stats.completed:
+            break
+        delivered += 1
+        cumulative.append(
+            system.execution.sp(Direction.T2R)
+            + system.execution.sp(Direction.R2T)
+        )
+        if packet_budget is not None and cumulative[-1] >= packet_budget:
+            break
+        if steps_used >= max_steps:
+            break
+    per_message = [
+        cumulative[i] - (cumulative[i - 1] if i else 0)
+        for i in range(len(cumulative))
+    ]
+    return ProbabilisticRunResult(
+        q=q,
+        n=n,
+        delivered=delivered,
+        seed=seed,
+        cumulative_packets=cumulative,
+        per_message_packets=per_message,
+        final_backlog_t2r=system.chan_t2r.transit_size(),
+        completed=delivered >= n,
+        steps=steps_used,
+    )

@@ -1,0 +1,107 @@
+"""The alternating-bit protocol of Bartlett, Scantlebury and Wilkinson.
+
+[BSW69] is the paper's canonical example of a protocol with a *bounded*
+header alphabet: two data headers (bit 0 / bit 1) and two ack headers.
+Over a reliable FIFO channel it implements the data link layer with
+constant space.
+
+Over a **non-FIFO** channel it is exactly the kind of protocol
+Theorem 3.1 dooms: it uses fewer headers than messages, so an adversary
+that accumulates stale copies of both data packet values can replay
+them to forge an extra delivery (``rm = sm + 1``, violating (DL1)).
+The attack is implemented generically in :mod:`repro.core.theorem31`
+and demonstrated against this protocol in the tests and in
+``examples/forging_alternating_bit.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+from repro.channels.packets import Packet
+from repro.datalink.stations import ReceiverStation, SenderStation
+
+DATA = "DATA"
+ACK = "ACK"
+
+
+def data_packet(bit: int, message: Hashable) -> Packet:
+    """The data packet with the given alternating bit."""
+    return Packet(header=(DATA, bit), body=message)
+
+
+def ack_packet(bit: int) -> Packet:
+    """The acknowledgement carrying the given bit."""
+    return Packet(header=(ACK, bit))
+
+
+class AlternatingBitSender(SenderStation):
+    """Sends the pending message stamped with the current bit until the
+    matching ack arrives, then flips the bit."""
+
+    name = "abp.A^t"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._bit = 0
+        self._pending: Optional[Hashable] = None
+
+    def ready_for_message(self) -> bool:
+        return self._pending is None
+
+    def on_send_msg(self, message: Hashable) -> None:
+        if self._pending is not None:
+            raise RuntimeError(
+                "alternating-bit sender already has an unconfirmed "
+                "message; the engine must respect ready_for_message()"
+            )
+        self._pending = message
+        self.current_packet = data_packet(self._bit, message)
+
+    def on_packet(self, packet: Packet) -> None:
+        kind, bit = packet.header
+        if kind != ACK:
+            return
+        if self._pending is not None and bit == self._bit:
+            self._pending = None
+            self.current_packet = None
+            self._bit ^= 1
+
+    def protocol_fields(self) -> Tuple:
+        return (self._bit, self._pending)
+
+    def set_protocol_fields(self, fields: Tuple) -> None:
+        self._bit, self._pending = fields
+
+
+class AlternatingBitReceiver(ReceiverStation):
+    """Delivers on the expected bit, acknowledges every data packet
+    with the bit it carried."""
+
+    name = "abp.A^r"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._expected_bit = 0
+
+    def on_packet(self, packet: Packet) -> None:
+        kind, bit = packet.header
+        if kind != DATA:
+            return
+        if bit == self._expected_bit:
+            self.queue_delivery(packet.body)
+            self._expected_bit ^= 1
+        # Acknowledge with the received bit either way: on a FIFO
+        # channel a repeated bit means the previous ack was lost.
+        self.queue_packet(ack_packet(bit))
+
+    def protocol_fields(self) -> Tuple:
+        return (self._expected_bit,)
+
+    def set_protocol_fields(self, fields: Tuple) -> None:
+        (self._expected_bit,) = fields
+
+
+def make_alternating_bit() -> Tuple[AlternatingBitSender, AlternatingBitReceiver]:
+    """A fresh sender/receiver pair of the alternating-bit protocol."""
+    return AlternatingBitSender(), AlternatingBitReceiver()

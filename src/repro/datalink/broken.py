@@ -1,0 +1,131 @@
+"""Deliberately broken protocols: the negative fixtures.
+
+A checker that has never caught a real violation is untested; an
+analysis that has never seen a livelock proves nothing.  These automata
+exist to fail in precisely characterized ways, so the test suite can
+assert the machinery *detects* each failure class:
+
+* :class:`BlackHoleReceiver` -- acknowledges data but never delivers:
+  violates (DL3) (liveness); finite state, so the Theorem 2.1 cycle
+  detector must find its pigeonhole witness.
+* :class:`EagerReceiver` -- delivers *every* data packet it sees,
+  duplicates included: violates (DL1) under the mildest retransmission.
+* :class:`ForgetfulSender` -- drops its message on the first
+  (re)transmission and stops: violates (DL3) by abandonment; the
+  extension finder must report no delivering extension.
+* :class:`SwapReceiver` -- buffers pairs and delivers them swapped:
+  violates (DL2) while keeping (DL1) intact, isolating the FIFO checker.
+
+All are built on the sequence-number packet vocabulary so they compose
+with :class:`~repro.datalink.sequence.SequenceSender` /
+``SequenceReceiver`` counterparts.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+from repro.channels.packets import Packet
+from repro.datalink.sequence import DATA, ack_packet, data_packet
+from repro.datalink.stations import ReceiverStation, SenderStation
+
+
+class BlackHoleReceiver(ReceiverStation):
+    """Acks everything, delivers nothing: a pure (DL3) violation."""
+
+    name = "blackhole.A^r"
+
+    def on_packet(self, packet: Packet) -> None:
+        kind, seq = packet.header
+        if kind == DATA:
+            self.queue_packet(ack_packet(-1))  # never the right ack
+
+    def protocol_fields(self) -> Tuple:
+        return ()
+
+    def set_protocol_fields(self, fields: Tuple) -> None:
+        del fields
+
+
+class EagerReceiver(ReceiverStation):
+    """Delivers every data packet, including duplicates: (DL1) bait."""
+
+    name = "eager.A^r"
+
+    def on_packet(self, packet: Packet) -> None:
+        kind, seq = packet.header
+        if kind == DATA:
+            self.queue_delivery(packet.body)
+            self.queue_packet(ack_packet(seq))
+
+    def protocol_fields(self) -> Tuple:
+        return ()
+
+    def set_protocol_fields(self, fields: Tuple) -> None:
+        del fields
+
+
+class ForgetfulSender(SenderStation):
+    """Transmits each message exactly once, then forgets it."""
+
+    name = "forgetful.A^t"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next_seq = 0
+
+    def ready_for_message(self) -> bool:
+        return self.current_packet is None
+
+    def on_send_msg(self, message: Hashable) -> None:
+        self.current_packet = data_packet(self._next_seq, message)
+        self._next_seq += 1
+
+    def on_packet(self, packet: Packet) -> None:
+        del packet  # ignores acknowledgements entirely
+
+    def on_packet_sent(self, packet: Packet) -> None:
+        # Fire and forget: no retransmission, ever.
+        self.current_packet = None
+
+    def protocol_fields(self) -> Tuple:
+        return (self._next_seq,)
+
+    def set_protocol_fields(self, fields: Tuple) -> None:
+        (self._next_seq,) = fields
+
+
+class SwapReceiver(ReceiverStation):
+    """Delivers messages in pairs, each pair swapped: breaks (DL2)
+    while every delivery still corresponds to a unique send ((DL1) ok).
+    """
+
+    name = "swap.A^r"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._expected = 0
+        self._held: Optional[Hashable] = None
+
+    def on_packet(self, packet: Packet) -> None:
+        kind, seq = packet.header
+        if kind != DATA:
+            return
+        if seq != self._expected:
+            if seq < self._expected:
+                self.queue_packet(ack_packet(seq))
+            return
+        self.queue_packet(ack_packet(seq))
+        self._expected += 1
+        if self._held is None:
+            self._held = packet.body
+        else:
+            self.queue_delivery(packet.body)  # second first...
+            self.queue_delivery(self._held)  # ...first second
+            self._held = None
+
+    def protocol_fields(self) -> Tuple:
+        return (self._expected, self._held)
+
+    def set_protocol_fields(self, fields: Tuple) -> None:
+        self._expected, self._held = fields

@@ -1,0 +1,146 @@
+"""Go-Back-N: the cumulative-acknowledgement window protocol.
+
+The second classic windowed design, complementing the selective-repeat
+protocol of :mod:`repro.datalink.window`:
+
+* the sender keeps up to ``window`` numbered messages outstanding and
+  retransmits them cyclically from the *oldest unacknowledged* one;
+* the receiver accepts **only** the next expected number -- anything
+  else is discarded -- and answers every data packet with a cumulative
+  acknowledgement ``ACK(expected - 1)`` ("I have everything up to
+  here");
+* a cumulative ack confirms every outstanding message at or below its
+  number at once.
+
+Over a non-FIFO channel Go-Back-N remains safe for the same reason the
+naive protocol is (numbers never repeat; the receiver's equality test
+is exact), but its *throughput* degrades under reordering: every
+out-of-order arrival is thrown away and must be retransmitted, so the
+selective-repeat window beats it precisely when the channel reorders --
+measured in ``benchmarks/test_bench_window.py`` and experiment L1.
+The trade it buys is receiver simplicity: constant receiver state
+versus selective repeat's ``O(window)`` buffer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+from repro.channels.packets import Packet
+from repro.datalink.stations import ReceiverStation, SenderStation
+from repro.ioa.actions import Action, Direction, send_pkt
+
+DATA = "DATA"
+ACK = "ACK"
+
+
+def data_packet(seq: int, message: Hashable) -> Packet:
+    """Data packet number ``seq``."""
+    return Packet(header=(DATA, seq), body=message)
+
+
+def cumulative_ack(seq: int) -> Packet:
+    """Cumulative acknowledgement: everything through ``seq`` arrived.
+
+    ``seq = -1`` means "nothing yet".
+    """
+    return Packet(header=(ACK, seq))
+
+
+class GoBackNSender(SenderStation):
+    """Window sender driven by cumulative acknowledgements."""
+
+    name = "gbn.A^t"
+
+    def __init__(self, window: int = 4) -> None:
+        super().__init__()
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = window
+        self._next_seq = 0
+        self._base = 0  # everything below is confirmed
+        self._outstanding: "OrderedDict[int, Hashable]" = OrderedDict()
+        self._cursor = 0
+
+    def fresh(self) -> "GoBackNSender":
+        return GoBackNSender(self.window)
+
+    def ready_for_message(self) -> bool:
+        return len(self._outstanding) < self.window
+
+    def on_send_msg(self, message: Hashable) -> None:
+        if not self.ready_for_message():
+            raise RuntimeError(
+                "window is full; the engine must respect "
+                "ready_for_message()"
+            )
+        self._outstanding[self._next_seq] = message
+        self._next_seq += 1
+
+    def on_packet(self, packet: Packet) -> None:
+        kind, seq = packet.header
+        if kind != ACK:
+            return
+        # Cumulative: confirm every outstanding number <= seq.
+        while self._outstanding and next(iter(self._outstanding)) <= seq:
+            self._outstanding.popitem(last=False)
+        self._base = max(self._base, seq + 1)
+
+    def next_output(self) -> Optional[Action]:
+        if not self._outstanding:
+            return None
+        seqs = list(self._outstanding)
+        seq = seqs[self._cursor % len(seqs)]
+        return send_pkt(
+            Direction.T2R, data_packet(seq, self._outstanding[seq])
+        )
+
+    def perform_output(self, action: Action) -> None:
+        self.packets_sent += 1
+        if self._outstanding:
+            self._cursor = (self._cursor + 1) % len(self._outstanding)
+
+    def protocol_fields(self) -> Tuple:
+        return (
+            self._next_seq,
+            self._base,
+            tuple(self._outstanding.items()),
+            self._cursor,
+        )
+
+    def set_protocol_fields(self, fields: Tuple) -> None:
+        self._next_seq, self._base, outstanding, self._cursor = fields
+        self._outstanding = OrderedDict(outstanding)
+
+
+class GoBackNReceiver(ReceiverStation):
+    """Accepts only in order; constant state; cumulative acks."""
+
+    name = "gbn.A^r"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._expected = 0
+
+    def on_packet(self, packet: Packet) -> None:
+        kind, seq = packet.header
+        if kind != DATA:
+            return
+        if seq == self._expected:
+            self.queue_delivery(packet.body)
+            self._expected += 1
+        # Out-of-order data is discarded (the "go back"); either way
+        # tell the sender how far we have got.
+        self.queue_packet(cumulative_ack(self._expected - 1))
+
+    def protocol_fields(self) -> Tuple:
+        return (self._expected,)
+
+    def set_protocol_fields(self, fields: Tuple) -> None:
+        (self._expected,) = fields
+
+
+def make_gobackn(window: int = 4) -> Tuple[GoBackNSender, GoBackNReceiver]:
+    """A fresh Go-Back-N pair."""
+    return GoBackNSender(window), GoBackNReceiver()

@@ -1,0 +1,140 @@
+"""The modular sequence-number protocol: finitely many headers, the
+realistic compromise.
+
+Real networks do not use unbounded sequence numbers: TCP wraps at 2^32.
+This protocol is that compromise in the paper's terms -- the naive
+protocol with its counter reduced mod ``M``, giving a **fixed** header
+alphabet of ``2M`` packet values.
+
+By Theorem 3.1 it is therefore forgeable over a true non-FIFO channel:
+hoard one stale copy of each of the ``M`` data values and the replay
+lands (the tests and experiment E2 demonstrate it, with the attack cost
+growing linearly in ``M`` -- the [LMF88] ``Omega(n/k)`` shape).
+
+Why does the wrap-around work in practice anyway?  Because real
+channels are not the paper's adversary: packets have a bounded
+*lifetime*.  Over :class:`repro.channels.bounded.BoundedReorderChannel`
+(every copy expires after ``D`` subsequent sends) the protocol is safe
+whenever ``M >= 2``: a stale data copy with the receiver's current
+expected number mod ``M`` would have to be at least ``M`` messages old,
+hence have survived more than ``D`` sends -- impossible.  The E6(d)
+ablation pins this boundary: same protocol, TTL channel -> safe,
+adversarial channel -> forged.  The 1989 lower bound and the 2020s
+Internet are both right; they just assume different channels.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+from repro.channels.packets import Packet
+from repro.datalink.stations import ReceiverStation, SenderStation
+
+DATA = "DATA"
+ACK = "ACK"
+
+
+def data_packet(seq: int, modulus: int, message: Hashable) -> Packet:
+    """Data packet carrying ``seq mod modulus``."""
+    return Packet(header=(DATA, seq % modulus), body=message)
+
+
+def ack_packet(seq: int, modulus: int) -> Packet:
+    """Acknowledgement carrying ``seq mod modulus``."""
+    return Packet(header=(ACK, seq % modulus))
+
+
+class ModularSequenceSender(SenderStation):
+    """Stop-and-wait sender with sequence numbers reduced mod ``M``."""
+
+    name = "modseq.A^t"
+
+    def __init__(self, modulus: int = 8) -> None:
+        super().__init__()
+        if modulus < 2:
+            raise ValueError("modulus must be at least 2")
+        self.modulus = modulus
+        self._next_seq = 0
+        self._pending: Optional[Hashable] = None
+
+    def fresh(self) -> "ModularSequenceSender":
+        return ModularSequenceSender(self.modulus)
+
+    def ready_for_message(self) -> bool:
+        return self._pending is None
+
+    def on_send_msg(self, message: Hashable) -> None:
+        if self._pending is not None:
+            raise RuntimeError(
+                "modular sender already has an unconfirmed message; "
+                "the engine must respect ready_for_message()"
+            )
+        self._pending = message
+        self.current_packet = data_packet(
+            self._next_seq, self.modulus, message
+        )
+
+    def on_packet(self, packet: Packet) -> None:
+        kind, seq = packet.header
+        if kind != ACK:
+            return
+        if self._pending is not None and seq == self._next_seq % self.modulus:
+            self._pending = None
+            self.current_packet = None
+            self._next_seq = (self._next_seq + 1) % self.modulus
+
+    def protocol_fields(self) -> Tuple:
+        return (self._next_seq, self._pending)
+
+    def set_protocol_fields(self, fields: Tuple) -> None:
+        self._next_seq, self._pending = fields
+
+
+class ModularSequenceReceiver(ReceiverStation):
+    """Delivers on the expected number mod ``M``; re-acks the previous."""
+
+    name = "modseq.A^r"
+
+    def __init__(self, modulus: int = 8) -> None:
+        super().__init__()
+        if modulus < 2:
+            raise ValueError("modulus must be at least 2")
+        self.modulus = modulus
+        self._expected = 0
+
+    def fresh(self) -> "ModularSequenceReceiver":
+        return ModularSequenceReceiver(self.modulus)
+
+    def on_packet(self, packet: Packet) -> None:
+        kind, seq = packet.header
+        if kind != DATA:
+            return
+        if seq == self._expected:
+            self.queue_delivery(packet.body)
+            self.queue_packet(
+                ack_packet(self._expected, self.modulus)
+            )
+            self._expected = (self._expected + 1) % self.modulus
+        elif seq == (self._expected - 1) % self.modulus:
+            # A duplicate of the message just delivered: its ack may
+            # have been lost, so acknowledge again.  (Unlike the
+            # unbounded protocol we can only recognize the most recent
+            # predecessor -- older stale copies alias future numbers,
+            # which is exactly the Theorem 3.1 attack surface.)
+            self.queue_packet(ack_packet(seq, self.modulus))
+
+    def protocol_fields(self) -> Tuple:
+        return (self._expected,)
+
+    def set_protocol_fields(self, fields: Tuple) -> None:
+        (self._expected,) = fields
+
+
+def make_modular_sequence(
+    modulus: int = 8,
+) -> Tuple[ModularSequenceSender, ModularSequenceReceiver]:
+    """A fresh modular-sequence pair with ``2 * modulus`` headers."""
+    return (
+        ModularSequenceSender(modulus),
+        ModularSequenceReceiver(modulus),
+    )

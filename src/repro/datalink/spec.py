@@ -1,0 +1,231 @@
+"""Machine-checkable data link and physical layer specifications.
+
+These checkers consume a recorded :class:`~repro.ioa.execution.Execution`
+and decide the properties of Section 2:
+
+* :func:`check_pl1` -- the physical safety property (PL1): every
+  ``receive_pkt`` corresponds to a unique preceding ``send_pkt`` of the
+  same value, and no send is received twice.
+* :func:`check_dl1` -- (DL1): a correspondence exists between
+  ``receive_msg`` and preceding ``send_msg`` actions (no forgery, no
+  duplication).
+* :func:`check_dl1_dl2` -- (DL1) and (DL2) together: the
+  correspondence additionally preserves order (FIFO delivery).
+* :func:`check_liveness` -- the finite-execution reading of (DL3):
+  every submitted message was delivered by the end of the run
+  (a *budgeted* liveness obligation; genuine (DL3) is a property of
+  infinite executions).
+
+All checkers return ``None`` on success and a :class:`SpecViolation`
+describing the earliest problem otherwise; they never raise on bad
+executions -- producing (and then detecting!) invalid executions is the
+whole point of the lower-bound adversaries.
+
+Matching strategy.  (DL1) asks for an injective mapping of receives to
+preceding sends with equal payloads.  Scanning receives in order and
+greedily matching each to the *earliest unused* preceding send of the
+same payload is complete: within one payload class the candidate sets
+of successive receives are nested prefixes, so if any injective
+matching exists the greedy one does.  For (DL1)+(DL2) the mapping must
+also be order-preserving across *all* messages, so the greedy cursor is
+global: each receive must match a send strictly later than the previous
+receive's send, again earliest-first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.ioa.actions import ActionType, Direction
+from repro.ioa.execution import Execution
+
+
+@dataclass(frozen=True)
+class SpecViolation:
+    """One specification violation, anchored at an event index."""
+
+    property_name: str
+    event_index: int
+    description: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.property_name} violated at event "
+            f"{self.event_index}: {self.description}"
+        )
+
+
+@dataclass
+class SpecReport:
+    """Combined result of running every checker on one execution."""
+
+    violations: List[SpecViolation] = field(default_factory=list)
+    pending_messages: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no safety property was violated."""
+        return not self.violations
+
+    @property
+    def valid(self) -> bool:
+        """The paper's Definition 3: safety holds *and* every message
+        was delivered (the finite reading of (DL3))."""
+        return self.ok and self.pending_messages == 0
+
+    def by_property(self, name: str) -> List[SpecViolation]:
+        """Violations of one property."""
+        return [v for v in self.violations if v.property_name == name]
+
+
+# ----------------------------------------------------------------------
+# PL1
+# ----------------------------------------------------------------------
+def check_pl1(
+    execution: Execution,
+    direction: Direction,
+    initial_transit: Optional[Set[int]] = None,
+) -> Optional[SpecViolation]:
+    """Check (PL1) on one channel direction.
+
+    Args:
+        execution: the recorded execution.
+        direction: which channel to check.
+        initial_transit: copy ids legitimately in transit before the
+            recording started (extensions of earlier executions may
+            deliver copies whose sends predate the recording).
+    """
+    live: Set[int] = set(initial_transit or ())
+    value_of: Dict[int, object] = {}
+    for event in execution:
+        action = event.action
+        if action.direction is not direction or action.copy_id is None:
+            continue
+        if action.type is ActionType.SEND_PKT:
+            if action.copy_id in live or action.copy_id in value_of:
+                return SpecViolation(
+                    "PL1",
+                    event.index,
+                    f"copy #{action.copy_id} sent twice",
+                )
+            live.add(action.copy_id)
+            value_of[action.copy_id] = action.packet
+        elif action.type is ActionType.RECEIVE_PKT:
+            if action.copy_id not in live:
+                return SpecViolation(
+                    "PL1",
+                    event.index,
+                    f"copy #{action.copy_id} received without a live "
+                    "preceding send (forgery or duplication)",
+                )
+            live.remove(action.copy_id)
+            expected = value_of.get(action.copy_id)
+            if action.copy_id in value_of and expected != action.packet:
+                return SpecViolation(
+                    "PL1",
+                    event.index,
+                    f"copy #{action.copy_id} delivered with value "
+                    f"{action.packet!r}, sent as {expected!r} (corruption)",
+                )
+    return None
+
+
+# ----------------------------------------------------------------------
+# DL1 / DL2
+# ----------------------------------------------------------------------
+def check_dl1(execution: Execution) -> Optional[SpecViolation]:
+    """Check (DL1): injective receive->preceding-send correspondence."""
+    # Per payload class: indices of unmatched sends seen so far.
+    unmatched: Dict[object, List[int]] = {}
+    for event in execution:
+        action = event.action
+        if action.type is ActionType.SEND_MSG:
+            unmatched.setdefault(action.message, []).append(event.index)
+        elif action.type is ActionType.RECEIVE_MSG:
+            candidates = unmatched.get(action.message)
+            if not candidates:
+                return SpecViolation(
+                    "DL1",
+                    event.index,
+                    f"receive_msg({action.message!r}) has no unmatched "
+                    "preceding send_msg (forged or duplicated delivery)",
+                )
+            candidates.pop(0)
+    return None
+
+
+def check_dl1_dl2(execution: Execution) -> Optional[SpecViolation]:
+    """Check (DL1) and (DL2) together: the correspondence must also be
+    order-preserving (messages delivered in the order they were sent).
+    """
+    sends: List = []  # (index, message), in order
+    cursor = 0  # sends before cursor are matched or skipped forever
+    for event in execution:
+        action = event.action
+        if action.type is ActionType.SEND_MSG:
+            sends.append((event.index, action.message))
+        elif action.type is ActionType.RECEIVE_MSG:
+            match = None
+            for position in range(cursor, len(sends)):
+                send_index, message = sends[position]
+                if send_index >= event.index:
+                    break
+                if message == action.message:
+                    match = position
+                    break
+            if match is None:
+                return SpecViolation(
+                    "DL1/DL2",
+                    event.index,
+                    f"receive_msg({action.message!r}) cannot be matched "
+                    "order-preservingly to a preceding send_msg",
+                )
+            if match != cursor:
+                # An earlier send was skipped over: its message can now
+                # never be delivered without breaking FIFO order.  That
+                # is already a (DL2)-fatal state for any continuation
+                # that delivers it, but not itself a violation; we only
+                # advance past it.  Record nothing, keep matching.
+                pass
+            cursor = match + 1
+    return None
+
+
+def check_liveness(execution: Execution) -> int:
+    """Finite-execution (DL3): return the number of pending messages.
+
+    Zero means every ``send_msg`` has a matching ``receive_msg`` --
+    i.e. the execution is *valid* (Definition 3) provided the safety
+    checkers pass too.  Positive values are not violations by
+    themselves (any prefix of a valid execution may have messages in
+    flight); run-level tests compare against a progress budget.
+    """
+    return execution.sm() - execution.rm()
+
+
+# ----------------------------------------------------------------------
+# combined report
+# ----------------------------------------------------------------------
+def check_execution(
+    execution: Execution,
+    initial_transit_t2r: Optional[Set[int]] = None,
+    initial_transit_r2t: Optional[Set[int]] = None,
+) -> SpecReport:
+    """Run every checker and collect the results."""
+    report = SpecReport()
+    for direction, initial in (
+        (Direction.T2R, initial_transit_t2r),
+        (Direction.R2T, initial_transit_r2t),
+    ):
+        violation = check_pl1(execution, direction, initial)
+        if violation is not None:
+            report.violations.append(violation)
+    violation = check_dl1(execution)
+    if violation is not None:
+        report.violations.append(violation)
+    violation = check_dl1_dl2(execution)
+    if violation is not None:
+        report.violations.append(violation)
+    report.pending_messages = check_liveness(execution)
+    return report

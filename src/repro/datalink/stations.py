@@ -1,0 +1,250 @@
+"""Station automaton base classes.
+
+The data link protocol is a pair of I/O automata (Section 2.3):
+
+* ``A^t`` (the sender station) with inputs ``send_msg(m)`` and
+  ``receive_pkt^{r->t}(p)`` and output ``send_pkt^{t->r}(p)``;
+* ``A^r`` (the receiver station) with input ``receive_pkt^{t->r}(p)``
+  and outputs ``send_pkt^{r->t}(p)`` and ``receive_msg(m)``.
+
+These base classes pin down that signature once, translate the generic
+:class:`~repro.ioa.automaton.IOAutomaton` interface into protocol-level
+hooks (``on_send_msg``, ``on_packet``, ...), and manage the output
+discipline:
+
+* the **sender** exposes a single *current packet* which it offers for
+  (re)transmission whenever polled -- polling frequency is the engine's
+  business, which is how the model abstracts retransmission timers;
+* the **receiver** keeps internal FIFO queues of pending deliveries and
+  pending control packets; deliveries take priority, so a message is
+  handed to the higher layer as soon as the protocol decides to accept
+  it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Hashable, Optional, Tuple
+
+from repro.channels.base import ChannelOracle
+from repro.channels.packets import Packet
+from repro.ioa.actions import (
+    Action,
+    ActionType,
+    Direction,
+    receive_msg,
+    send_pkt,
+)
+from repro.ioa.automaton import IOAutomaton
+
+
+class SenderStation(IOAutomaton):
+    """Base class for the transmitting-station automaton ``A^t``.
+
+    Subclasses implement:
+
+    * :meth:`on_send_msg` -- a new message arrived from the higher
+      layer;
+    * :meth:`on_packet` -- a packet arrived on the ``r->t`` channel;
+    * :meth:`ready_for_message` -- whether the environment may submit
+      the next message (the engine's submission policy asks this);
+
+    and drive transmission by assigning :attr:`current_packet`: while
+    it is not ``None`` the station offers it on every poll, modelling a
+    retransmission timer that fires whenever the scheduler lets it.
+
+    Attributes:
+        uses_oracle: set True by protocols that read the channel oracle
+            (and are therefore outside the paper's model; see
+            :class:`~repro.channels.base.ChannelOracle`).
+        oracle: the oracle, attached by the engine when
+            ``uses_oracle`` is True.
+    """
+
+    name = "A^t"
+    uses_oracle = False
+
+    def __init__(self) -> None:
+        self.oracle: Optional[ChannelOracle] = None
+        self.current_packet: Optional[Packet] = None
+        self.packets_sent = 0
+
+    # ------------------------------------------------------------------
+    # IOAutomaton plumbing
+    # ------------------------------------------------------------------
+    def handle_input(self, action: Action) -> None:
+        if action.type is ActionType.SEND_MSG:
+            self.on_send_msg(action.message)
+        elif (
+            action.type is ActionType.RECEIVE_PKT
+            and action.direction is Direction.R2T
+        ):
+            self.on_packet(action.packet)
+        else:
+            raise ValueError(f"sender station got unexpected input {action}")
+
+    def next_output(self) -> Optional[Action]:
+        if self.current_packet is None:
+            return None
+        return send_pkt(Direction.T2R, self.current_packet)
+
+    def perform_output(self, action: Action) -> None:
+        self.packets_sent += 1
+        self.on_packet_sent(action.packet)
+
+    # ------------------------------------------------------------------
+    # protocol hooks
+    # ------------------------------------------------------------------
+    def on_send_msg(self, message: Hashable) -> None:
+        """A message arrived from the higher layer."""
+        raise NotImplementedError
+
+    def on_packet(self, packet: Packet) -> None:
+        """A packet arrived from the receiver station."""
+        raise NotImplementedError
+
+    def on_packet_sent(self, packet: Packet) -> None:
+        """The engine committed one transmission of ``packet``.
+
+        Default: nothing (the station keeps offering
+        :attr:`current_packet` for retransmission).
+        """
+
+    def ready_for_message(self) -> bool:
+        """May the environment submit the next ``send_msg`` now?
+
+        The data link layer must accept messages at any time (inputs
+        are always enabled); this is a *politeness* signal for the
+        engine's submission policy, so experiments exercise the
+        one-message-at-a-time regime the paper analyses.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # state management
+    # ------------------------------------------------------------------
+    def protocol_fields(self) -> Tuple:
+        """The protocol's own state, as a hashable tuple.
+
+        Together with :attr:`current_packet` this must determine the
+        station's behaviour completely.  Bookkeeping counters do not
+        belong here.
+        """
+        raise NotImplementedError
+
+    def set_protocol_fields(self, fields: Tuple) -> None:
+        """Restore the fields captured by :meth:`protocol_fields`."""
+        raise NotImplementedError
+
+    def snapshot(self) -> Tuple:
+        return (self.current_packet, self.packets_sent,
+                self.protocol_fields())
+
+    def restore(self, snap: Tuple) -> None:
+        self.current_packet, self.packets_sent, fields = snap
+        self.set_protocol_fields(fields)
+
+    def protocol_state(self) -> Tuple:
+        return (self.current_packet, self.protocol_fields())
+
+
+class ReceiverStation(IOAutomaton):
+    """Base class for the receiving-station automaton ``A^r``.
+
+    Subclasses implement :meth:`on_packet`, reacting to each packet
+    from the ``t->r`` channel by calling :meth:`queue_delivery` (hand a
+    message to the higher layer) and/or :meth:`queue_packet` (send a
+    control packet back to the sender).  The base class replays those
+    queues as outputs, deliveries first.
+    """
+
+    name = "A^r"
+    uses_oracle = False
+
+    def __init__(self) -> None:
+        self.oracle: Optional[ChannelOracle] = None
+        self._deliveries: Deque[Hashable] = deque()
+        self._outgoing: Deque[Packet] = deque()
+        self.messages_delivered = 0
+
+    # ------------------------------------------------------------------
+    # IOAutomaton plumbing
+    # ------------------------------------------------------------------
+    def handle_input(self, action: Action) -> None:
+        if (
+            action.type is ActionType.RECEIVE_PKT
+            and action.direction is Direction.T2R
+        ):
+            self.on_packet(action.packet)
+        else:
+            raise ValueError(f"receiver station got unexpected input {action}")
+
+    def next_output(self) -> Optional[Action]:
+        if self._deliveries:
+            return receive_msg(self._deliveries[0])
+        if self._outgoing:
+            return send_pkt(Direction.R2T, self._outgoing[0])
+        return None
+
+    def perform_output(self, action: Action) -> None:
+        if action.type is ActionType.RECEIVE_MSG:
+            self._deliveries.popleft()
+            self.messages_delivered += 1
+            self.on_delivered(action.message)
+        else:
+            self._outgoing.popleft()
+
+    # ------------------------------------------------------------------
+    # protocol hooks
+    # ------------------------------------------------------------------
+    def on_packet(self, packet: Packet) -> None:
+        """A packet arrived from the sender station."""
+        raise NotImplementedError
+
+    def on_delivered(self, message: Hashable) -> None:
+        """A queued delivery was committed.  Default: nothing."""
+
+    def queue_delivery(self, message: Hashable) -> None:
+        """Schedule ``receive_msg(message)`` (accept the message)."""
+        self._deliveries.append(message)
+
+    def queue_packet(self, packet: Packet) -> None:
+        """Schedule ``send_pkt^{r->t}(packet)`` (e.g. an ack)."""
+        self._outgoing.append(packet)
+
+    # ------------------------------------------------------------------
+    # state management
+    # ------------------------------------------------------------------
+    def protocol_fields(self) -> Tuple:
+        """The protocol's own state, as a hashable tuple.
+
+        Together with the output queues this must determine the
+        station's behaviour completely.
+        """
+        raise NotImplementedError
+
+    def set_protocol_fields(self, fields: Tuple) -> None:
+        """Restore the fields captured by :meth:`protocol_fields`."""
+        raise NotImplementedError
+
+    def snapshot(self) -> Tuple:
+        return (
+            tuple(self._deliveries),
+            tuple(self._outgoing),
+            self.messages_delivered,
+            self.protocol_fields(),
+        )
+
+    def restore(self, snap: Tuple) -> None:
+        deliveries, outgoing, delivered, fields = snap
+        self._deliveries = deque(deliveries)
+        self._outgoing = deque(outgoing)
+        self.messages_delivered = delivered
+        self.set_protocol_fields(fields)
+
+    def protocol_state(self) -> Tuple:
+        return (
+            tuple(self._deliveries),
+            tuple(self._outgoing),
+            self.protocol_fields(),
+        )

@@ -1,0 +1,17 @@
+"""Experiment harness: one module per reproduced result.
+
+See DESIGN.md, "Per-experiment index" for the mapping from experiment
+ids (E1..E6) to theorems and modules, and EXPERIMENTS.md for recorded
+transcripts.  Run everything with ``python -m repro.experiments``.
+"""
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["ExperimentResult", "run_experiment"]
+
+
+def run_experiment(name: str, fast: bool = False, seed: int = 0):
+    """Run one experiment by registry name (lazy import avoids cycles)."""
+    from repro.experiments.runner import run_experiment as _run
+
+    return _run(name, fast=fast, seed=seed)

@@ -1,0 +1,56 @@
+"""Common scaffolding for the experiment harness.
+
+Every experiment module exposes ``run(fast=False, seed=0) ->
+ExperimentResult``.  A result carries the rendered tables (the
+rows/series the corresponding theorem predicts), free-form notes, and a
+dictionary of named *shape checks* -- the assertions that say whether
+the reproduction matches the paper's qualitative claims (who wins, what
+grows, where the crossover falls).  The test suite and the EXPERIMENTS
+transcript both consume these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.tables import Table
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run.
+
+    Attributes:
+        exp_id: the DESIGN.md experiment id (E1..E6).
+        title: one-line description.
+        tables: rendered result tables.
+        notes: free-form commentary lines (fits, caveats).
+        checks: named boolean shape assertions; all True means the
+            paper's qualitative claim reproduced.
+    """
+
+    exp_id: str
+    title: str
+    tables: List[Table] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    checks: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        """All shape checks hold."""
+        return all(self.checks.values())
+
+    def render(self) -> str:
+        """Human-readable report."""
+        parts = [f"== {self.exp_id}: {self.title} =="]
+        for table in self.tables:
+            parts.append(table.render())
+            parts.append("")
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        parts.append("checks:")
+        for name, ok in self.checks.items():
+            parts.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        parts.append(f"overall: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(parts)

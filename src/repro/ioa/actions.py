@@ -1,0 +1,136 @@
+"""Action vocabulary of the data link model.
+
+The communication model of the paper (Section 2) has exactly four kinds
+of externally visible actions:
+
+* ``send_msg(m)`` -- the higher layer hands message *m* to the data link
+  layer at the transmitting station (input of ``A^t``).
+* ``receive_msg(m)`` -- the data link layer delivers message *m* to the
+  higher layer at the receiving station (output of ``A^r``).
+* ``send_pkt^{d}(p)`` -- a station puts packet *p* on the physical
+  channel in direction *d* (``t->r`` or ``r->t``).
+* ``receive_pkt^{d}(p)`` -- the physical channel hands packet *p* to the
+  station at the other end of direction *d*.
+
+Actions are immutable values.  Packet actions additionally carry the
+identity of the *transit copy* involved (a unique id minted by the
+channel when the packet is sent), which is what lets the execution
+checkers verify the correspondence properties (PL1)/(DL1) exactly: the
+paper's channels may duplicate *nothing*, so each transit copy is
+deliverable at most once.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+
+class Direction(enum.Enum):
+    """Direction of a physical channel between the two stations."""
+
+    T2R = "t->r"
+    R2T = "r->t"
+
+    @property
+    def opposite(self) -> "Direction":
+        """The reverse direction (``t->r`` <-> ``r->t``)."""
+        return Direction.R2T if self is Direction.T2R else Direction.T2R
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class ActionType(enum.Enum):
+    """The four action kinds of the model (Section 2.1 and 2.2)."""
+
+    SEND_MSG = "send_msg"
+    RECEIVE_MSG = "receive_msg"
+    SEND_PKT = "send_pkt"
+    RECEIVE_PKT = "receive_pkt"
+
+
+@dataclass(frozen=True)
+class Action:
+    """One externally visible action of the composed system.
+
+    Attributes:
+        type: which of the four action kinds this is.
+        message: the message value, for ``send_msg``/``receive_msg``.
+        packet: the packet value, for ``send_pkt``/``receive_pkt``.
+            Packet values are compared structurally; two copies of the
+            same packet value are indistinguishable to the stations,
+            which is the lever all three lower-bound proofs pull on.
+        direction: the channel direction, for packet actions.
+        copy_id: unique id of the transit copy created (``send_pkt``) or
+            consumed (``receive_pkt``).  ``None`` for message actions
+            and for packet actions built before a channel assigned ids
+            (e.g. inside extension search).
+    """
+
+    type: ActionType
+    message: Hashable = None
+    packet: Hashable = None
+    direction: Optional[Direction] = None
+    copy_id: Optional[int] = None
+
+    def is_message_action(self) -> bool:
+        """True for ``send_msg``/``receive_msg`` actions."""
+        return self.type in (ActionType.SEND_MSG, ActionType.RECEIVE_MSG)
+
+    def is_packet_action(self) -> bool:
+        """True for ``send_pkt``/``receive_pkt`` actions."""
+        return self.type in (ActionType.SEND_PKT, ActionType.RECEIVE_PKT)
+
+    def same_value(self, other: "Action") -> bool:
+        """True when the two actions carry the same observable value.
+
+        Observable value means the (type, message/packet, direction)
+        triple -- everything a *station* can see.  Copy ids are channel
+        bookkeeping and are deliberately excluded: the stations of the
+        model cannot distinguish two copies of the same packet value,
+        and the lower-bound adversaries rely on exactly that.
+        """
+        return (
+            self.type is other.type
+            and self.message == other.message
+            and self.packet == other.packet
+            and self.direction is other.direction
+        )
+
+    def __str__(self) -> str:
+        if self.type is ActionType.SEND_MSG:
+            return f"send_msg({self.message!r})"
+        if self.type is ActionType.RECEIVE_MSG:
+            return f"receive_msg({self.message!r})"
+        tag = "" if self.copy_id is None else f"#{self.copy_id}"
+        return f"{self.type.value}^{self.direction}({self.packet!r}){tag}"
+
+
+def send_msg(message: Hashable) -> Action:
+    """Build a ``send_msg(m)`` action (input of the data link layer)."""
+    return Action(ActionType.SEND_MSG, message=message)
+
+
+def receive_msg(message: Hashable) -> Action:
+    """Build a ``receive_msg(m)`` action (output of the data link layer)."""
+    return Action(ActionType.RECEIVE_MSG, message=message)
+
+
+def send_pkt(
+    direction: Direction, packet: Hashable, copy_id: Optional[int] = None
+) -> Action:
+    """Build a ``send_pkt^{d}(p)`` action."""
+    return Action(
+        ActionType.SEND_PKT, packet=packet, direction=direction, copy_id=copy_id
+    )
+
+
+def receive_pkt(
+    direction: Direction, packet: Hashable, copy_id: Optional[int] = None
+) -> Action:
+    """Build a ``receive_pkt^{d}(p)`` action."""
+    return Action(
+        ActionType.RECEIVE_PKT, packet=packet, direction=direction, copy_id=copy_id
+    )

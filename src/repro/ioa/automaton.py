@@ -1,0 +1,118 @@
+"""Deterministic I/O automaton base class.
+
+The paper models each station as an I/O automaton in the sense of
+Lynch and Tuttle [LT87].  An I/O automaton has input actions (which it
+must always accept), locally controlled output actions, and a state.
+For this reproduction we restrict attention to *deterministic*
+automata: given a state, the automaton has at most one enabled
+locally-controlled action, and each (state, input) pair has exactly one
+successor state.
+
+Determinism is not a loss of generality for the lower bounds -- the
+proofs only ever need the fact that a station's behaviour is a function
+of the sequence of inputs it has observed, which determinism gives us
+in the strongest possible form -- and it is what makes the proofs
+*executable*: the extension finder (:mod:`repro.core.extensions`) can
+compute the extension ``beta`` of a semi-valid execution by simply
+running the automata forward, and the replay attack
+(:mod:`repro.core.replay`) can predict a station's reaction to a forged
+input sequence exactly.
+
+Two additional obligations are placed on subclasses beyond the
+transition functions:
+
+* :meth:`IOAutomaton.snapshot` / :meth:`IOAutomaton.restore` -- a
+  hashable, deep-copied view of the automaton state, so the analysis
+  code can clone configurations, detect repeated state pairs (the
+  pigeonhole step in the proof of Theorem 2.1), and count reachable
+  states (the ``k_t``/``k_r`` of Theorem 2.1).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable, Optional
+
+from repro.ioa.actions import Action
+
+
+class IOAutomaton(abc.ABC):
+    """Base class for the deterministic I/O automata of the model.
+
+    Subclasses implement the two halves of the transition relation:
+
+    * :meth:`handle_input` consumes one input action and updates state.
+      Input actions are always enabled (the I/O automaton discipline),
+      so this method must accept any action in the input signature from
+      any state.
+    * :meth:`next_output` reports the single enabled locally-controlled
+      output action, if any, *without* performing it.  The engine calls
+      :meth:`perform_output` when the scheduler actually fires it.
+    """
+
+    name: str = "automaton"
+
+    @abc.abstractmethod
+    def handle_input(self, action: Action) -> None:
+        """Consume one input action, updating local state."""
+
+    @abc.abstractmethod
+    def next_output(self) -> Optional[Action]:
+        """Return the enabled output action, or ``None`` when quiescent.
+
+        Must be side-effect free: calling it repeatedly without an
+        intervening :meth:`perform_output` or :meth:`handle_input` must
+        return equal actions.
+        """
+
+    @abc.abstractmethod
+    def perform_output(self, action: Action) -> None:
+        """Commit the output action previously returned by
+        :meth:`next_output`, updating local state."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> Hashable:
+        """Return a hashable deep snapshot of the automaton state.
+
+        Snapshots of equal states must compare equal; snapshots must be
+        immune to later mutation of the automaton.
+        """
+
+    @abc.abstractmethod
+    def restore(self, snap: Hashable) -> None:
+        """Restore the state captured by :meth:`snapshot`."""
+
+    def protocol_state(self) -> Hashable:
+        """Behaviour-relevant state only (for counting and pigeonhole).
+
+        Unlike :meth:`snapshot`, this view excludes pure bookkeeping
+        counters (packets sent, messages delivered) that never
+        influence a transition.  Two configurations with equal
+        ``protocol_state`` behave identically forever, which is what
+        the Theorem 2.1 state counting (``k_t``/``k_r``) and the cycle
+        argument need.  Default: the full snapshot.
+        """
+        return self.snapshot()
+
+    def clone(self) -> "IOAutomaton":
+        """Return an independent automaton in the same state.
+
+        The default implementation round-trips through
+        :meth:`snapshot`/:meth:`restore` on a fresh instance produced by
+        :meth:`fresh`.  Subclasses whose constructor needs arguments
+        override :meth:`fresh`.
+        """
+        twin = self.fresh()
+        twin.restore(self.snapshot())
+        return twin
+
+    def fresh(self) -> "IOAutomaton":
+        """Return a new automaton of the same type in its initial state.
+
+        The default assumes a zero-argument constructor; protocols with
+        configuration parameters override this.
+        """
+        return type(self)()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,262 @@
+"""Generic composition of I/O automata (the [LT87] operator).
+
+The paper composes four automata -- ``A^t``, ``A^r`` and the two
+physical channels -- into one system.  :class:`repro.datalink.system.DataLinkSystem`
+hard-wires exactly that topology; this module provides the general
+operator for everything else: custom topologies (relay chains, shared
+media), test harnesses pairing an automaton against a scripted peer,
+and the textbook semantics the hard-wired engine can be checked
+against.
+
+A :class:`Composition` owns a set of named automata and a wiring
+relation over *ports*.  A port is ``(automaton_name, matcher)``; when
+an automaton performs an output action, the composition forwards it as
+an input to every automaton whose port matcher accepts it -- the
+[LT87] rule that an output of one component is simultaneously an input
+of every component sharing the action.  Unmatched outputs are
+*external* outputs of the composition, collected into its trace.
+
+The composition is itself an :class:`~repro.ioa.automaton.IOAutomaton`,
+so compositions nest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.ioa.actions import Action
+from repro.ioa.automaton import IOAutomaton
+
+Matcher = Callable[[Action], bool]
+
+
+@dataclass
+class Wire:
+    """One forwarding rule: outputs of ``source`` matching ``matches``
+    become inputs of ``target`` (optionally transformed)."""
+
+    source: str
+    target: str
+    matches: Matcher
+    transform: Optional[Callable[[Action], Action]] = None
+
+    def apply(self, action: Action) -> Action:
+        """The action as delivered to the target."""
+        if self.transform is None:
+            return action
+        return self.transform(action)
+
+
+class Composition(IOAutomaton):
+    """A named set of automata with output->input wiring.
+
+    Args:
+        components: name -> automaton.  Names are the addressing scheme
+            for wiring and input routing.
+        wires: forwarding rules, applied in order; several wires may
+            match one output (multicast).
+
+    Scheduling: the composition is itself deterministic.  Its
+    :meth:`next_output` scans components in insertion order and returns
+    the first enabled output that no wire consumes (an external
+    output).  :meth:`step` fires the first enabled output of any
+    component, forwarding it along matching wires; :meth:`run_to_quiescence`
+    iterates until nothing is enabled.
+    """
+
+    name = "composition"
+
+    def __init__(
+        self,
+        components: Dict[str, IOAutomaton],
+        wires: List[Wire],
+    ) -> None:
+        unknown = {
+            wire.source for wire in wires
+        }.union(wire.target for wire in wires) - set(components)
+        if unknown:
+            raise ValueError(f"wires reference unknown components: {unknown}")
+        self.components = dict(components)
+        self.wires = list(wires)
+        self.trace: List[Tuple[str, Action]] = []
+        self._next_component = 0
+
+    # ------------------------------------------------------------------
+    # composition-specific API
+    # ------------------------------------------------------------------
+    def inject(self, target: str, action: Action) -> None:
+        """Feed an external input to a named component."""
+        self.components[target].handle_input(action)
+
+    def step(self) -> bool:
+        """Fire one enabled component output, round-robin fair.
+
+        Returns:
+            True when something fired.  The output is forwarded along
+            every matching wire; if no wire matches it is recorded as
+            an external output in :attr:`trace`.
+
+        Scheduling is round-robin over components so a component with a
+        permanently enabled output (a retransmitting sender) cannot
+        starve the others -- the weak-fairness assumption of [LT87]
+        executions.
+        """
+        names = list(self.components)
+        order = (
+            names[self._next_component:] + names[: self._next_component]
+        )
+        self._next_component = (self._next_component + 1) % max(
+            1, len(names)
+        )
+        for name in order:
+            component = self.components[name]
+            action = component.next_output()
+            if action is None:
+                # Nested compositions may still have *internal* moves
+                # (wired outputs between their own components).
+                if isinstance(component, Composition) and (
+                    component.step_internal()
+                ):
+                    return True
+                continue
+            component.perform_output(action)
+            consumed = False
+            for wire in self.wires:
+                if wire.source == name and wire.matches(action):
+                    self.components[wire.target].handle_input(
+                        wire.apply(action)
+                    )
+                    consumed = True
+            if not consumed:
+                self.trace.append((name, action))
+            return True
+        return False
+
+    def step_internal(self) -> bool:
+        """Fire one *wired* (internal) output only.
+
+        Used by enclosing compositions: a nested composition's external
+        outputs belong to the parent's scheduler, but its internal
+        traffic must still progress.
+        """
+        names = list(self.components)
+        order = (
+            names[self._next_component:] + names[: self._next_component]
+        )
+        for name in order:
+            component = self.components[name]
+            action = component.next_output()
+            if action is None:
+                if isinstance(component, Composition) and (
+                    component.step_internal()
+                ):
+                    return True
+                continue
+            wired = [
+                wire
+                for wire in self.wires
+                if wire.source == name and wire.matches(action)
+            ]
+            if not wired:
+                continue  # external: the parent fires it
+            component.perform_output(action)
+            for wire in wired:
+                self.components[wire.target].handle_input(
+                    wire.apply(action)
+                )
+            self._next_component = (names.index(name) + 1) % len(names)
+            return True
+        return False
+
+    def run_to_quiescence(self, max_steps: int = 10_000) -> int:
+        """Step until no component has an enabled output.
+
+        Returns:
+            Steps taken.
+
+        Raises:
+            RuntimeError: if the budget is exhausted (a livelock --
+            e.g. two components endlessly handing an action back and
+            forth, which is exactly what Theorem 2.1's cycle argument
+            looks for).
+        """
+        for count in range(max_steps):
+            if not self.step():
+                return count
+        raise RuntimeError(
+            f"composition did not quiesce within {max_steps} steps"
+        )
+
+    def external_outputs(self) -> List[Action]:
+        """Actions that left the composition, in order."""
+        return [action for _, action in self.trace]
+
+    # ------------------------------------------------------------------
+    # IOAutomaton interface (compositions nest)
+    # ------------------------------------------------------------------
+    def handle_input(self, action: Action) -> None:
+        """External inputs go to every component that accepts them.
+
+        A component "accepts" by not raising; the composition requires
+        at least one acceptor, mirroring the I/O automaton rule that an
+        input action must be in some component's signature.
+        """
+        accepted = 0
+        for component in self.components.values():
+            try:
+                component.handle_input(action)
+                accepted += 1
+            except ValueError:
+                continue
+        if not accepted:
+            raise ValueError(
+                f"no component of the composition accepts {action}"
+            )
+
+    def next_output(self) -> Optional[Action]:
+        for name, component in self.components.items():
+            action = component.next_output()
+            if action is None:
+                continue
+            wired = any(
+                wire.source == name and wire.matches(action)
+                for wire in self.wires
+            )
+            if not wired:
+                return action
+        return None
+
+    def perform_output(self, action: Action) -> None:
+        for name, component in self.components.items():
+            candidate = component.next_output()
+            if candidate == action:
+                component.perform_output(action)
+                self.trace.append((name, action))
+                return
+        raise ValueError(f"{action} is not an enabled external output")
+
+    def snapshot(self) -> Hashable:
+        return tuple(
+            (name, component.snapshot())
+            for name, component in sorted(self.components.items())
+        )
+
+    def restore(self, snap: Hashable) -> None:
+        for name, component_snap in snap:  # type: ignore[union-attr]
+            self.components[name].restore(component_snap)
+
+    def protocol_state(self) -> Hashable:
+        return tuple(
+            (name, component.protocol_state())
+            for name, component in sorted(self.components.items())
+        )
+
+    def fresh(self) -> "Composition":
+        return Composition(
+            {
+                name: component.fresh()
+                for name, component in self.components.items()
+            },
+            self.wires,
+        )

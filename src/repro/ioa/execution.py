@@ -1,0 +1,229 @@
+"""Recorded executions (Definitions 1-4 of the paper).
+
+An *execution* is a sequence of data-link-layer protocol actions
+(Definition 1).  This module stores executions as immutable-ish event
+lists and implements the counting functions of Definition 2:
+
+* ``sm(alpha)`` / ``rm(alpha)`` -- number of ``send_msg`` /
+  ``receive_msg`` actions;
+* ``sp^{d}(alpha)`` / ``rp^{d}(alpha)`` -- number of ``send_pkt`` /
+  ``receive_pkt`` actions in direction ``d``.
+
+It also tracks the *packet correspondence* between ``send_pkt`` and
+``receive_pkt`` events through transit-copy ids, which is the data the
+(PL1) and (DL1) checkers in :mod:`repro.datalink.spec` consume, and
+offers multiset views of packet traffic that the lower-bound
+adversaries in :mod:`repro.core` use to decide when a replay is
+possible.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator, List, Optional
+
+from repro.ioa.actions import Action, ActionType, Direction
+
+
+@dataclass(frozen=True)
+class Event:
+    """One recorded action occurrence.
+
+    Attributes:
+        index: position of the event in the execution (0-based).
+        action: the action that occurred.
+    """
+
+    index: int
+    action: Action
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.index}] {self.action}"
+
+
+@dataclass
+class Execution:
+    """A recorded execution of the composed data link system.
+
+    The engine appends events as they happen; analysis code treats the
+    execution as read-only.  ``Execution`` deliberately knows nothing
+    about protocols: it is the shared language between the engine, the
+    specification checkers and the adversaries.
+    """
+
+    events: List[Event] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(self, action: Action) -> Event:
+        """Append ``action`` as the next event and return the event."""
+        event = Event(len(self.events), action)
+        self.events.append(event)
+        return event
+
+    def extend(self, actions: Iterable[Action]) -> None:
+        """Append several actions in order."""
+        for action in actions:
+            self.record(action)
+
+    # ------------------------------------------------------------------
+    # basic structure
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self.events[index]
+
+    def actions(self) -> List[Action]:
+        """The bare action sequence."""
+        return [event.action for event in self.events]
+
+    def prefix(self, length: int) -> "Execution":
+        """The execution consisting of the first ``length`` events."""
+        return Execution(list(self.events[:length]))
+
+    def suffix_actions(self, start: int) -> List[Action]:
+        """Actions of events with ``index >= start``."""
+        return [event.action for event in self.events if event.index >= start]
+
+    # ------------------------------------------------------------------
+    # Definition 2: counting functions
+    # ------------------------------------------------------------------
+    def sm(self) -> int:
+        """Number of ``send_msg`` actions."""
+        return self._count_type(ActionType.SEND_MSG)
+
+    def rm(self) -> int:
+        """Number of ``receive_msg`` actions."""
+        return self._count_type(ActionType.RECEIVE_MSG)
+
+    def sp(self, direction: Direction) -> int:
+        """Number of ``send_pkt`` actions in ``direction``."""
+        return self._count_type(ActionType.SEND_PKT, direction)
+
+    def rp(self, direction: Direction) -> int:
+        """Number of ``receive_pkt`` actions in ``direction``."""
+        return self._count_type(ActionType.RECEIVE_PKT, direction)
+
+    def _count_type(
+        self, action_type: ActionType, direction: Optional[Direction] = None
+    ) -> int:
+        return sum(
+            1
+            for event in self.events
+            if event.action.type is action_type
+            and (direction is None or event.action.direction is direction)
+        )
+
+    # ------------------------------------------------------------------
+    # message views
+    # ------------------------------------------------------------------
+    def sent_messages(self) -> List[Hashable]:
+        """Payloads of ``send_msg`` actions, in order."""
+        return [
+            event.action.message
+            for event in self.events
+            if event.action.type is ActionType.SEND_MSG
+        ]
+
+    def received_messages(self) -> List[Hashable]:
+        """Payloads of ``receive_msg`` actions, in order."""
+        return [
+            event.action.message
+            for event in self.events
+            if event.action.type is ActionType.RECEIVE_MSG
+        ]
+
+    # ------------------------------------------------------------------
+    # packet views
+    # ------------------------------------------------------------------
+    def packet_events(
+        self, action_type: ActionType, direction: Direction
+    ) -> List[Event]:
+        """All packet events of the given kind and direction, in order."""
+        return [
+            event
+            for event in self.events
+            if event.action.type is action_type
+            and event.action.direction is direction
+        ]
+
+    def sent_packet_values(self, direction: Direction) -> Counter:
+        """Multiset of packet values sent in ``direction``."""
+        return Counter(
+            event.action.packet
+            for event in self.packet_events(ActionType.SEND_PKT, direction)
+        )
+
+    def received_packet_values(self, direction: Direction) -> Counter:
+        """Multiset of packet values received in ``direction``."""
+        return Counter(
+            event.action.packet
+            for event in self.packet_events(ActionType.RECEIVE_PKT, direction)
+        )
+
+    def received_packet_sequence(self, direction: Direction) -> List[Hashable]:
+        """Packet values received in ``direction``, in receipt order.
+
+        This sequence is the entire view the receiving station has of
+        the channel; two executions with equal receipt sequences are
+        indistinguishable to a deterministic station.  The replay
+        attack (:mod:`repro.core.replay`) reproduces this sequence from
+        stale transit copies.
+        """
+        return [
+            event.action.packet
+            for event in self.packet_events(ActionType.RECEIVE_PKT, direction)
+        ]
+
+    def distinct_packets(self, direction: Optional[Direction] = None) -> set:
+        """Set of distinct packet values sent (the paper's header count.)
+
+        The paper measures header usage as the number of distinct
+        packets ``|P|`` sent in valid executions (Section 2.3,
+        "Headers").  When ``direction`` is ``None`` both channels are
+        counted together.
+        """
+        values = set()
+        for event in self.events:
+            if event.action.type is ActionType.SEND_PKT and (
+                direction is None or event.action.direction is direction
+            ):
+                values.add(event.action.packet)
+        return values
+
+    def header_count(self, direction: Optional[Direction] = None) -> int:
+        """``len(distinct_packets(direction))``."""
+        return len(self.distinct_packets(direction))
+
+    # ------------------------------------------------------------------
+    # correspondence (used by the PL1 / DL1 checkers)
+    # ------------------------------------------------------------------
+    def copy_send_index(self, direction: Direction) -> dict:
+        """Map transit-copy id -> index of its ``send_pkt`` event."""
+        mapping = {}
+        for event in self.packet_events(ActionType.SEND_PKT, direction):
+            if event.action.copy_id is not None:
+                mapping[event.action.copy_id] = event.index
+        return mapping
+
+    def copy_receive_indices(self, direction: Direction) -> dict:
+        """Map transit-copy id -> list of its ``receive_pkt`` event indices.
+
+        A law-abiding channel produces lists of length at most one; the
+        PL1 checker flags anything longer as duplication.
+        """
+        mapping: dict = {}
+        for event in self.packet_events(ActionType.RECEIVE_PKT, direction):
+            if event.action.copy_id is not None:
+                mapping.setdefault(event.action.copy_id, []).append(event.index)
+        return mapping
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "\n".join(str(event) for event in self.events)

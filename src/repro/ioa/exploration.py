@@ -1,0 +1,324 @@
+"""Reachable-state enumeration for station automata.
+
+Theorem 2.1 of the paper states that any data link protocol
+``A = (A^t, A^r)`` is ``k_t * k_r``-bounded, where ``k_t`` and ``k_r``
+are the numbers of states of the two automata.  To check the theorem
+against concrete protocols we need (an upper bound on) those state
+counts.  This module computes them by breadth-first exploration of the
+composed system under a *channel set-abstraction*:
+
+    the contents of each physical channel are abstracted to the **set**
+    of packet values that have ever been sent on it and may therefore
+    be in transit; delivering a value does not remove it from the set.
+
+The abstraction is a sound over-approximation of what an adversarial
+non-FIFO channel can do to the stations: whenever a value has crossed a
+channel once, the adversary can, in some real execution, arrange for
+arbitrarily many copies of it to be in transit (by repeatedly polling
+the sending station while withholding deliveries) and hence can deliver
+it at any later point.  Exploring under the abstraction therefore
+visits a superset of the station states reachable in real executions,
+so the reported ``k_t * k_r`` product is an upper bound on the true
+product -- exactly the direction needed to *verify* the Theorem 2.1
+inequality ``boundness <= k_t * k_r``.
+
+The exploration is exact (not an abstraction) in one common special
+case: protocols whose stations ignore duplicate receipts, such as the
+alternating-bit protocol, behave identically under multisets and sets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, List, Set, Tuple
+
+from repro.ioa.actions import ActionType, Direction, receive_pkt, send_msg
+from repro.ioa.automaton import IOAutomaton
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of :func:`explore_station_states`.
+
+    Attributes:
+        sender_states: distinct sender snapshots visited (``>= k_t``
+            restricted to the explored region; an over-approximation of
+            the reachable count under real channels).
+        receiver_states: distinct receiver snapshots visited.
+        pair_count: number of distinct (sender, receiver) state pairs.
+        configurations: number of abstract configurations visited.
+        truncated: True when the exploration hit ``max_configurations``
+            before exhausting the abstract state space.
+        packet_values: distinct packet values observed per direction.
+    """
+
+    sender_states: Set[Hashable] = field(default_factory=set)
+    receiver_states: Set[Hashable] = field(default_factory=set)
+    pair_count: int = 0
+    configurations: int = 0
+    truncated: bool = False
+    packet_values: dict = field(default_factory=dict)
+
+    @property
+    def k_t(self) -> int:
+        """Number of distinct sender states visited."""
+        return len(self.sender_states)
+
+    @property
+    def k_r(self) -> int:
+        """Number of distinct receiver states visited."""
+        return len(self.receiver_states)
+
+    @property
+    def state_product(self) -> int:
+        """The ``k_t * k_r`` bound of Theorem 2.1."""
+        return self.k_t * self.k_r
+
+
+def explore_station_states(
+    sender: IOAutomaton,
+    receiver: IOAutomaton,
+    message_alphabet: Iterable[Hashable],
+    max_messages: int = 2,
+    max_configurations: int = 200_000,
+) -> ExplorationResult:
+    """Enumerate station states reachable under an adversarial channel.
+
+    Args:
+        sender: the transmitting-station automaton ``A^t`` (in any
+            state; exploration starts from its current state).
+        receiver: the receiving-station automaton ``A^r``.
+        message_alphabet: message values the environment may submit.
+        max_messages: how many ``send_msg`` inputs the environment may
+            inject along any explored path.  State counts of bounded
+            protocols (e.g. alternating bit over a unary alphabet)
+            saturate at small values.
+        max_configurations: exploration budget; when exceeded the
+            result is marked ``truncated``.
+
+    Returns:
+        An :class:`ExplorationResult` with the visited station states.
+    """
+    alphabet: List[Hashable] = list(message_alphabet)
+    result = ExplorationResult(packet_values={Direction.T2R: set(),
+                                              Direction.R2T: set()})
+
+    initial = _Configuration(
+        sender_snap=sender.snapshot(),
+        receiver_snap=receiver.snapshot(),
+        sender_key=sender.protocol_state(),
+        receiver_key=receiver.protocol_state(),
+        t2r_values=frozenset(),
+        r2t_values=frozenset(),
+        injected=0,
+    )
+    seen = {initial.key()}
+    queue = deque([initial])
+    sender_work = sender.clone()
+    receiver_work = receiver.clone()
+
+    while queue:
+        if result.configurations >= max_configurations:
+            result.truncated = True
+            break
+        config = queue.popleft()
+        result.configurations += 1
+        result.sender_states.add(config.sender_key)
+        result.receiver_states.add(config.receiver_key)
+
+        for successor in _successors(config, sender_work, receiver_work,
+                                     alphabet, max_messages, result):
+            key = successor.key()
+            if key not in seen:
+                seen.add(key)
+                queue.append(successor)
+
+    pairs = set()
+    # Recompute exact pair count from visited configurations: the pairs
+    # are a projection of `seen`.
+    for key in seen:
+        pairs.add((key[0], key[1]))
+    result.pair_count = len(pairs)
+    return result
+
+
+@dataclass(frozen=True)
+class _Configuration:
+    """One abstract configuration of the composed system.
+
+    Carries both the full station snapshots (needed to *restore* the
+    automata when generating successors) and the protocol-state keys
+    (bookkeeping counters stripped; used for deduplication and for the
+    ``k_t``/``k_r`` counts, which must not be inflated by counters that
+    never influence behaviour).
+    """
+
+    sender_snap: Hashable
+    receiver_snap: Hashable
+    sender_key: Hashable
+    receiver_key: Hashable
+    t2r_values: frozenset
+    r2t_values: frozenset
+    injected: int
+
+    def key(self) -> Tuple:
+        return (
+            self.sender_key,
+            self.receiver_key,
+            self.t2r_values,
+            self.r2t_values,
+            self.injected,
+        )
+
+
+def _config_from(
+    sender: IOAutomaton,
+    receiver_snap: Hashable,
+    receiver_key: Hashable,
+    t2r: frozenset,
+    r2t: frozenset,
+    injected: int,
+) -> _Configuration:
+    """Configuration with a freshly mutated sender, receiver unchanged."""
+    return _Configuration(
+        sender.snapshot(),
+        receiver_snap,
+        sender.protocol_state(),
+        receiver_key,
+        t2r,
+        r2t,
+        injected,
+    )
+
+
+def _config_with_receiver(
+    sender_snap: Hashable,
+    sender_key: Hashable,
+    receiver: IOAutomaton,
+    t2r: frozenset,
+    r2t: frozenset,
+    injected: int,
+) -> _Configuration:
+    """Configuration with a freshly mutated receiver, sender unchanged."""
+    return _Configuration(
+        sender_snap,
+        receiver.snapshot(),
+        sender_key,
+        receiver.protocol_state(),
+        t2r,
+        r2t,
+        injected,
+    )
+
+
+def _flush_receiver(
+    receiver: IOAutomaton,
+    r2t_values: frozenset,
+    result: ExplorationResult,
+) -> frozenset:
+    """Fire the receiver's outputs until quiescent.
+
+    The engine (:meth:`repro.datalink.system.DataLinkSystem.pump_receiver`)
+    always drains the receiver's output queues before anything else can
+    observe them, so transient queue states are engine artifacts, not
+    protocol states.  Flushing here keeps them out of the ``k_r`` count
+    (without it, ack queues of every length register as distinct
+    states and the count diverges).
+    """
+    while True:
+        output = receiver.next_output()
+        if output is None:
+            return r2t_values
+        receiver.perform_output(output)
+        if output.type is ActionType.SEND_PKT:
+            r2t_values = r2t_values | {output.packet}
+            result.packet_values[Direction.R2T].add(output.packet)
+
+
+def _successors(
+    config: _Configuration,
+    sender: IOAutomaton,
+    receiver: IOAutomaton,
+    alphabet: List[Hashable],
+    max_messages: int,
+    result: ExplorationResult,
+) -> List[_Configuration]:
+    """All abstract one-step successors of ``config``."""
+    successors: List[_Configuration] = []
+
+    # 1. Environment injects a new message.  The environment modelled
+    # here is the paper's one-outstanding-message regime: it submits
+    # only when the sender signals readiness (stations expose this via
+    # ``ready_for_message``; automata without the attribute accept
+    # submissions at any time).
+    if config.injected < max_messages:
+        for message in alphabet:
+            sender.restore(config.sender_snap)
+            ready = getattr(sender, "ready_for_message", None)
+            if ready is not None and not ready():
+                break
+            sender.handle_input(send_msg(message))
+            successors.append(
+                _config_from(
+                    sender,
+                    config.receiver_snap,
+                    config.receiver_key,
+                    config.t2r_values,
+                    config.r2t_values,
+                    config.injected + 1,
+                )
+            )
+
+    # 2. Sender fires its enabled output (a send_pkt^{t->r}).
+    sender.restore(config.sender_snap)
+    output = sender.next_output()
+    if output is not None and output.type is ActionType.SEND_PKT:
+        sender.perform_output(output)
+        result.packet_values[Direction.T2R].add(output.packet)
+        successors.append(
+            _config_from(
+                sender,
+                config.receiver_snap,
+                config.receiver_key,
+                config.t2r_values | {output.packet},
+                config.r2t_values,
+                config.injected,
+            )
+        )
+
+    # 3. Channel delivers some value to the receiver (set-abstraction:
+    #    the value stays available afterwards).  The receiver's
+    #    resulting outputs are flushed atomically, mirroring the
+    #    engine's pump discipline.
+    for value in config.t2r_values:
+        receiver.restore(config.receiver_snap)
+        receiver.handle_input(receive_pkt(Direction.T2R, value))
+        r2t = _flush_receiver(receiver, config.r2t_values, result)
+        successors.append(
+            _config_with_receiver(
+                config.sender_snap,
+                config.sender_key,
+                receiver,
+                config.t2r_values,
+                r2t,
+                config.injected,
+            )
+        )
+
+    # 5. Channel delivers some value to the sender.
+    for value in config.r2t_values:
+        sender.restore(config.sender_snap)
+        sender.handle_input(receive_pkt(Direction.R2T, value))
+        successors.append(
+            _config_from(
+                sender,
+                config.receiver_snap,
+                config.receiver_key,
+                config.t2r_values,
+                config.r2t_values,
+                config.injected,
+            )
+        )
+
+    return successors

@@ -1,0 +1,76 @@
+"""Tests for the terminal line plotter."""
+
+import pytest
+
+from repro.analysis.ascii_plot import line_plot
+
+
+class TestBasics:
+    def test_single_series_renders(self):
+        text = line_plot({"cost": [1.0, 2.0, 3.0]}, width=20, height=5)
+        assert "c=cost" in text
+        assert "c" in text.splitlines()[0] or any(
+            "c" in line for line in text.splitlines()
+        )
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = line_plot(
+            {"flood": [1.0, 2.0], "naive": [2.0, 1.0]}, width=10, height=4
+        )
+        assert "f=flood" in text
+        assert "n=naive" in text
+
+    def test_marker_collision_resolved(self):
+        text = line_plot(
+            {"aaa": [1.0, 2.0], "abc": [2.0, 3.0]}, width=10, height=4
+        )
+        legend = text.splitlines()[-1]
+        markers = [part.split("=")[0] for part in legend.split()]
+        assert len(set(markers)) == 2
+
+    def test_axis_labels_present(self):
+        text = line_plot(
+            {"s": [1.0, 2.0]},
+            width=10,
+            height=4,
+            x_label="messages",
+            y_label="packets",
+        )
+        assert "messages" in text
+        assert "packets" in text
+
+
+class TestLogScale:
+    def test_log_scale_drops_nonpositive(self):
+        text = line_plot(
+            {"s": [0.0, 1.0, 10.0]}, width=10, height=4, log_y=True
+        )
+        assert "log scale" not in text  # only shown with y_label
+        assert "10" in text
+
+    def test_all_nonpositive_rejected_in_log_mode(self):
+        with pytest.raises(ValueError):
+            line_plot({"s": [0.0, -1.0]}, log_y=True)
+
+    def test_log_scale_flattens_exponentials(self):
+        """A geometric series occupies both the top and bottom rows
+        when log-scaled (it is a straight line in log space)."""
+        series = [2.0**i for i in range(20)]
+        text = line_plot({"g": series}, width=40, height=8, log_y=True)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert "g" in rows[0]
+        assert "g" in rows[-1]
+
+
+class TestDegenerateInputs:
+    def test_constant_series(self):
+        text = line_plot({"c": [5.0, 5.0, 5.0]}, width=10, height=4)
+        assert "c=c" in text
+
+    def test_single_point(self):
+        text = line_plot({"p": [3.0]}, width=10, height=4)
+        assert "p=p" in text

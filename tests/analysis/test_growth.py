@@ -1,0 +1,133 @@
+"""Tests for growth-rate fitting."""
+
+import math
+
+import pytest
+
+from repro.analysis.growth import (
+    classify_growth,
+    doubling_points,
+    find_crossover,
+    fit_exponential,
+    fit_linear,
+)
+
+
+class TestLinearFit:
+    def test_exact_line_recovered(self):
+        xs = [0.0, 1.0, 2.0, 3.0]
+        ys = [1.0, 3.0, 5.0, 7.0]
+        fit = fit_linear(xs, ys)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_linear([0.0, 1.0], [0.0, 2.0])
+        assert fit.predict(5.0) == pytest.approx(10.0)
+
+    def test_noise_lowers_r_squared(self):
+        xs = list(range(10))
+        ys = [2.0 * x + (1 if x % 2 else -1) * 3 for x in xs]
+        fit = fit_linear([float(x) for x in xs], ys)
+        assert fit.r_squared < 1.0
+        assert fit.slope == pytest.approx(2.0, abs=0.5)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fit_linear([1.0], [1.0, 2.0])
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_linear([1.0], [1.0])
+
+    def test_vertical_line_rejected(self):
+        with pytest.raises(ValueError):
+            fit_linear([2.0, 2.0], [1.0, 5.0])
+
+    def test_constant_series_has_unit_r_squared(self):
+        fit = fit_linear([0.0, 1.0, 2.0], [4.0, 4.0, 4.0])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+
+class TestExponentialFit:
+    def test_exact_exponential_recovered(self):
+        xs = [0.0, 1.0, 2.0, 3.0]
+        ys = [2.0 * 1.5**x for x in xs]
+        fit = fit_exponential(xs, ys)
+        assert fit.base == pytest.approx(1.5)
+        assert fit.scale == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_rate_is_log_base(self):
+        fit = fit_exponential([0.0, 1.0], [1.0, math.e])
+        assert fit.rate == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(ValueError):
+            fit_exponential([0.0, 1.0], [1.0, 0.0])
+        with pytest.raises(ValueError):
+            fit_exponential([0.0, 1.0], [-1.0, 2.0])
+
+    def test_predict(self):
+        fit = fit_exponential([0.0, 1.0, 2.0], [1.0, 2.0, 4.0])
+        assert fit.predict(3.0) == pytest.approx(8.0)
+
+
+class TestClassify:
+    def test_geometric_series_classified_exponential(self):
+        xs = [float(x) for x in range(12)]
+        ys = [1.3**x for x in xs]
+        kind, value = classify_growth(xs, ys)
+        assert kind == "exponential"
+        assert value == pytest.approx(1.3)
+
+    def test_arithmetic_series_classified_linear(self):
+        xs = [float(x) for x in range(12)]
+        ys = [5.0 * x + 2 for x in xs]
+        kind, value = classify_growth(xs, ys)
+        assert kind == "linear"
+        assert value == pytest.approx(5.0)
+
+    def test_series_with_zeros_falls_back_to_linear(self):
+        xs = [0.0, 1.0, 2.0]
+        ys = [0.0, 1.0, 2.0]
+        kind, _ = classify_growth(xs, ys)
+        assert kind == "linear"
+
+
+class TestCrossover:
+    def test_finds_interpolated_crossover(self):
+        xs = [0.0, 1.0, 2.0, 3.0]
+        slow = [0.0, 1.0, 2.0, 3.0]
+        fast = [3.0, 2.5, 1.5, 0.0]  # b decreasing; a overtakes b
+        crossover = find_crossover(xs, slow, fast)
+        assert crossover is not None
+        assert 1.0 < crossover < 3.0
+
+    def test_none_when_never_crossing(self):
+        xs = [0.0, 1.0, 2.0]
+        assert find_crossover(xs, [0.0, 0.0, 0.0], [1.0, 1.0, 1.0]) is None
+
+    def test_immediate_crossover(self):
+        xs = [0.0, 1.0]
+        assert find_crossover(xs, [5.0, 6.0], [1.0, 2.0]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            find_crossover([1.0], [1.0], [1.0, 2.0])
+
+
+class TestDoublingPoints:
+    def test_geometric_series_has_evenly_spaced_doublings(self):
+        ys = [2.0**i for i in range(10)]
+        points = doubling_points(ys)
+        gaps = [b - a for a, b in zip(points, points[1:])]
+        assert all(gap == 1 for gap in gaps)
+
+    def test_flat_series_has_no_doublings(self):
+        assert doubling_points([5.0] * 10) == []
+
+    def test_empty_series(self):
+        assert doubling_points([]) == []

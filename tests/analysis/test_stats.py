@@ -1,0 +1,74 @@
+"""Tests for the summary statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import (
+    bootstrap_mean_ci,
+    mean,
+    median,
+    stdev,
+    summarize,
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_stdev_known_value(self):
+        assert stdev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == (
+            pytest.approx(2.138, abs=1e-3)
+        )
+
+    def test_stdev_singleton_is_zero(self):
+        assert stdev([4.0]) == 0.0
+
+    def test_median_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_median_even(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == pytest.approx(2.5)
+
+
+class TestSummary:
+    def test_fields(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == pytest.approx(2.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestBootstrap:
+    def test_interval_contains_sample_mean(self):
+        sample = [float(x) for x in range(50)]
+        low, high = bootstrap_mean_ci(sample, confidence=0.95)
+        assert low <= mean(sample) <= high
+
+    def test_wider_confidence_wider_interval(self):
+        sample = [float(x % 7) for x in range(60)]
+        narrow = bootstrap_mean_ci(sample, confidence=0.5)
+        wide = bootstrap_mean_ci(sample, confidence=0.99)
+        assert wide[0] <= narrow[0]
+        assert wide[1] >= narrow[1]
+
+    def test_deterministic_default_rng(self):
+        sample = [1.0, 5.0, 2.0, 8.0]
+        assert bootstrap_mean_ci(sample) == bootstrap_mean_ci(sample)
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], confidence=1.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])

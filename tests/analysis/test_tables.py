@@ -1,0 +1,68 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.analysis.tables import Table, format_float
+
+
+class TestFormatFloat:
+    def test_integers_render_plainly(self):
+        assert format_float(42.0) == "42"
+
+    def test_small_floats_three_decimals(self):
+        assert format_float(0.125) == "0.125"
+
+    def test_trailing_zeros_stripped(self):
+        assert format_float(0.5) == "0.5"
+
+    def test_large_values_sig_figs(self):
+        assert format_float(12345.6) == "1.23e+04"
+
+    def test_tiny_values_sig_figs(self):
+        assert format_float(0.00123) == "0.00123"
+
+    def test_nan(self):
+        assert format_float(float("nan")) == "-"
+
+
+class TestTable:
+    def test_renders_headers_and_rows(self):
+        table = Table(["name", "value"])
+        table.add_row(["alpha", 1])
+        table.add_row(["beta", 2])
+        text = table.render()
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "alpha" in lines[2]
+        assert "beta" in lines[3]
+
+    def test_title(self):
+        table = Table(["x"])
+        table.add_row([1])
+        assert table.render(title="My table").splitlines()[0] == "My table"
+
+    def test_booleans_render_yes_no(self):
+        table = Table(["ok"])
+        table.add_row([True])
+        table.add_row([False])
+        text = table.render()
+        assert "yes" in text
+        assert "no" in text
+
+    def test_floats_render_compactly(self):
+        table = Table(["v"])
+        table.add_row([0.3333333])
+        assert "0.333" in table.render()
+
+    def test_cell_count_mismatch_rejected(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_columns_are_aligned(self):
+        table = Table(["col"])
+        table.add_row(["short"])
+        table.add_row(["much longer cell"])
+        lines = table.render().splitlines()
+        assert len(lines[0]) == len(lines[2]) == len(lines[3])

@@ -1,0 +1,99 @@
+"""Tests for the message-sequence-chart renderer."""
+
+from repro.analysis.timeline import render_event, render_timeline
+from repro.channels.packets import Packet
+from repro.ioa.actions import (
+    Direction,
+    receive_msg,
+    receive_pkt,
+    send_msg,
+    send_pkt,
+)
+from repro.ioa.execution import Execution
+
+
+def sample_execution() -> Execution:
+    execution = Execution()
+    pkt = Packet(header=("DATA", 0), body="m")
+    ack = Packet(header=("ACK", 0))
+    execution.record(send_msg("m"))
+    execution.record(send_pkt(Direction.T2R, pkt, copy_id=0))
+    execution.record(receive_pkt(Direction.T2R, pkt, copy_id=0))
+    execution.record(receive_msg("m"))
+    execution.record(send_pkt(Direction.R2T, ack, copy_id=1))
+    execution.record(receive_pkt(Direction.R2T, ack, copy_id=1))
+    return execution
+
+
+class TestRenderEvent:
+    def test_send_msg_lane(self):
+        line = render_event(sample_execution()[0])
+        assert "env ->T" in line
+        assert "'m'" in line
+
+    def test_receive_msg_lane(self):
+        line = render_event(sample_execution()[3])
+        assert "R   ->env" in line
+
+    def test_forward_packet_lanes(self):
+        send_line = render_event(sample_execution()[1])
+        recv_line = render_event(sample_execution()[2])
+        assert "T   ~~>" in send_line
+        assert "~~>R" in recv_line
+        assert "#0" in send_line
+
+    def test_reverse_packet_lanes(self):
+        send_line = render_event(sample_execution()[4])
+        recv_line = render_event(sample_execution()[5])
+        assert "<~~R" in send_line
+        assert "T   <~~" in recv_line
+
+
+class TestRenderTimeline:
+    def test_full_render_has_one_line_per_event(self):
+        execution = sample_execution()
+        text = render_timeline(execution)
+        assert len(text.splitlines()) == len(execution)
+
+    def test_slicing(self):
+        execution = sample_execution()
+        text = render_timeline(execution, start=1, end=3)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "[   1]" in lines[0]
+
+    def test_stale_highlighting(self):
+        execution = Execution()
+        pkt = Packet(header=("DATA", 0), body="m")
+        execution.record(send_pkt(Direction.T2R, pkt, copy_id=0))
+        execution.record(send_msg("m"))
+        execution.record(receive_pkt(Direction.T2R, pkt, copy_id=0))
+        text = render_timeline(execution, highlight_stale_before=1)
+        assert "<<stale (sent at event 0)" in text
+
+    def test_fresh_receipt_not_highlighted(self):
+        execution = sample_execution()
+        text = render_timeline(execution, highlight_stale_before=1)
+        assert "<<stale" not in text
+
+    def test_forged_execution_shows_stale_receipts(self):
+        """End to end: the Theorem 3.1 forgery's replayed copies light
+        up in the chart."""
+        from repro.core.theorem31 import HeaderExhaustionAttack
+        from repro.datalink.alternating_bit import make_alternating_bit
+        from repro.datalink.system import make_system
+
+        system = make_system(*make_alternating_bit())
+        outcome = HeaderExhaustionAttack(system, max_rounds=16).run()
+        assert outcome.forged
+        execution = system.execution
+        # Everything after the last send_msg is the forged extension.
+        last_sm = max(
+            e.index for e in execution
+            if e.action.type.value == "send_msg"
+        )
+        text = render_timeline(
+            execution, start=last_sm, highlight_stale_before=last_sm
+        )
+        assert "<<stale" in text
+        assert "receive_msg" in text

@@ -1,0 +1,188 @@
+"""Unit tests for the stock channel adversaries."""
+
+from repro.channels.adversary import (
+    AdversaryView,
+    Decision,
+    DecisionKind,
+    DelayAllAdversary,
+    FairAdversary,
+    HoldValuesAdversary,
+    OptimalAdversary,
+    OptimalFromNowAdversary,
+    RandomAdversary,
+    ScriptedAdversary,
+)
+from repro.channels.base import Channel
+from repro.channels.nonfifo import NonFifoChannel
+from repro.channels.packets import Packet
+from repro.ioa.actions import Direction
+
+PKT_A = Packet(header="a")
+PKT_B = Packet(header="b")
+
+
+def make_view(step: int = 0):
+    channels = {
+        Direction.T2R: NonFifoChannel(Direction.T2R),
+        Direction.R2T: NonFifoChannel(Direction.R2T),
+    }
+    return channels, AdversaryView(channels, step)
+
+
+class TestDecision:
+    def test_deliver_constructor(self):
+        decision = Decision.deliver(Direction.T2R, 3)
+        assert decision.kind is DecisionKind.DELIVER
+        assert decision.copy_id == 3
+
+    def test_drop_constructor(self):
+        decision = Decision.drop(Direction.R2T, 5)
+        assert decision.kind is DecisionKind.DROP
+        assert decision.direction is Direction.R2T
+
+
+class TestOptimal:
+    def test_delivers_everything(self):
+        channels, view = make_view()
+        channels[Direction.T2R].send(PKT_A)
+        channels[Direction.R2T].send(PKT_B)
+        decisions = OptimalAdversary().decide(view)
+        assert len(decisions) == 2
+        assert all(d.kind is DecisionKind.DELIVER for d in decisions)
+
+    def test_empty_channels_no_decisions(self):
+        _, view = make_view()
+        assert OptimalAdversary().decide(view) == []
+
+
+class TestOptimalFromNow:
+    def test_holds_stale_delivers_fresh(self):
+        channels, view = make_view()
+        stale = channels[Direction.T2R].send(PKT_A)
+        adversary = OptimalFromNowAdversary.from_channels(channels)
+        fresh = channels[Direction.T2R].send(PKT_B)
+        decisions = adversary.decide(view)
+        delivered_ids = {d.copy_id for d in decisions}
+        assert fresh.copy_id in delivered_ids
+        assert stale.copy_id not in delivered_ids
+
+    def test_stale_set_is_per_direction(self):
+        channels, view = make_view()
+        channels[Direction.T2R].send(PKT_A)
+        adversary = OptimalFromNowAdversary.from_channels(channels)
+        reverse = channels[Direction.R2T].send(PKT_B)
+        decisions = adversary.decide(view)
+        assert {d.copy_id for d in decisions} == {reverse.copy_id}
+
+
+class TestDelayAll:
+    def test_never_delivers(self):
+        channels, view = make_view()
+        channels[Direction.T2R].send(PKT_A)
+        assert DelayAllAdversary().decide(view) == []
+
+
+class TestHoldValues:
+    def test_holds_matching_values(self):
+        channels, view = make_view()
+        held = channels[Direction.T2R].send(PKT_A)
+        passed = channels[Direction.T2R].send(PKT_B)
+        adversary = HoldValuesAdversary(
+            Direction.T2R, held=lambda p: p == PKT_A
+        )
+        delivered = {d.copy_id for d in adversary.decide(view)}
+        assert passed.copy_id in delivered
+        assert held.copy_id not in delivered
+
+    def test_other_direction_flows_freely(self):
+        channels, view = make_view()
+        reverse = channels[Direction.R2T].send(PKT_A)
+        adversary = HoldValuesAdversary(
+            Direction.T2R, held=lambda p: True
+        )
+        delivered = {d.copy_id for d in adversary.decide(view)}
+        assert reverse.copy_id in delivered
+
+    def test_stop_after_first_passed(self):
+        channels, view = make_view()
+        channels[Direction.T2R].send(PKT_B)
+        channels[Direction.T2R].send(PKT_B)
+        adversary = HoldValuesAdversary(
+            Direction.T2R,
+            held=lambda p: p == PKT_A,
+            stop_after_first_passed=True,
+        )
+        first = adversary.decide(view)
+        assert len([d for d in first if d.direction is Direction.T2R]) == 1
+        # After stopping, nothing more passes on the held direction.
+        second = adversary.decide(view)
+        assert [d for d in second if d.direction is Direction.T2R] == []
+
+
+class TestFair:
+    def test_everything_delivered_within_max_delay(self):
+        channels, _ = make_view()
+        adversary = FairAdversary(seed=0, p_deliver=0.0, max_delay=4)
+        copy = channels[Direction.T2R].send(PKT_A)
+        delivered_at = None
+        for step in range(10):
+            view = AdversaryView(channels, step)
+            decisions = adversary.decide(view)
+            if any(d.copy_id == copy.copy_id for d in decisions):
+                delivered_at = step
+                for d in decisions:
+                    channels[d.direction].deliver(d.copy_id)
+                break
+        assert delivered_at is not None
+        assert delivered_at <= 4
+
+    def test_never_drops(self):
+        channels, _ = make_view()
+        adversary = FairAdversary(seed=1, p_deliver=0.5)
+        for _ in range(20):
+            channels[Direction.T2R].send(PKT_A)
+        for step in range(50):
+            for decision in adversary.decide(AdversaryView(channels, step)):
+                assert decision.kind is DecisionKind.DELIVER
+                channels[decision.direction].deliver(decision.copy_id)
+
+
+class TestRandom:
+    def test_rejects_impossible_probabilities(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RandomAdversary(p_deliver=0.8, p_drop=0.3)
+
+    def test_deterministic_under_seed(self):
+        def run(seed):
+            channels, _ = make_view()
+            adversary = RandomAdversary(seed=seed, p_deliver=0.5, p_drop=0.2)
+            outcomes = []
+            for step in range(10):
+                channels[Direction.T2R].send(PKT_A)
+                decisions = adversary.decide(AdversaryView(channels, step))
+                outcomes.append(
+                    tuple((d.kind.value, d.copy_id) for d in decisions)
+                )
+                for d in decisions:
+                    if d.kind is DecisionKind.DELIVER:
+                        channels[d.direction].deliver(d.copy_id)
+                    else:
+                        channels[d.direction].drop(d.copy_id)
+            return outcomes
+
+        assert run(7) == run(7)
+
+
+class TestScripted:
+    def test_plays_script_then_idles(self):
+        channels, view = make_view()
+        copy = channels[Direction.T2R].send(PKT_A)
+        script = [[], [Decision.deliver(Direction.T2R, copy.copy_id)]]
+        adversary = ScriptedAdversary(script)
+        assert adversary.decide(view) == []
+        assert adversary.decide(view) == [
+            Decision.deliver(Direction.T2R, copy.copy_id)
+        ]
+        assert adversary.decide(view) == []

@@ -1,0 +1,89 @@
+"""Unit tests for the TTL (bounded-lifetime) channel."""
+
+import pytest
+
+from repro.channels.base import ChannelError
+from repro.channels.bounded import BoundedReorderChannel
+from repro.channels.packets import Packet
+from repro.ioa.actions import Direction
+
+PKT = Packet(header="p")
+
+
+def make_channel(lifetime=4) -> BoundedReorderChannel:
+    return BoundedReorderChannel(Direction.T2R, lifetime=lifetime)
+
+
+class TestExpiry:
+    def test_copy_survives_within_lifetime(self):
+        channel = make_channel(lifetime=3)
+        victim = channel.send(PKT)
+        for _ in range(3):
+            channel.send(PKT)
+        # Sent as send 1; send 4 occurred: age 3 == lifetime -> expired.
+        with pytest.raises(ChannelError):
+            channel.deliver(victim.copy_id)
+
+    def test_copy_alive_just_before_expiry(self):
+        channel = make_channel(lifetime=3)
+        victim = channel.send(PKT)
+        channel.send(PKT)
+        channel.send(PKT)
+        assert channel.deliver(victim.copy_id).packet == PKT
+
+    def test_expiry_counts_as_loss(self):
+        channel = make_channel(lifetime=1)
+        channel.send(PKT)
+        channel.send(PKT)  # expires the first
+        assert channel.expired_total == 1
+        assert channel.dropped_total == 1
+        assert channel.transit_size() == 1
+
+    def test_conservation_with_expiry(self):
+        channel = make_channel(lifetime=2)
+        for _ in range(10):
+            channel.send(PKT)
+        assert channel.sent_total == (
+            channel.delivered_total
+            + channel.dropped_total
+            + channel.transit_size()
+        )
+
+    def test_age_in_sends(self):
+        channel = make_channel(lifetime=10)
+        copy = channel.send(PKT)
+        assert channel.age_in_sends(copy.copy_id) == 0
+        channel.send(PKT)
+        channel.send(PKT)
+        assert channel.age_in_sends(copy.copy_id) == 2
+
+    def test_age_of_unknown_copy_raises(self):
+        channel = make_channel()
+        with pytest.raises(KeyError):
+            channel.age_in_sends(7)
+
+    def test_rejects_zero_lifetime(self):
+        with pytest.raises(ValueError):
+            make_channel(lifetime=0)
+
+
+class TestNonFifoWithinLifetime:
+    def test_reordering_allowed(self):
+        channel = make_channel(lifetime=10)
+        first = channel.send(PKT)
+        second = channel.send(Packet(header="q"))
+        assert channel.deliver(second.copy_id).packet.header == "q"
+        assert channel.deliver(first.copy_id).packet == PKT
+
+
+class TestClone:
+    def test_clone_preserves_ages(self):
+        channel = make_channel(lifetime=3)
+        victim = channel.send(PKT)
+        channel.send(PKT)
+        twin = channel.clone()
+        twin.send(PKT)
+        twin.send(PKT)  # expires the victim in the twin only
+        with pytest.raises(ChannelError):
+            twin.deliver(victim.copy_id)
+        assert channel.deliver(victim.copy_id).packet == PKT

@@ -1,0 +1,181 @@
+"""Unit tests for the PL1-enforcing channel bag."""
+
+import pytest
+
+from repro.channels.base import Channel, ChannelError, ChannelOracle
+from repro.channels.packets import Packet
+from repro.ioa.actions import Direction
+
+
+def make_channel() -> Channel:
+    return Channel(Direction.T2R)
+
+
+PKT_A = Packet(header=("DATA", 0), body="a")
+PKT_B = Packet(header=("DATA", 1), body="b")
+
+
+class TestSend:
+    def test_send_returns_copy_in_transit(self):
+        channel = make_channel()
+        copy = channel.send(PKT_A, at_index=5)
+        assert copy.packet == PKT_A
+        assert copy.sent_at == 5
+        assert channel.transit_size() == 1
+
+    def test_copy_ids_are_unique(self):
+        channel = make_channel()
+        ids = {channel.send(PKT_A).copy_id for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_sent_total_counts(self):
+        channel = make_channel()
+        for _ in range(7):
+            channel.send(PKT_A)
+        assert channel.sent_total == 7
+
+
+class TestDeliver:
+    def test_deliver_removes_from_bag(self):
+        channel = make_channel()
+        copy = channel.send(PKT_A)
+        delivered = channel.deliver(copy.copy_id)
+        assert delivered.packet == PKT_A
+        assert channel.transit_size() == 0
+        assert channel.delivered_total == 1
+
+    def test_deliver_twice_violates_pl1(self):
+        channel = make_channel()
+        copy = channel.send(PKT_A)
+        channel.deliver(copy.copy_id)
+        with pytest.raises(ChannelError):
+            channel.deliver(copy.copy_id)
+
+    def test_deliver_unknown_copy_violates_pl1(self):
+        channel = make_channel()
+        with pytest.raises(ChannelError):
+            channel.deliver(999)
+
+    def test_any_order_delivery_is_legal(self):
+        """The base channel is non-FIFO: newest-first is fine."""
+        channel = make_channel()
+        first = channel.send(PKT_A)
+        second = channel.send(PKT_B)
+        assert channel.deliver(second.copy_id).packet == PKT_B
+        assert channel.deliver(first.copy_id).packet == PKT_A
+
+
+class TestDrop:
+    def test_drop_removes_without_delivery(self):
+        channel = make_channel()
+        copy = channel.send(PKT_A)
+        channel.drop(copy.copy_id)
+        assert channel.transit_size() == 0
+        assert channel.dropped_total == 1
+        assert channel.delivered_total == 0
+
+    def test_dropped_copy_cannot_be_delivered(self):
+        channel = make_channel()
+        copy = channel.send(PKT_A)
+        channel.drop(copy.copy_id)
+        with pytest.raises(ChannelError):
+            channel.deliver(copy.copy_id)
+
+    def test_drop_unknown_copy_raises(self):
+        channel = make_channel()
+        with pytest.raises(ChannelError):
+            channel.drop(0)
+
+
+class TestObservation:
+    def test_in_transit_sorted_by_copy_id(self):
+        channel = make_channel()
+        copies = [channel.send(PKT_A) for _ in range(5)]
+        assert [c.copy_id for c in channel.in_transit()] == [
+            c.copy_id for c in copies
+        ]
+
+    def test_transit_count_by_value(self):
+        channel = make_channel()
+        channel.send(PKT_A)
+        channel.send(PKT_A)
+        channel.send(PKT_B)
+        assert channel.transit_count(PKT_A) == 2
+        assert channel.transit_count(PKT_B) == 1
+
+    def test_transit_value_counts(self):
+        channel = make_channel()
+        channel.send(PKT_A)
+        channel.send(PKT_B)
+        channel.send(PKT_B)
+        counts = channel.transit_value_counts()
+        assert counts[PKT_A] == 1
+        assert counts[PKT_B] == 2
+
+    def test_copies_of(self):
+        channel = make_channel()
+        channel.send(PKT_A)
+        channel.send(PKT_B)
+        channel.send(PKT_A)
+        assert [c.packet for c in channel.copies_of(PKT_A)] == [PKT_A, PKT_A]
+
+    def test_count_matching(self):
+        channel = make_channel()
+        channel.send(PKT_A)
+        channel.send(PKT_B)
+        assert (
+            channel.count_matching(lambda p: p.header == ("DATA", 0)) == 1
+        )
+
+
+class TestClone:
+    def test_clone_preserves_bag(self):
+        channel = make_channel()
+        copy = channel.send(PKT_A)
+        twin = channel.clone()
+        assert twin.transit_count(PKT_A) == 1
+        assert twin.deliver(copy.copy_id).packet == PKT_A
+
+    def test_clone_is_independent(self):
+        channel = make_channel()
+        copy = channel.send(PKT_A)
+        twin = channel.clone()
+        channel.deliver(copy.copy_id)
+        # The twin still has its copy.
+        assert twin.transit_count(PKT_A) == 1
+
+    def test_clone_mints_fresh_ids(self):
+        channel = make_channel()
+        existing = channel.send(PKT_A)
+        twin = channel.clone()
+        fresh = twin.send(PKT_B)
+        assert fresh.copy_id != existing.copy_id
+
+    def test_clone_preserves_counters(self):
+        channel = make_channel()
+        channel.send(PKT_A)
+        channel.drop(channel.send(PKT_B).copy_id)
+        twin = channel.clone()
+        assert twin.sent_total == 2
+        assert twin.dropped_total == 1
+
+
+class TestOracle:
+    def test_oracle_counts(self):
+        forward = Channel(Direction.T2R)
+        backward = Channel(Direction.R2T)
+        oracle = ChannelOracle(
+            {Direction.T2R: forward, Direction.R2T: backward}
+        )
+        forward.send(PKT_A)
+        forward.send(PKT_A)
+        backward.send(PKT_B)
+        assert oracle.transit_count(Direction.T2R, PKT_A) == 2
+        assert oracle.transit_count(Direction.R2T, PKT_B) == 1
+        assert oracle.transit_size(Direction.T2R) == 2
+        assert (
+            oracle.count_matching(
+                Direction.T2R, lambda p: p.header[0] == "DATA"
+            )
+            == 2
+        )

@@ -1,0 +1,105 @@
+"""Tests for the fault-injection adversaries."""
+
+import pytest
+
+from repro.channels.base import ChannelError
+from repro.channels.faults import (
+    DuplicateAttemptAdversary,
+    FaultPhase,
+    PartitionAdversary,
+    PhasedAdversary,
+    ReplayFloodAdversary,
+    burst_loss_timeline,
+)
+from repro.channels.adversary import DelayAllAdversary, OptimalAdversary
+from repro.datalink.sequence import make_sequence_protocol
+from repro.datalink.flooding import make_flooding
+from repro.datalink.spec import check_execution
+from repro.datalink.system import make_system
+
+
+class TestPhased:
+    def test_phases_override_default(self):
+        adversary = PhasedAdversary(
+            [FaultPhase(0, 5, DelayAllAdversary())]
+        )
+        system = make_system(*make_sequence_protocol(), adversary=adversary)
+        system.submit_message("m")
+        system.run_steps(4)
+        # Blackout active: nothing delivered yet.
+        assert system.execution.rm() == 0
+        system.run_steps(5)
+        # Default optimal behaviour resumed: delivery happened.
+        assert system.receiver.messages_delivered == 1
+
+    def test_phase_boundaries_are_half_open(self):
+        phase = FaultPhase(2, 4, DelayAllAdversary())
+        assert not phase.active_at(1)
+        assert phase.active_at(2)
+        assert phase.active_at(3)
+        assert not phase.active_at(4)
+
+
+class TestPartition:
+    def test_rejects_bad_blackout(self):
+        with pytest.raises(ValueError):
+            PartitionAdversary(period=5, blackout=6)
+
+    def test_protocols_survive_periodic_partitions(self):
+        system = make_system(
+            *make_sequence_protocol(),
+            adversary=PartitionAdversary(period=8, blackout=5),
+        )
+        messages = [f"m{i}" for i in range(12)]
+        stats = system.run(messages, max_steps=20_000)
+        assert stats.completed
+        assert check_execution(system.execution).valid
+
+    def test_flooding_survives_partitions(self):
+        system = make_system(
+            *make_flooding(3),
+            adversary=PartitionAdversary(period=6, blackout=3),
+        )
+        stats = system.run(["m"] * 10, max_steps=40_000)
+        assert stats.completed
+        assert check_execution(system.execution).valid
+
+
+class TestBurstLoss:
+    def test_post_burst_flood_is_survived(self):
+        """Packets delayed through a burst all arrive at once,
+        maximally reordered -- safety and liveness must both hold."""
+        adversary = burst_loss_timeline([(0, 10), (20, 35)])
+        system = make_system(*make_sequence_protocol(), adversary=adversary)
+        stats = system.run([f"m{i}" for i in range(10)], max_steps=20_000)
+        assert stats.completed
+        assert check_execution(system.execution).valid
+
+
+class TestReplayFlood:
+    def test_newest_first_delivery_is_safe_for_correct_protocols(self):
+        system = make_system(
+            *make_sequence_protocol(), adversary=ReplayFloodAdversary()
+        )
+        stats = system.run([f"m{i}" for i in range(15)], max_steps=20_000)
+        assert stats.completed
+        assert check_execution(system.execution).valid
+
+
+class TestDuplicateGuard:
+    def test_pl1_guard_rejects_duplication_at_source(self):
+        """The illegal adversary cannot even execute its second
+        delivery: the channel raises before any forged receipt exists."""
+        system = make_system(
+            *make_sequence_protocol(),
+            adversary=DuplicateAttemptAdversary(),
+        )
+        system.submit_message("m")
+        with pytest.raises(ChannelError):
+            system.run_steps(3)
+        # And the recorded execution is still (PL1)-clean.
+        assert check_execution(system.execution).ok
+
+    def test_optimal_is_the_default_phase_filler(self):
+        adversary = PhasedAdversary([])
+        assert isinstance(adversary.default, OptimalAdversary)

@@ -1,0 +1,46 @@
+"""Unit tests for the reliable FIFO contrast channel."""
+
+import pytest
+
+from repro.channels.base import ChannelError
+from repro.channels.fifo import FifoChannel
+from repro.channels.packets import Packet
+from repro.ioa.actions import Direction
+
+PKT_A = Packet(header="a")
+PKT_B = Packet(header="b")
+
+
+class TestOrdering:
+    def test_oldest_first_is_allowed(self):
+        channel = FifoChannel(Direction.T2R)
+        first = channel.send(PKT_A)
+        channel.send(PKT_B)
+        assert channel.deliver(first.copy_id).packet == PKT_A
+
+    def test_out_of_order_delivery_rejected(self):
+        channel = FifoChannel(Direction.T2R)
+        channel.send(PKT_A)
+        second = channel.send(PKT_B)
+        with pytest.raises(ChannelError):
+            channel.deliver(second.copy_id)
+
+    def test_order_restored_after_head_delivered(self):
+        channel = FifoChannel(Direction.T2R)
+        first = channel.send(PKT_A)
+        second = channel.send(PKT_B)
+        channel.deliver(first.copy_id)
+        assert channel.deliver(second.copy_id).packet == PKT_B
+
+
+class TestReliability:
+    def test_drop_is_forbidden(self):
+        channel = FifoChannel(Direction.T2R)
+        copy = channel.send(PKT_A)
+        with pytest.raises(ChannelError):
+            channel.drop(copy.copy_id)
+
+    def test_mandatory_deliveries_drain_everything(self):
+        channel = FifoChannel(Direction.T2R)
+        ids = [channel.send(PKT_A).copy_id for _ in range(4)]
+        assert channel.mandatory_deliveries() == ids

@@ -1,0 +1,132 @@
+"""Unit tests for the probabilistic physical layer (PL2p)."""
+
+import random
+
+import pytest
+
+from repro.channels.packets import Packet
+from repro.channels.probabilistic import ProbabilisticChannel, TricklePolicy
+from repro.ioa.actions import Direction
+
+PKT = Packet(header="p")
+
+
+def make_channel(q: float, seed: int = 0, **kwargs) -> ProbabilisticChannel:
+    return ProbabilisticChannel(
+        Direction.T2R, q, rng=random.Random(seed), **kwargs
+    )
+
+
+class TestConstruction:
+    def test_rejects_q_of_one(self):
+        with pytest.raises(ValueError):
+            make_channel(1.0)
+
+    def test_rejects_negative_q(self):
+        with pytest.raises(ValueError):
+            make_channel(-0.1)
+
+    def test_q_zero_is_allowed(self):
+        channel = make_channel(0.0)
+        channel.send(PKT)
+        assert len(channel.mandatory_deliveries()) == 1
+
+
+class TestPL2p:
+    def test_q_zero_delivers_everything_immediately(self):
+        channel = make_channel(0.0)
+        for _ in range(50):
+            channel.send(PKT)
+        assert len(channel.mandatory_deliveries()) == 50
+        assert channel.delayed_ever == 0
+
+    def test_delay_fraction_matches_q(self):
+        channel = make_channel(0.3, seed=7)
+        n = 4000
+        for _ in range(n):
+            channel.send(PKT)
+        fraction = channel.delayed_ever / n
+        assert 0.25 < fraction < 0.35
+
+    def test_delayed_packets_stay_in_transit_without_trickle(self):
+        channel = make_channel(0.5, seed=1)
+        for _ in range(100):
+            channel.send(PKT)
+        due = channel.mandatory_deliveries()
+        for copy_id in due:
+            channel.deliver(copy_id)
+        # What remains is exactly the delayed pool, and a second call
+        # mandates nothing new.
+        assert channel.transit_size() == channel.delayed_ever
+        assert channel.mandatory_deliveries() == []
+
+    def test_mandatory_deliveries_consumed_once(self):
+        channel = make_channel(0.0)
+        channel.send(PKT)
+        first = channel.mandatory_deliveries()
+        assert len(first) == 1
+        assert channel.mandatory_deliveries() == []
+
+    def test_determinism_across_seeds(self):
+        a = make_channel(0.4, seed=3)
+        b = make_channel(0.4, seed=3)
+        for _ in range(50):
+            a.send(PKT)
+            b.send(PKT)
+        assert a.delayed_ever == b.delayed_ever
+
+    def test_different_seeds_differ(self):
+        outcomes = set()
+        for seed in range(5):
+            channel = make_channel(0.5, seed=seed)
+            for _ in range(64):
+                channel.send(PKT)
+            outcomes.add(channel.delayed_ever)
+        assert len(outcomes) > 1
+
+
+class TestTrickle:
+    def test_uniform_trickle_eventually_releases_delayed(self):
+        channel = make_channel(
+            0.9,
+            seed=2,
+            trickle=TricklePolicy.UNIFORM,
+            trickle_probability=0.5,
+        )
+        for _ in range(20):
+            channel.send(PKT)
+        released = 0
+        for _ in range(100):
+            due = channel.mandatory_deliveries()
+            for copy_id in due:
+                channel.deliver(copy_id)
+                released += 1
+            if channel.transit_size() == 0:
+                break
+        assert channel.transit_size() == 0
+        assert released == 20
+
+
+class TestClone:
+    def test_clone_preserves_due_queue(self):
+        channel = make_channel(0.0)
+        channel.send(PKT)
+        twin = channel.clone()
+        assert len(twin.mandatory_deliveries()) == 1
+
+    def test_clone_preserves_rng_state(self):
+        channel = make_channel(0.5, seed=9)
+        for _ in range(10):
+            channel.send(PKT)
+        twin = channel.clone()
+        # Same future coin flips.
+        original_delays = []
+        twin_delays = []
+        for _ in range(50):
+            before = channel.delayed_ever
+            channel.send(PKT)
+            original_delays.append(channel.delayed_ever - before)
+            before = twin.delayed_ever
+            twin.send(PKT)
+            twin_delays.append(twin.delayed_ever - before)
+        assert original_delays == twin_delays

@@ -1,0 +1,144 @@
+"""Tests for the multi-hop virtual link (the transport-layer remark)."""
+
+import random
+
+import pytest
+
+from repro.channels.packets import Packet
+from repro.channels.virtual_link import VirtualLinkChannel
+from repro.core.theorem31 import HeaderExhaustionAttack
+from repro.datalink.alternating_bit import make_alternating_bit
+from repro.datalink.sequence import make_sequence_protocol
+from repro.datalink.sequence_mod import make_modular_sequence
+from repro.datalink.spec import check_execution
+from repro.datalink.system import DataLinkSystem
+from repro.ioa.actions import Direction
+
+PKT = Packet(header="p")
+
+
+def make_link(**kwargs) -> VirtualLinkChannel:
+    defaults = dict(hops=3, p_advance=0.6, rng=random.Random(0))
+    defaults.update(kwargs)
+    return VirtualLinkChannel(Direction.T2R, **defaults)
+
+
+def transport_system(pair, seed=0, hops=3, p_advance=0.5):
+    """A host-to-host system over a two-way virtual link."""
+    sender, receiver = pair
+    return DataLinkSystem(
+        sender,
+        receiver,
+        chan_t2r=VirtualLinkChannel(
+            Direction.T2R, hops=hops, p_advance=p_advance,
+            rng=random.Random(seed),
+        ),
+        chan_r2t=VirtualLinkChannel(
+            Direction.R2T, hops=hops, p_advance=p_advance,
+            rng=random.Random(seed + 1),
+        ),
+    )
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            make_link(hops=0)
+        with pytest.raises(ValueError):
+            make_link(p_advance=0.0)
+        with pytest.raises(ValueError):
+            make_link(p_loss=1.0)
+
+
+class TestStoreAndForward:
+    def test_copy_starts_at_stage_zero(self):
+        link = make_link()
+        copy = link.send(PKT)
+        assert link.position_of(copy.copy_id) == 0
+
+    def test_copy_emerges_after_enough_flushes(self):
+        link = make_link(hops=3, p_advance=1.0)
+        copy = link.send(PKT)
+        assert link.mandatory_deliveries() == []
+        assert link.mandatory_deliveries() == []
+        assert link.mandatory_deliveries() == [copy.copy_id]
+
+    def test_reordering_emerges_from_racing_copies(self):
+        """Two copies sent in order arrive out of order for some seed."""
+        for seed in range(50):
+            link = make_link(hops=4, p_advance=0.5, rng=random.Random(seed))
+            first = link.send(Packet(header="first"))
+            second = link.send(Packet(header="second"))
+            arrivals = []
+            for _ in range(200):
+                for copy_id in link.mandatory_deliveries():
+                    arrivals.append(link.deliver(copy_id).packet.header)
+                if len(arrivals) == 2:
+                    break
+            if arrivals == ["second", "first"]:
+                return
+        assert False, "no seed produced reordering?!"
+
+    def test_adversary_can_rush_any_copy(self):
+        """deliver() works from any stage -- the network adversary's
+        prerogative, and what lets the attacks port."""
+        link = make_link(hops=5)
+        copy = link.send(PKT)
+        assert link.deliver(copy.copy_id).packet == PKT
+
+    def test_loss_at_stages(self):
+        link = make_link(p_loss=0.5, rng=random.Random(1))
+        for _ in range(100):
+            link.send(PKT)
+        for _ in range(100):
+            for copy_id in link.mandatory_deliveries():
+                link.deliver(copy_id)
+        assert link.dropped_total > 0
+        assert link.sent_total == (
+            link.delivered_total + link.dropped_total + link.transit_size()
+        )
+
+    def test_clone_preserves_positions(self):
+        link = make_link(hops=3, p_advance=1.0)
+        copy = link.send(PKT)
+        link.mandatory_deliveries()
+        twin = link.clone()
+        assert twin.position_of(copy.copy_id) == 1
+
+
+class TestTransportProtocols:
+    """The paper's remark: the same results hold one layer up."""
+
+    def test_sequence_transport_is_reliable_end_to_end(self):
+        system = transport_system(make_sequence_protocol(), seed=3)
+        messages = [f"segment-{i}" for i in range(20)]
+        stats = system.run(messages, max_steps=100_000)
+        assert stats.completed
+        assert system.execution.received_messages() == messages
+        assert check_execution(system.execution).valid
+
+    def test_alternating_bit_transport_breaks(self):
+        """A 2-header transport protocol over a reordering network path
+        fails exactly like the data link case."""
+        broken = 0
+        for seed in range(6):
+            system = transport_system(
+                make_alternating_bit(), seed=seed, p_advance=0.35, hops=4
+            )
+            system.run([f"m{i}" for i in range(30)], max_steps=50_000)
+            if not check_execution(system.execution).ok:
+                broken += 1
+        assert broken > 0
+
+    def test_theorem31_attack_ports_to_transport(self):
+        """The header-exhaustion forgery against a bounded-header
+        transport protocol over a virtual link, verbatim."""
+        system = transport_system(make_modular_sequence(4), seed=0)
+        outcome = HeaderExhaustionAttack(system, max_rounds=24).run()
+        assert outcome.forged
+        assert outcome.violation_found
+
+    def test_naive_transport_escapes_the_attack(self):
+        system = transport_system(make_sequence_protocol(), seed=0)
+        outcome = HeaderExhaustionAttack(system, max_rounds=8).run()
+        assert not outcome.forged

@@ -1,0 +1,51 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalink.alternating_bit import make_alternating_bit
+from repro.datalink.flooding import make_capacity_flooding, make_flooding
+from repro.datalink.gobackn import make_gobackn
+from repro.datalink.sequence import make_sequence_protocol
+from repro.datalink.sequence_mod import make_modular_sequence
+from repro.datalink.window import make_window_protocol
+
+# Factories for protocols that are correct over non-FIFO channels.
+NONFIFO_CORRECT_PROTOCOLS = {
+    "sequence": make_sequence_protocol,
+    "flooding-K2": lambda: make_flooding(2),
+    "flooding-K3": lambda: make_flooding(3),
+    "flooding-K5": lambda: make_flooding(5),
+    "window-W4": lambda: make_window_protocol(4),
+    "gobackn-W4": lambda: make_gobackn(4),
+}
+
+# Every protocol in the zoo (including ones that are only safe under
+# restricted channels), for tests that probe attack surfaces.
+ALL_PROTOCOLS = dict(NONFIFO_CORRECT_PROTOCOLS)
+ALL_PROTOCOLS.update(
+    {
+        "alternating-bit": make_alternating_bit,
+        "capacity-flood": lambda: make_capacity_flooding(3, 4),
+        "modular-seq-M8": lambda: make_modular_sequence(8),
+    }
+)
+
+
+@pytest.fixture(params=sorted(NONFIFO_CORRECT_PROTOCOLS))
+def nonfifo_correct_pair(request):
+    """A fresh (sender, receiver) pair of a non-FIFO-correct protocol."""
+    return NONFIFO_CORRECT_PROTOCOLS[request.param]()
+
+
+@pytest.fixture(params=sorted(NONFIFO_CORRECT_PROTOCOLS))
+def nonfifo_correct_factory(request):
+    """The factory itself (for code that builds several instances)."""
+    return NONFIFO_CORRECT_PROTOCOLS[request.param]
+
+
+@pytest.fixture(params=sorted(ALL_PROTOCOLS))
+def any_protocol_factory(request):
+    """Factory for every protocol in the zoo."""
+    return ALL_PROTOCOLS[request.param]

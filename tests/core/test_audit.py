@@ -1,0 +1,91 @@
+"""Tests for the deep run audit."""
+
+from repro.channels.adversary import OptimalAdversary, RandomAdversary
+from repro.core.audit import audit_system
+from repro.core.theorem31 import HeaderExhaustionAttack
+from repro.datalink.alternating_bit import make_alternating_bit
+from repro.datalink.flooding import make_flooding
+from repro.datalink.sequence import make_sequence_protocol
+from repro.datalink.system import make_system
+from repro.ioa.actions import Direction
+
+
+class TestCleanRuns:
+    def test_clean_run_audits_ok(self):
+        system = make_system(
+            *make_sequence_protocol(), adversary=OptimalAdversary()
+        )
+        system.run(["a", "b", "c"])
+        report = audit_system(system)
+        assert report.ok
+        assert report.problems == []
+        assert report.messages_delivered == 3
+
+    def test_per_message_costs_sum_to_total(self):
+        system = make_system(
+            *make_sequence_protocol(), adversary=OptimalAdversary()
+        )
+        system.run(["m"] * 5)
+        report = audit_system(system)
+        assert len(report.per_message_packets) == 5
+        assert sum(report.per_message_packets) <= (
+            system.execution.sp(Direction.T2R)
+        )
+
+    def test_header_accounting(self):
+        system = make_system(
+            *make_flooding(3), adversary=OptimalAdversary()
+        )
+        system.run(["m"] * 9)
+        report = audit_system(system)
+        assert report.headers[Direction.T2R] == 3
+        assert report.headers[Direction.R2T] == 3
+
+    def test_lossy_run_still_consistent(self):
+        system = make_system(
+            *make_sequence_protocol(),
+            adversary=RandomAdversary(seed=3, p_deliver=0.3, p_drop=0.3),
+        )
+        system.run(["m"] * 8, max_steps=20_000)
+        report = audit_system(system)
+        assert report.ok  # losses are consistent, not problems
+
+    def test_empty_system_audits_ok(self):
+        system = make_system(*make_sequence_protocol())
+        report = audit_system(system)
+        assert report.ok
+        assert report.packets_sent == 0
+
+
+class TestForgedRuns:
+    def test_forgery_flags_spec_not_consistency(self):
+        """A forged run is *internally consistent* -- the simulator did
+        nothing wrong -- but the spec report flags (DL1)."""
+        system = make_system(*make_alternating_bit())
+        outcome = HeaderExhaustionAttack(system, max_rounds=16).run()
+        assert outcome.forged
+        report = audit_system(system)
+        assert not report.ok
+        assert report.problems == []  # bookkeeping is sound
+        assert report.spec.by_property("DL1")
+
+
+class TestTamperDetection:
+    def test_counter_tampering_is_caught(self):
+        system = make_system(
+            *make_sequence_protocol(), adversary=OptimalAdversary()
+        )
+        system.run(["a"])
+        system.sender.packets_sent += 1  # corrupt a counter
+        report = audit_system(system)
+        assert report.problems
+        assert any("sender counted" in p for p in report.problems)
+
+    def test_receiver_tampering_is_caught(self):
+        system = make_system(
+            *make_sequence_protocol(), adversary=OptimalAdversary()
+        )
+        system.run(["a"])
+        system.receiver.messages_delivered = 5
+        report = audit_system(system)
+        assert any("receiver counted" in p for p in report.problems)

@@ -1,0 +1,136 @@
+"""Unit tests for the extension finder (the boundness oracle)."""
+
+import pytest
+
+from repro.channels.adversary import OptimalAdversary
+from repro.core.extensions import find_extension
+from repro.datalink.alternating_bit import make_alternating_bit
+from repro.datalink.flooding import make_flooding
+from repro.datalink.sequence import make_sequence_protocol
+from repro.datalink.system import make_system
+from repro.ioa.actions import Direction
+
+
+class TestBasics:
+    def test_extension_from_initial_state_delivers(self):
+        system = make_system(*make_sequence_protocol())
+        extension = find_extension(system, message="m")
+        assert extension.delivered
+        assert extension.sp_t2r >= 1
+        assert extension.execution.rm() == 1
+
+    def test_system_is_untouched(self):
+        system = make_system(*make_sequence_protocol())
+        find_extension(system, message="m")
+        assert len(system.execution) == 0
+        assert system.sender.ready_for_message()
+        assert system.chan_t2r.transit_size() == 0
+
+    def test_receipt_sequence_matches_counts(self):
+        system = make_system(*make_sequence_protocol())
+        extension = find_extension(system, message="m")
+        from collections import Counter
+
+        assert Counter(extension.receipt_sequence) == (
+            extension.receipt_counts
+        )
+
+    def test_pending_message_without_injection(self):
+        system = make_system(*make_sequence_protocol())
+        system.submit_message("m")
+        extension = find_extension(system, message=None)
+        assert extension.delivered
+
+    def test_injecting_when_pending_raises(self):
+        system = make_system(*make_sequence_protocol())
+        system.submit_message("m")
+        with pytest.raises(RuntimeError):
+            find_extension(system, message="m")
+
+
+class TestStaleExclusion:
+    def test_stale_copies_never_delivered(self):
+        system = make_system(*make_sequence_protocol())
+        # Put stale copies in transit.
+        system.submit_message("a")
+        system.pump_sender(bursts=3)
+        stale_ids = set(system.chan_t2r.in_transit_ids())
+        # Complete message a on the real system.
+        for copy_id in list(stale_ids)[:1]:
+            system.deliver_copy(Direction.T2R, copy_id)
+        system.pump_receiver()
+        for ack in system.chan_r2t.in_transit_ids():
+            system.deliver_copy(Direction.R2T, ack)
+        remaining = set(system.chan_t2r.in_transit_ids())
+        extension = find_extension(system, message="b")
+        # No receipt in the extension consumes a stale copy.
+        received_ids = {
+            event.action.copy_id
+            for event in extension.execution.packet_events(
+                __import__(
+                    "repro.ioa.actions", fromlist=["ActionType"]
+                ).ActionType.RECEIVE_PKT,
+                Direction.T2R,
+            )
+        }
+        assert received_ids.isdisjoint(remaining)
+
+
+class TestCosts:
+    def test_flooding_cost_tracks_planted_backlog(self):
+        """More stale copies of the awaited phase -> longer extension."""
+        from repro.core.pumping import ReservePool, pump_message
+        from repro.datalink.flooding import data_packet
+
+        def cost_with_hoard(hoard: int) -> int:
+            system = make_system(*make_flooding(2))
+            pool = ReservePool()
+            # Hoard copies of phase 0 while delivering messages 0 and 1
+            # (so the next message, 2, is phase 0 again).
+            quota = lambda p: hoard if p.header == ("DATA", 0) else 0
+            assert pump_message(system, "m", quota, pool)
+            assert pump_message(system, "m", quota, pool)
+            extension = find_extension(system, message="m")
+            assert extension.delivered
+            return extension.sp_t2r
+
+        assert cost_with_hoard(8) > cost_with_hoard(2) > cost_with_hoard(0)
+
+    def test_abp_extension_is_constant(self):
+        system = make_system(
+            *make_alternating_bit(), adversary=OptimalAdversary()
+        )
+        system.run(["m"] * 4)
+        extension = find_extension(system, message="m")
+        assert extension.delivered
+        assert extension.sp_t2r <= 2
+
+
+class TestCycleDetection:
+    def test_no_cycle_on_live_protocol(self):
+        system = make_system(*make_sequence_protocol())
+        extension = find_extension(system, message="m", track_states=True)
+        assert extension.delivered
+        assert extension.cycle is None
+
+    def test_cycle_found_on_livelocked_protocol(self):
+        """A receiver that never delivers produces the Theorem 2.1
+        pigeonhole witness."""
+        from repro.datalink.sequence import SequenceReceiver, ack_packet
+
+        class BlackHoleReceiver(SequenceReceiver):
+            """Acks everything, delivers nothing: finite states, no
+            progress -- the protocol violates (DL3)."""
+
+            def on_packet(self, packet):
+                kind, seq = packet.header
+                if kind == "DATA":
+                    self.queue_packet(ack_packet(-1))  # useless ack
+
+        sender, _ = make_sequence_protocol()
+        system = make_system(sender, BlackHoleReceiver())
+        extension = find_extension(
+            system, message="m", max_steps=500, track_states=True
+        )
+        assert not extension.delivered
+        assert extension.cycle is not None

@@ -1,0 +1,113 @@
+"""Tests for the Hoeffding bound and Section 5 closed forms."""
+
+import math
+
+import pytest
+
+from repro.core.hoeffding import (
+    empirical_binomial_tail,
+    epsilon_n,
+    exact_binomial_tail,
+    hoeffding_tail_bound,
+    lemma52_failure_bound,
+    predicted_growth_factor,
+    theorem51_packet_lower_bound,
+)
+
+
+class TestBound:
+    def test_formula(self):
+        n, q, alpha = 100, 0.5, 0.25
+        assert hoeffding_tail_bound(n, q, alpha) == pytest.approx(
+            math.exp(-2 * n * (alpha - q) ** 2)
+        )
+
+    def test_trivial_when_alpha_at_least_q(self):
+        assert hoeffding_tail_bound(100, 0.3, 0.3) == 1.0
+        assert hoeffding_tail_bound(100, 0.3, 0.9) == 1.0
+
+    def test_clipped_to_one(self):
+        assert hoeffding_tail_bound(0, 0.5, 0.1) == 1.0
+
+    def test_decreases_in_n(self):
+        values = [hoeffding_tail_bound(n, 0.5, 0.25) for n in (10, 100, 1000)]
+        assert values[0] > values[1] > values[2]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            hoeffding_tail_bound(-1, 0.5, 0.2)
+        with pytest.raises(ValueError):
+            hoeffding_tail_bound(10, 1.5, 0.2)
+
+
+class TestExactTail:
+    def test_matches_hand_computation(self):
+        # Binomial(2, 0.5) <= 0.5*2 = 1: P(0) + P(1) = 0.75.
+        assert exact_binomial_tail(2, 0.5, 0.5) == pytest.approx(0.75)
+
+    def test_zero_threshold(self):
+        # P(X <= 0) = (1-q)^n.
+        assert exact_binomial_tail(10, 0.3, 0.0) == pytest.approx(0.7**10)
+
+    def test_dominated_by_hoeffding(self):
+        for n in (20, 100, 500):
+            for q in (0.3, 0.6):
+                for fraction in (0.2, 0.5, 0.8):
+                    alpha = q * fraction
+                    assert (
+                        hoeffding_tail_bound(n, q, alpha)
+                        >= exact_binomial_tail(n, q, alpha) - 1e-12
+                    )
+
+    def test_empirical_close_to_exact(self):
+        n, q, alpha = 60, 0.5, 0.35
+        exact = exact_binomial_tail(n, q, alpha)
+        empirical = empirical_binomial_tail(n, q, alpha, trials=20_000)
+        assert empirical == pytest.approx(exact, abs=0.02)
+
+
+class TestSection5Forms:
+    def test_epsilon_n_scale(self):
+        # eps_n = sqrt(2 k^2 ln2 / (n q)).
+        assert epsilon_n(100, 0.5, 3) == pytest.approx(
+            math.sqrt(2 * 9 * math.log(2) / 50)
+        )
+
+    def test_epsilon_n_is_inverse_sqrt_n(self):
+        assert epsilon_n(400, 0.5, 3) == pytest.approx(
+            epsilon_n(100, 0.5, 3) / 2
+        )
+
+    def test_epsilon_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            epsilon_n(0, 0.5, 3)
+        with pytest.raises(ValueError):
+            epsilon_n(10, 0.0, 3)
+
+    def test_lemma52_bound_decays_exponentially(self):
+        assert lemma52_failure_bound(2000, 0.3, 3) < lemma52_failure_bound(
+            200, 0.3, 3
+        )
+        assert lemma52_failure_bound(10, 0.3, 3) <= 1.0
+
+    def test_growth_factor_above_one_for_positive_q(self):
+        assert predicted_growth_factor(0.3, 3) > 1.0
+
+    def test_growth_factor_monotone_in_q(self):
+        factors = [predicted_growth_factor(q, 3) for q in (0.1, 0.3, 0.5)]
+        assert factors == sorted(factors)
+
+    def test_growth_factor_with_eps_correction_is_smaller(self):
+        asymptotic = predicted_growth_factor(0.3, 3)
+        corrected = predicted_growth_factor(0.3, 3, n=200)
+        assert corrected <= asymptotic
+
+    def test_packet_lower_bound_degenerates_for_small_n(self):
+        # eps_n > q for tiny n: the bound collapses to 1 (asymptotic
+        # statement).
+        assert theorem51_packet_lower_bound(4, 0.1, 3) == 1.0
+
+    def test_packet_lower_bound_grows_exponentially(self):
+        small = theorem51_packet_lower_bound(2_000, 0.5, 3)
+        large = theorem51_packet_lower_bound(4_000, 0.5, 3)
+        assert large > small**1.5

@@ -1,0 +1,94 @@
+"""Tests for the proofs' worst-case bookkeeping calculators."""
+
+import math
+
+import pytest
+
+from repro.core.proof_bounds import (
+    identity_f,
+    lmf88_header_lower_bound,
+    theorem31_basis_copies,
+    theorem31_budget_schedule,
+    theorem31_invariant_copies,
+    theorem31_total_budget,
+)
+
+
+class TestBasis:
+    def test_matches_formula(self):
+        f = identity_f
+        k = 3
+        assert theorem31_basis_copies(k, f) == (
+            math.factorial(k) * f(k + 1) ** k - k + 1
+        )
+
+    def test_k_one(self):
+        # 1! * f(2)^1 - 1 + 1 = f(2).
+        assert theorem31_basis_copies(1, identity_f) == 2
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            theorem31_basis_copies(0, identity_f)
+
+
+class TestInvariant:
+    def test_matches_formula(self):
+        f = identity_f
+        k, i = 4, 1
+        assert theorem31_invariant_copies(k, i, f) == (
+            math.factorial(k - i - 1) * f(k + 1) ** (k - i)
+        )
+
+    def test_schedule_is_decreasing(self):
+        schedule = theorem31_budget_schedule(5, identity_f)
+        assert schedule == sorted(schedule, reverse=True)
+        assert len(schedule) == 5
+
+    def test_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            theorem31_invariant_copies(3, 3, identity_f)
+        with pytest.raises(ValueError):
+            theorem31_invariant_copies(3, -1, identity_f)
+
+
+class TestBudgetGap:
+    """The point of the module: the proof's universal budget dwarfs
+    what the operational attack actually needs."""
+
+    def test_proof_budget_grows_superexponentially(self):
+        budgets = [
+            theorem31_total_budget(k, identity_f) for k in (2, 4, 6, 8)
+        ]
+        assert all(b2 > 10 * b1 for b1, b2 in zip(budgets, budgets[1:]))
+
+    def test_operational_attack_uses_a_fraction(self):
+        from repro.core.theorem31 import HeaderExhaustionAttack
+        from repro.datalink.alternating_bit import make_alternating_bit
+        from repro.datalink.system import make_system
+
+        system = make_system(*make_alternating_bit())
+        outcome = HeaderExhaustionAttack(system, max_rounds=16).run()
+        assert outcome.forged
+        proof_budget = theorem31_total_budget(2, identity_f)
+        assert outcome.pool.total() < proof_budget / 2
+
+
+class TestLmf88:
+    def test_ceiling_division(self):
+        assert lmf88_header_lower_bound(10, 3) == 4
+        assert lmf88_header_lower_bound(9, 3) == 3
+
+    def test_rejects_bad_boundness(self):
+        with pytest.raises(ValueError):
+            lmf88_header_lower_bound(10, 0)
+
+    def test_trivial_when_k_linear_in_n(self):
+        """The paper's observation: with k = n the bound is trivial."""
+        assert lmf88_header_lower_bound(100, 100) == 1
+
+
+class TestIdentityF:
+    def test_floor_of_two(self):
+        assert identity_f(0) == 2
+        assert identity_f(1) == 2
+        assert identity_f(7) == 7

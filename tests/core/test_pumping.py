@@ -1,0 +1,93 @@
+"""Unit tests for the reserve pool and adversarial pumping."""
+
+import pytest
+
+from repro.channels.packets import Packet
+from repro.core.pumping import ReservePool, pump_message
+from repro.datalink.sequence import make_sequence_protocol
+from repro.datalink.spec import check_execution
+from repro.datalink.system import make_system
+
+PKT = Packet(header="p")
+OTHER = Packet(header="q")
+
+
+class TestReservePool:
+    def test_reserve_counts(self):
+        pool = ReservePool()
+        pool.reserve(0, PKT)
+        pool.reserve(1, PKT)
+        pool.reserve(2, OTHER)
+        assert pool.count(PKT) == 2
+        assert pool.count(OTHER) == 1
+        assert pool.total() == 3
+
+    def test_reserve_is_idempotent_per_copy(self):
+        pool = ReservePool()
+        pool.reserve(0, PKT)
+        pool.reserve(0, PKT)
+        assert pool.count(PKT) == 1
+
+    def test_release(self):
+        pool = ReservePool()
+        pool.reserve(0, PKT)
+        pool.release(0, PKT)
+        assert pool.count(PKT) == 0
+        assert pool.total() == 0
+
+    def test_release_unknown_is_noop(self):
+        pool = ReservePool()
+        pool.release(9, PKT)
+        assert pool.total() == 0
+
+
+class TestPumpMessage:
+    def test_delivers_while_hoarding(self):
+        system = make_system(*make_sequence_protocol())
+        pool = ReservePool()
+        ok = pump_message(
+            system, "m", quota=lambda p: 2 if p.header[0] == "DATA" else 0,
+            pool=pool,
+        )
+        assert ok
+        assert system.receiver.messages_delivered == 1
+        assert pool.total() == 2
+        # The hoarded copies really are in transit.
+        assert system.chan_t2r.transit_size() >= 2
+
+    def test_resulting_execution_is_valid(self):
+        """Pumping is an *honest* channel behaviour: the recorded
+        execution satisfies every data link property."""
+        system = make_system(*make_sequence_protocol())
+        pool = ReservePool()
+        for index in range(3):
+            assert pump_message(
+                system, f"m{index}", quota=lambda p: 1, pool=pool
+            )
+        report = check_execution(system.execution)
+        assert report.valid
+
+    def test_sender_ready_after_pump(self):
+        system = make_system(*make_sequence_protocol())
+        assert pump_message(system, "m", quota=lambda p: 0)
+        assert system.sender.ready_for_message()
+
+    def test_requires_ready_sender(self):
+        system = make_system(*make_sequence_protocol())
+        system.submit_message("early")
+        with pytest.raises(RuntimeError):
+            pump_message(system, "m", quota=lambda p: 0)
+
+    def test_starving_quota_reports_failure(self):
+        """Hoarding every copy of everything stalls the protocol."""
+        system = make_system(*make_sequence_protocol())
+        ok = pump_message(
+            system, "m", quota=lambda p: 10**9, max_steps=200
+        )
+        assert not ok
+
+    def test_zero_quota_hoards_nothing(self):
+        system = make_system(*make_sequence_protocol())
+        pool = ReservePool()
+        assert pump_message(system, "m", quota=lambda p: 0, pool=pool)
+        assert pool.total() == 0

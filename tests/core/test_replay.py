@@ -1,0 +1,102 @@
+"""Unit tests for the replay (simulation) attack."""
+
+from repro.core.pumping import ReservePool, pump_message
+from repro.core.replay import attempt_replay
+from repro.datalink.alternating_bit import make_alternating_bit
+from repro.datalink.sequence import make_sequence_protocol
+from repro.datalink.spec import check_dl1, check_execution
+from repro.datalink.system import make_system
+
+
+def abp_with_stale_pool():
+    """An ABP system with stale copies of both data values hoarded."""
+    system = make_system(*make_alternating_bit())
+    pool = ReservePool()
+    quota = lambda p: 3 if p.header[0] == "DATA" else 0
+    assert pump_message(system, "m", quota, pool)
+    assert pump_message(system, "m", quota, pool)
+    return system, pool
+
+
+class TestFailureCases:
+    def test_no_stale_copies_means_deficit(self):
+        system = make_system(*make_alternating_bit())
+        outcome = attempt_replay(system, message="m")
+        assert not outcome.success
+        assert not outcome.executed
+        assert outcome.deficit
+        # The system was not touched.
+        assert len(system.execution) == 0
+
+    def test_seq_protocol_always_has_deficit(self):
+        system = make_system(*make_sequence_protocol())
+        from repro.channels.adversary import OptimalAdversary
+
+        system.adversary = OptimalAdversary()
+        system.run(["m"] * 3)
+        system.adversary = None
+        outcome = attempt_replay(system, message="m")
+        assert not outcome.success
+        # The deficit names the *next* fresh header.
+        missing = list(outcome.deficit)
+        assert any(p.header == ("DATA", 3) for p in missing)
+
+
+class TestSuccessCases:
+    def test_replay_forges_delivery_on_abp(self):
+        system, _ = abp_with_stale_pool()
+        sm_before = system.execution.sm()
+        rm_before = system.execution.rm()
+        outcome = attempt_replay(system, message="m")
+        assert outcome.success
+        assert outcome.executed
+        assert outcome.forged_deliveries == 1
+        # rm = sm + 1 among post-attack actions: the DL1 checker fires.
+        assert system.execution.sm() == sm_before
+        assert system.execution.rm() == rm_before + 1
+        assert check_dl1(system.execution) is not None
+
+    def test_dry_run_predicts_without_touching(self):
+        system, _ = abp_with_stale_pool()
+        outcome = attempt_replay(system, message="m", dry_run=True)
+        assert outcome.success
+        assert not outcome.executed
+        assert check_dl1(system.execution) is None  # still clean
+        # And the prediction is accurate:
+        outcome2 = attempt_replay(system, message="m")
+        assert outcome2.success and outcome2.executed
+
+    def test_replay_spends_only_stale_copies(self):
+        system, _ = abp_with_stale_pool()
+        transit_before = system.chan_t2r.transit_size()
+        sp_before = system.execution.sp(
+            __import__(
+                "repro.ioa.actions", fromlist=["Direction"]
+            ).Direction.T2R
+        )
+        outcome = attempt_replay(system, message="m")
+        assert outcome.success
+        # No new forward packets were sent; only stale copies consumed.
+        sp_after = system.execution.sp(
+            __import__(
+                "repro.ioa.actions", fromlist=["Direction"]
+            ).Direction.T2R
+        )
+        assert sp_after == sp_before
+        assert (
+            system.chan_t2r.transit_size()
+            == transit_before - outcome.stale_spent
+        )
+
+    def test_forgery_violates_only_message_layer(self):
+        """The channel itself stayed lawful: (PL1) holds, (DL1) breaks.
+
+        That is the entire point of the paper: the *physical* layer did
+        nothing illegal, yet the data link layer's obligation failed.
+        """
+        system, _ = abp_with_stale_pool()
+        outcome = attempt_replay(system, message="m")
+        assert outcome.success
+        report = check_execution(system.execution)
+        assert not report.by_property("PL1")
+        assert report.by_property("DL1")

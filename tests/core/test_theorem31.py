@@ -1,0 +1,111 @@
+"""Tests for the Theorem 3.1 header-exhaustion adversary.
+
+The theorem's dichotomy, executed: every in-model protocol with a
+bounded header alphabet is forged; the n-header naive protocol is not.
+"""
+
+import pytest
+
+from repro.core.theorem31 import HeaderExhaustionAttack
+from repro.datalink.alternating_bit import make_alternating_bit
+from repro.datalink.flooding import make_capacity_flooding, make_flooding
+from repro.datalink.sequence import make_sequence_protocol
+from repro.datalink.spec import check_dl1, check_pl1
+from repro.datalink.system import make_system
+from repro.ioa.actions import Direction
+
+
+def attack(factory, max_rounds=32):
+    sender, receiver = factory()
+    system = make_system(sender, receiver)
+    return system, HeaderExhaustionAttack(system, max_rounds=max_rounds).run()
+
+
+class TestForgesBoundedHeaderProtocols:
+    def test_alternating_bit_forged(self):
+        system, outcome = attack(make_alternating_bit)
+        assert outcome.forged
+        assert outcome.violation_found
+        assert check_dl1(system.execution) is not None
+
+    def test_alternating_bit_needs_two_messages(self):
+        """Both data values must exist as stale copies first."""
+        _, outcome = attack(make_alternating_bit)
+        assert outcome.messages_spent == 2
+
+    @pytest.mark.parametrize("phases,capacity", [(2, 2), (3, 4), (4, 1)])
+    def test_capacity_flooding_forged(self, phases, capacity):
+        system, outcome = attack(
+            lambda: make_capacity_flooding(phases, capacity),
+            max_rounds=48,
+        )
+        assert outcome.forged
+        assert outcome.violation_found
+
+    def test_capacity_flooding_spends_k_messages(self):
+        """The pool must cover the cycling phases: about K messages."""
+        _, outcome = attack(lambda: make_capacity_flooding(3, 2))
+        assert outcome.messages_spent == 3
+
+    def test_channel_stays_lawful(self):
+        """(PL1) holds throughout the forgery -- the attack uses only
+        legal channel moves."""
+        system, outcome = attack(make_alternating_bit)
+        assert outcome.forged
+        assert check_pl1(system.execution, Direction.T2R) is None
+        assert check_pl1(system.execution, Direction.R2T) is None
+
+    def test_prefix_before_forgery_is_valid(self):
+        """The attack's own traffic is a valid execution right up to
+        the forged delivery (the alpha_i of the proof)."""
+        system, outcome = attack(make_alternating_bit)
+        assert outcome.forged
+        # Find the forged receive_msg (the last rm) and check the
+        # prefix before it.
+        last_rm_index = max(
+            event.index
+            for event in system.execution
+            if event.action.type.value == "receive_msg"
+        )
+        prefix = system.execution.prefix(last_rm_index)
+        assert check_dl1(prefix) is None
+
+
+class TestEscapeHatches:
+    def test_sequence_protocol_not_forged(self):
+        _, outcome = attack(make_sequence_protocol, max_rounds=12)
+        assert not outcome.forged
+        assert "fresh headers" in outcome.reason
+
+    def test_sequence_deficit_tracks_fresh_headers(self):
+        _, outcome = attack(make_sequence_protocol, max_rounds=6)
+        # The last replay attempt's deficit names a header the channel
+        # has never carried.
+        assert outcome.replay is not None
+        assert outcome.replay.deficit
+
+    def test_oracle_flooding_not_forged(self):
+        """Out-of-model: the channel oracle adapts thresholds to the
+        hoard, blocking the forgery."""
+        _, outcome = attack(lambda: make_flooding(3), max_rounds=10)
+        assert not outcome.forged
+
+
+class TestReporting:
+    def test_history_records_each_round(self):
+        _, outcome = attack(make_alternating_bit)
+        assert outcome.rounds == len(outcome.history)
+        assert outcome.history[-1].replay_feasible
+        assert all(
+            not record.replay_feasible for record in outcome.history[:-1]
+        )
+
+    def test_pool_growth_is_monotone(self):
+        _, outcome = attack(lambda: make_capacity_flooding(3, 2))
+        totals = [record.pool_total for record in outcome.history]
+        assert totals == sorted(totals)
+
+    def test_headers_observed_matches_paper_accounting(self):
+        system, outcome = attack(make_alternating_bit)
+        # ABP uses exactly 2 forward packet values (unary bodies).
+        assert outcome.headers_observed == 2

@@ -1,0 +1,87 @@
+"""Cross-protocol theorem matrix: every protocol against every theorem.
+
+One place that states, and checks, the complete picture the paper
+paints across the zoo:
+
+| protocol            | headers   | Thm 3.1 forgery | Thm 4.1 at backlog |
+|---------------------|-----------|-----------------|--------------------|
+| alternating-bit     | 2         | forged          | forged             |
+| modular-seq(M)      | 2M        | forged          | forged or exceeds  |
+| capacity-flood(K,B) | 2K        | forged          | forged or exceeds  |
+| sequence-number     | grows     | escapes         | O(1) cost escape   |
+| window / go-back-N  | grows     | escapes         | O(1)-ish escape    |
+| oracle-flood(K)     | 2K+oracle | blocked (model) | exceeds (tight)    |
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.theorem31 import HeaderExhaustionAttack
+from repro.core.theorem41 import run_dichotomy
+from repro.datalink.alternating_bit import make_alternating_bit
+from repro.datalink.flooding import make_capacity_flooding, make_flooding
+from repro.datalink.gobackn import make_gobackn
+from repro.datalink.sequence import make_sequence_protocol
+from repro.datalink.sequence_mod import make_modular_sequence
+from repro.datalink.system import make_system
+from repro.datalink.window import make_window_protocol
+
+FORGEABLE = {
+    "alternating-bit": (make_alternating_bit, 16),
+    "modular-M2": (lambda: make_modular_sequence(2), 16),
+    "capacity-flood-K2B1": (lambda: make_capacity_flooding(2, 1), 24),
+}
+
+ESCAPING = {
+    "sequence": (make_sequence_protocol, 8),
+    "window-W3": (lambda: make_window_protocol(3), 8),
+    "gobackn-W3": (lambda: make_gobackn(3), 8),
+    "oracle-flood-K3": (lambda: make_flooding(3), 8),
+}
+
+
+class TestTheorem31Matrix:
+    @pytest.mark.parametrize("name", sorted(FORGEABLE))
+    def test_bounded_header_protocols_forged(self, name):
+        factory, rounds = FORGEABLE[name]
+        system = make_system(*factory())
+        outcome = HeaderExhaustionAttack(system, max_rounds=rounds).run()
+        assert outcome.forged, name
+        assert outcome.violation_found
+
+    @pytest.mark.parametrize("name", sorted(ESCAPING))
+    def test_growing_header_and_oracle_protocols_escape(self, name):
+        factory, rounds = ESCAPING[name]
+        system = make_system(*factory())
+        outcome = HeaderExhaustionAttack(system, max_rounds=rounds).run()
+        assert not outcome.forged, name
+
+
+class TestTheorem41Property:
+    @given(
+        backlog=st.integers(4, 48),
+        phases=st.integers(2, 4),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_dichotomy_holds_for_flooding(self, backlog, phases):
+        outcome = run_dichotomy(lambda: make_flooding(phases), backlog)
+        assert outcome.theorem_confirmed
+        # Oracle flooding always takes the first horn.
+        assert outcome.exceeded_bound
+
+    @given(backlog=st.integers(4, 24))
+    @settings(max_examples=8, deadline=None)
+    def test_dichotomy_holds_for_abp(self, backlog):
+        outcome = run_dichotomy(make_alternating_bit, backlog)
+        assert outcome.theorem_confirmed
+        # The 2-header protocol always takes the second horn.
+        assert outcome.forged
+
+    @given(backlog=st.integers(4, 24), modulus=st.integers(2, 5))
+    @settings(max_examples=8, deadline=None)
+    def test_dichotomy_holds_for_modular(self, backlog, modulus):
+        outcome = run_dichotomy(
+            lambda: make_modular_sequence(modulus), backlog
+        )
+        assert outcome.theorem_confirmed

@@ -1,0 +1,106 @@
+"""Unit tests for the alternating-bit protocol [BSW69]."""
+
+from repro.channels.fifo import FifoChannel
+from repro.datalink.alternating_bit import (
+    AlternatingBitReceiver,
+    AlternatingBitSender,
+    ack_packet,
+    data_packet,
+    make_alternating_bit,
+)
+from repro.datalink.spec import check_execution
+from repro.datalink.system import DataLinkSystem, make_system
+from repro.ioa.actions import Direction, receive_pkt, send_msg
+
+
+def fifo_system() -> DataLinkSystem:
+    sender, receiver = make_alternating_bit()
+    return DataLinkSystem(
+        sender,
+        receiver,
+        chan_t2r=FifoChannel(Direction.T2R),
+        chan_r2t=FifoChannel(Direction.R2T),
+    )
+
+
+class TestSender:
+    def test_bit_alternates_across_messages(self):
+        sender = AlternatingBitSender()
+        sender.handle_input(send_msg("a"))
+        assert sender.current_packet == data_packet(0, "a")
+        sender.handle_input(receive_pkt(Direction.R2T, ack_packet(0)))
+        sender.handle_input(send_msg("b"))
+        assert sender.current_packet == data_packet(1, "b")
+
+    def test_wrong_bit_ack_ignored(self):
+        sender = AlternatingBitSender()
+        sender.handle_input(send_msg("a"))
+        sender.handle_input(receive_pkt(Direction.R2T, ack_packet(1)))
+        assert not sender.ready_for_message()
+
+    def test_only_two_data_headers_exist(self):
+        headers = {data_packet(bit, "m").header for bit in (0, 1)}
+        assert len(headers) == 2
+
+
+class TestReceiver:
+    def test_delivers_on_expected_bit(self):
+        receiver = AlternatingBitReceiver()
+        receiver.handle_input(receive_pkt(Direction.T2R, data_packet(0, "a")))
+        output = receiver.next_output()
+        assert output is not None
+        assert output.message == "a"
+
+    def test_acks_received_bit_even_when_not_delivering(self):
+        receiver = AlternatingBitReceiver()
+        receiver.handle_input(receive_pkt(Direction.T2R, data_packet(1, "a")))
+        output = receiver.next_output()
+        assert output is not None
+        assert output.packet == ack_packet(1)
+
+
+class TestOverFifo:
+    """Where [BSW69] is correct."""
+
+    def test_delivers_sequence(self):
+        system = fifo_system()
+        messages = [f"m{i}" for i in range(25)]
+        stats = system.run(messages)
+        assert stats.completed
+        assert system.execution.received_messages() == messages
+        assert check_execution(system.execution).valid
+
+    def test_constant_header_alphabet(self):
+        system = fifo_system()
+        system.run(["m"] * 25)
+        assert system.execution.header_count(Direction.T2R) == 2
+        assert system.execution.header_count(Direction.R2T) == 2
+
+
+class TestOverNonFifo:
+    """Where the paper's lower bounds bite."""
+
+    def test_reordering_adversary_breaks_safety(self):
+        """Mere random reordering eventually duplicates a delivery."""
+        from repro.channels.adversary import FairAdversary
+
+        system = make_system(
+            *make_alternating_bit(),
+            adversary=FairAdversary(seed=7, p_deliver=0.4, max_delay=10),
+        )
+        system.run([f"m{i}" for i in range(20)], max_steps=20_000)
+        report = check_execution(system.execution)
+        assert not report.ok
+        assert report.by_property("DL1") or report.by_property("DL1/DL2")
+
+    def test_immediate_delivery_keeps_it_safe(self):
+        """Without reordering the ABP is fine even over the bag channel
+        (the adversary is what breaks it, not the bag semantics)."""
+        from repro.channels.adversary import OptimalAdversary
+
+        system = make_system(
+            *make_alternating_bit(), adversary=OptimalAdversary()
+        )
+        stats = system.run([f"m{i}" for i in range(20)])
+        assert stats.completed
+        assert check_execution(system.execution).valid

@@ -1,0 +1,99 @@
+"""Negative-fixture tests: the machinery must catch each failure class.
+
+Each deliberately broken protocol in :mod:`repro.datalink.broken`
+violates exactly one property; these tests assert the corresponding
+checker (and only it) fires, and that the analysis tooling produces the
+right artifact (cycle certificate, undeliverable extension).
+"""
+
+from repro.channels.adversary import OptimalAdversary
+from repro.core.extensions import find_extension
+from repro.datalink.broken import (
+    BlackHoleReceiver,
+    EagerReceiver,
+    ForgetfulSender,
+    SwapReceiver,
+)
+from repro.datalink.sequence import SequenceReceiver, SequenceSender
+from repro.datalink.spec import check_dl1, check_dl1_dl2, check_execution
+from repro.datalink.system import make_system
+
+
+class TestBlackHole:
+    def test_violates_liveness_only(self):
+        system = make_system(
+            SequenceSender(), BlackHoleReceiver(),
+            adversary=OptimalAdversary(),
+        )
+        stats = system.run(["m"], max_steps=200)
+        assert not stats.completed
+        report = check_execution(system.execution)
+        assert report.ok  # safety intact
+        assert report.pending_messages == 1
+
+    def test_cycle_certificate_found(self):
+        system = make_system(SequenceSender(), BlackHoleReceiver())
+        extension = find_extension(
+            system, message="m", max_steps=500, track_states=True
+        )
+        assert not extension.delivered
+        assert extension.cycle is not None
+        first = extension.cycle.first_receipt_index
+        second = extension.cycle.second_receipt_index
+        assert first < second
+
+
+class TestEager:
+    def test_duplicate_delivery_caught_by_dl1(self):
+        system = make_system(
+            SequenceSender(), EagerReceiver(),
+            adversary=OptimalAdversary(),
+            sender_burst=3,  # retransmissions make duplicates
+        )
+        system.run(["m"], max_steps=50)
+        assert check_dl1(system.execution) is not None
+
+
+class TestForgetful:
+    def test_no_delivering_extension_after_loss(self):
+        """Once the only copy is dropped, nothing can ever deliver."""
+        system = make_system(ForgetfulSender(), SequenceReceiver())
+        system.submit_message("m")
+        system.pump_sender()
+        # Lose the single transmission.
+        (copy_id,) = system.chan_t2r.in_transit_ids()
+        system.drop_copy(__import__(
+            "repro.ioa.actions", fromlist=["Direction"]
+        ).Direction.T2R, copy_id)
+        extension = find_extension(system, message=None, max_steps=300)
+        assert not extension.delivered
+
+    def test_works_when_nothing_is_lost(self):
+        system = make_system(
+            ForgetfulSender(), SequenceReceiver(),
+            adversary=OptimalAdversary(),
+        )
+        stats = system.run(["a", "b"], max_steps=100)
+        assert stats.completed
+        assert check_execution(system.execution).valid
+
+
+class TestSwap:
+    def test_violates_dl2_but_not_dl1(self):
+        system = make_system(
+            SequenceSender(), SwapReceiver(), adversary=OptimalAdversary()
+        )
+        system.run(["a", "b"], max_steps=200)
+        execution = system.execution
+        assert execution.received_messages() == ["b", "a"]
+        assert check_dl1(execution) is None
+        assert check_dl1_dl2(execution) is not None
+
+    def test_combined_report_separates_the_properties(self):
+        system = make_system(
+            SequenceSender(), SwapReceiver(), adversary=OptimalAdversary()
+        )
+        system.run(["a", "b"], max_steps=200)
+        report = check_execution(system.execution)
+        assert not report.by_property("DL1")
+        assert report.by_property("DL1/DL2")

@@ -1,0 +1,131 @@
+"""Tests for the Go-Back-N protocol."""
+
+import pytest
+
+from repro.channels.adversary import (
+    FairAdversary,
+    OptimalAdversary,
+    RandomAdversary,
+)
+from repro.datalink.gobackn import (
+    GoBackNReceiver,
+    GoBackNSender,
+    cumulative_ack,
+    data_packet,
+    make_gobackn,
+)
+from repro.datalink.spec import check_execution
+from repro.datalink.system import make_system
+from repro.datalink.window import make_window_protocol
+from repro.ioa.actions import Direction, receive_pkt, send_msg
+
+
+class TestSender:
+    def test_rejects_zero_window(self):
+        with pytest.raises(ValueError):
+            GoBackNSender(0)
+
+    def test_cumulative_ack_confirms_prefix(self):
+        sender = GoBackNSender(4)
+        for index in range(4):
+            sender.handle_input(send_msg(f"m{index}"))
+        sender.handle_input(receive_pkt(Direction.R2T, cumulative_ack(2)))
+        # 0, 1, 2 confirmed; only 3 outstanding.
+        assert sender.ready_for_message()
+        action = sender.next_output()
+        assert action.packet.header == ("DATA", 3)
+
+    def test_ack_of_nothing_is_harmless(self):
+        sender = GoBackNSender(2)
+        sender.handle_input(send_msg("a"))
+        sender.handle_input(receive_pkt(Direction.R2T, cumulative_ack(-1)))
+        assert sender.next_output() is not None
+
+    def test_retransmits_cyclically(self):
+        sender = GoBackNSender(3)
+        for index in range(3):
+            sender.handle_input(send_msg(f"m{index}"))
+        seen = []
+        for _ in range(6):
+            action = sender.next_output()
+            seen.append(action.packet.header[1])
+            sender.perform_output(action)
+        assert seen == [0, 1, 2, 0, 1, 2]
+
+
+class TestReceiver:
+    def test_in_order_accepted(self):
+        receiver = GoBackNReceiver()
+        receiver.handle_input(receive_pkt(Direction.T2R, data_packet(0, "a")))
+        action = receiver.next_output()
+        assert action.message == "a"
+
+    def test_out_of_order_discarded_but_acked(self):
+        receiver = GoBackNReceiver()
+        receiver.handle_input(receive_pkt(Direction.T2R, data_packet(3, "d")))
+        action = receiver.next_output()
+        assert action.message is None
+        assert action.packet == cumulative_ack(-1)
+
+    def test_constant_state(self):
+        """The receiver's protocol state is one integer, whatever
+        arrives -- Go-Back-N's selling point."""
+        receiver = GoBackNReceiver()
+        for seq in (5, 3, 9, 0, 7):
+            receiver.handle_input(
+                receive_pkt(Direction.T2R, data_packet(seq, "x"))
+            )
+            while receiver.next_output() is not None:
+                receiver.perform_output(receiver.next_output())
+        assert receiver.protocol_fields() == (1,)  # only 0 was in order
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("window", [1, 4, 8])
+    def test_fifo_delivery_under_reordering(self, window):
+        system = make_system(
+            *make_gobackn(window),
+            adversary=FairAdversary(seed=5, p_deliver=0.35, max_delay=8),
+        )
+        messages = [f"m{i}" for i in range(25)]
+        stats = system.run(messages, max_steps=100_000)
+        assert stats.completed
+        assert system.execution.received_messages() == messages
+        assert check_execution(system.execution).valid
+
+    def test_safety_under_loss(self):
+        system = make_system(
+            *make_gobackn(4),
+            adversary=RandomAdversary(seed=8, p_deliver=0.3, p_drop=0.3),
+        )
+        system.run(["m"] * 12, max_steps=30_000)
+        assert check_execution(system.execution).ok
+
+    def test_perfect_channel_costs_one_send_per_message(self):
+        system = make_system(
+            *make_gobackn(4), adversary=OptimalAdversary()
+        )
+        stats = system.run(["m"] * 20)
+        assert stats.completed
+        # Prompt acks keep retransmission near zero.
+        assert stats.packets_t2r <= 2 * 20
+
+    def test_selective_repeat_beats_gbn_under_reordering(self):
+        """The design trade-off, measured: under a reordering channel
+        Go-Back-N discards out-of-order arrivals and pays in
+        retransmissions."""
+
+        def forward_packets(factory):
+            system = make_system(
+                *factory(),
+                adversary=FairAdversary(
+                    seed=3, p_deliver=0.25, max_delay=10
+                ),
+            )
+            stats = system.run(["m"] * 40, max_steps=200_000)
+            assert stats.completed
+            return stats.packets_t2r
+
+        gbn = forward_packets(lambda: make_gobackn(8))
+        selective = forward_packets(lambda: make_window_protocol(8))
+        assert selective < gbn

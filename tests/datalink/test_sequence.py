@@ -1,0 +1,138 @@
+"""Unit tests for the naive sequence-number protocol."""
+
+from repro.channels.adversary import FairAdversary, OptimalAdversary
+from repro.channels.packets import Packet
+from repro.datalink.sequence import (
+    SequenceReceiver,
+    SequenceSender,
+    ack_packet,
+    data_packet,
+    make_sequence_protocol,
+)
+from repro.datalink.spec import check_execution
+from repro.datalink.system import make_system
+from repro.ioa.actions import Direction, receive_pkt, send_msg
+
+
+class TestSender:
+    def test_stamps_messages_with_increasing_seq(self):
+        sender = SequenceSender()
+        sender.handle_input(send_msg("a"))
+        assert sender.current_packet == data_packet(0, "a")
+        sender.handle_input(receive_pkt(Direction.R2T, ack_packet(0)))
+        sender.handle_input(send_msg("b"))
+        assert sender.current_packet == data_packet(1, "b")
+
+    def test_wrong_ack_ignored(self):
+        sender = SequenceSender()
+        sender.handle_input(send_msg("a"))
+        sender.handle_input(receive_pkt(Direction.R2T, ack_packet(7)))
+        assert not sender.ready_for_message()
+
+    def test_stale_ack_ignored(self):
+        sender = SequenceSender()
+        sender.handle_input(send_msg("a"))
+        sender.handle_input(receive_pkt(Direction.R2T, ack_packet(0)))
+        sender.handle_input(send_msg("b"))
+        # A stale duplicate of ack 0 must not confirm message 1.
+        sender.handle_input(receive_pkt(Direction.R2T, ack_packet(0)))
+        assert not sender.ready_for_message()
+
+    def test_data_packet_on_reverse_channel_ignored(self):
+        sender = SequenceSender()
+        sender.handle_input(send_msg("a"))
+        sender.handle_input(
+            receive_pkt(Direction.R2T, data_packet(0, "a"))
+        )
+        assert not sender.ready_for_message()
+
+
+class TestReceiver:
+    def test_delivers_expected_seq_once(self):
+        receiver = SequenceReceiver()
+        receiver.handle_input(receive_pkt(Direction.T2R, data_packet(0, "a")))
+        receiver.handle_input(receive_pkt(Direction.T2R, data_packet(0, "a")))
+        deliveries = [
+            output
+            for output in iter(receiver.next_output, None)
+            if (receiver.perform_output(output) or True)
+        ]
+        bodies = [
+            o.message for o in deliveries if o.message is not None
+        ]
+        assert bodies == ["a"]
+
+    def test_reacks_stale_data(self):
+        receiver = SequenceReceiver()
+        receiver.handle_input(receive_pkt(Direction.T2R, data_packet(0, "a")))
+        while receiver.next_output() is not None:
+            receiver.perform_output(receiver.next_output())
+        # Stale copy arrives again: no delivery, but an ack.
+        receiver.handle_input(receive_pkt(Direction.T2R, data_packet(0, "a")))
+        output = receiver.next_output()
+        assert output is not None
+        assert output.packet == ack_packet(0)
+
+    def test_future_seq_ignored(self):
+        receiver = SequenceReceiver()
+        receiver.handle_input(receive_pkt(Direction.T2R, data_packet(5, "z")))
+        assert receiver.next_output() is None
+
+    def test_ack_header_on_forward_channel_ignored(self):
+        receiver = SequenceReceiver()
+        receiver.handle_input(
+            receive_pkt(Direction.T2R, ack_packet(0))
+        )
+        assert receiver.next_output() is None
+
+
+class TestEndToEnd:
+    def test_delivers_in_order_under_reordering(self):
+        system = make_system(
+            *make_sequence_protocol(),
+            adversary=FairAdversary(seed=3, p_deliver=0.3, max_delay=12),
+        )
+        messages = [f"m{i}" for i in range(30)]
+        stats = system.run(messages, max_steps=50_000)
+        assert stats.completed
+        assert system.execution.received_messages() == messages
+        assert check_execution(system.execution).valid
+
+    def test_header_growth_is_linear_in_messages(self):
+        """The naive protocol's price: n forward headers for n messages."""
+        system = make_system(
+            *make_sequence_protocol(), adversary=OptimalAdversary()
+        )
+        n = 25
+        system.run(["m"] * n)
+        assert system.execution.header_count(Direction.T2R) == n
+
+    def test_duplicate_bodies_are_fine(self):
+        system = make_system(
+            *make_sequence_protocol(), adversary=OptimalAdversary()
+        )
+        system.run(["same"] * 10)
+        report = check_execution(system.execution)
+        assert report.valid
+
+    def test_survives_heavy_loss(self):
+        from repro.channels.adversary import RandomAdversary
+
+        system = make_system(
+            *make_sequence_protocol(),
+            adversary=RandomAdversary(seed=1, p_deliver=0.25, p_drop=0.5),
+        )
+        stats = system.run(["m"] * 10, max_steps=100_000)
+        report = check_execution(system.execution)
+        assert report.ok  # safety unconditionally
+        if stats.completed:  # liveness when the dice allow
+            assert report.valid
+
+
+class TestPacketHelpers:
+    def test_data_packet_fields(self):
+        packet = data_packet(3, "x")
+        assert packet == Packet(header=("DATA", 3), body="x")
+
+    def test_ack_packet_has_no_body(self):
+        assert ack_packet(3).body is None

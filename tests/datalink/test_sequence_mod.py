@@ -1,0 +1,128 @@
+"""Tests for the modular sequence-number protocol and its boundary:
+safe over TTL channels, forged over the paper's adversary."""
+
+import pytest
+
+from repro.channels.adversary import FairAdversary, OptimalAdversary
+from repro.channels.bounded import BoundedReorderChannel
+from repro.core.theorem31 import HeaderExhaustionAttack
+from repro.datalink.sequence_mod import (
+    ModularSequenceReceiver,
+    ModularSequenceSender,
+    make_modular_sequence,
+)
+from repro.datalink.spec import check_execution
+from repro.datalink.system import DataLinkSystem, make_system
+from repro.ioa.actions import Direction
+
+
+class TestConstruction:
+    def test_rejects_modulus_below_two(self):
+        with pytest.raises(ValueError):
+            ModularSequenceSender(1)
+        with pytest.raises(ValueError):
+            ModularSequenceReceiver(0)
+
+    def test_fresh_preserves_modulus(self):
+        sender = ModularSequenceSender(12)
+        assert sender.fresh().modulus == 12
+
+
+class TestHeaderAccounting:
+    def test_alphabet_is_fixed_at_2m(self):
+        system = make_system(
+            *make_modular_sequence(4), adversary=OptimalAdversary()
+        )
+        system.run(["m"] * 20)
+        assert system.execution.header_count(Direction.T2R) == 4
+        assert system.execution.header_count(Direction.R2T) == 4
+
+    def test_numbers_wrap(self):
+        system = make_system(
+            *make_modular_sequence(3), adversary=OptimalAdversary()
+        )
+        system.run(["m"] * 7)
+        headers = {
+            p.header
+            for p in system.execution.distinct_packets(Direction.T2R)
+        }
+        assert headers == {("DATA", 0), ("DATA", 1), ("DATA", 2)}
+
+
+class TestOverBenignChannels:
+    def test_correct_under_prompt_delivery(self):
+        system = make_system(
+            *make_modular_sequence(8), adversary=OptimalAdversary()
+        )
+        messages = [f"m{i}" for i in range(30)]
+        stats = system.run(messages)
+        assert stats.completed
+        assert system.execution.received_messages() == messages
+        assert check_execution(system.execution).valid
+
+
+class TestOverTtlChannel:
+    """The realistic regime: bounded packet lifetime rescues mod-M."""
+
+    def ttl_system(self, modulus=8, lifetime=4, adversary=None):
+        sender, receiver = make_modular_sequence(modulus)
+        return DataLinkSystem(
+            sender,
+            receiver,
+            chan_t2r=BoundedReorderChannel(Direction.T2R, lifetime=lifetime),
+            chan_r2t=BoundedReorderChannel(Direction.R2T, lifetime=lifetime),
+            adversary=adversary,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_safe_under_reordering_within_lifetime(self, seed):
+        system = self.ttl_system(
+            modulus=8,
+            lifetime=4,
+            adversary=FairAdversary(seed=seed, p_deliver=0.4, max_delay=6),
+        )
+        stats = system.run(["m"] * 30, max_steps=60_000)
+        report = check_execution(system.execution)
+        assert report.ok
+        assert stats.completed
+
+    def test_expired_copies_do_not_stall_liveness(self):
+        """Retransmission outlives expiry: the protocol still makes
+        progress when every early copy dies."""
+        system = self.ttl_system(
+            modulus=8,
+            lifetime=2,
+            adversary=FairAdversary(seed=9, p_deliver=0.2, max_delay=12),
+        )
+        stats = system.run(["m"] * 10, max_steps=60_000)
+        assert stats.completed
+        assert check_execution(system.execution).ok
+
+
+class TestOverPaperAdversary:
+    """The paper's regime: unbounded delay forges mod-M (Theorem 3.1)."""
+
+    @pytest.mark.parametrize("modulus", [2, 4, 8])
+    def test_forged_over_unbounded_nonfifo(self, modulus):
+        sender, receiver = make_modular_sequence(modulus)
+        system = make_system(sender, receiver)
+        outcome = HeaderExhaustionAttack(
+            system, max_rounds=4 * modulus
+        ).run()
+        assert outcome.forged
+        assert outcome.violation_found
+
+    def test_attack_cost_scales_with_modulus(self):
+        """[LMF88]'s Omega(n/k) shape: k headers take ~k messages."""
+
+        def messages_needed(modulus):
+            sender, receiver = make_modular_sequence(modulus)
+            system = make_system(sender, receiver)
+            outcome = HeaderExhaustionAttack(
+                system, max_rounds=4 * modulus
+            ).run()
+            assert outcome.forged
+            return outcome.messages_spent
+
+        assert messages_needed(2) < messages_needed(8)
+        assert messages_needed(8) == 8

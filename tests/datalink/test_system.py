@@ -1,0 +1,171 @@
+"""Unit tests for the composition engine."""
+
+import pytest
+
+from repro.channels.adversary import OptimalAdversary
+from repro.channels.base import ChannelError
+from repro.channels.fifo import FifoChannel
+from repro.datalink.sequence import make_sequence_protocol
+from repro.datalink.spec import check_execution
+from repro.datalink.system import DataLinkSystem, make_system
+from repro.ioa.actions import ActionType, Direction
+
+
+class TestPrimitives:
+    def test_submit_message_records_and_routes(self):
+        system = make_system(*make_sequence_protocol())
+        system.submit_message("a")
+        assert system.execution.sm() == 1
+        assert not system.sender.ready_for_message()
+
+    def test_pump_sender_records_send_pkt_with_copy_id(self):
+        system = make_system(*make_sequence_protocol())
+        system.submit_message("a")
+        sent = system.pump_sender(bursts=3)
+        assert sent == 3
+        events = system.execution.packet_events(
+            ActionType.SEND_PKT, Direction.T2R
+        )
+        assert len(events) == 3
+        assert all(e.action.copy_id is not None for e in events)
+        assert system.chan_t2r.transit_size() == 3
+
+    def test_pump_sender_idle_sends_nothing(self):
+        system = make_system(*make_sequence_protocol())
+        assert system.pump_sender() == 0
+
+    def test_deliver_copy_routes_to_receiver(self):
+        system = make_system(*make_sequence_protocol())
+        system.submit_message("a")
+        system.pump_sender()
+        copy_id = system.chan_t2r.in_transit_ids()[0]
+        system.deliver_copy(Direction.T2R, copy_id)
+        # The receiver queued the delivery and an ack.
+        assert system.pump_receiver() == 2
+        assert system.receiver.messages_delivered == 1
+
+    def test_deliver_copy_routes_to_sender(self):
+        system = make_system(*make_sequence_protocol())
+        system.submit_message("a")
+        system.pump_sender()
+        system.deliver_copy(
+            Direction.T2R, system.chan_t2r.in_transit_ids()[0]
+        )
+        system.pump_receiver()
+        ack_id = system.chan_r2t.in_transit_ids()[0]
+        system.deliver_copy(Direction.R2T, ack_id)
+        assert system.sender.ready_for_message()
+
+    def test_drop_copy_records_nothing(self):
+        system = make_system(*make_sequence_protocol())
+        system.submit_message("a")
+        system.pump_sender()
+        before = len(system.execution)
+        system.drop_copy(Direction.T2R, system.chan_t2r.in_transit_ids()[0])
+        assert len(system.execution) == before
+
+    def test_deliver_nonexistent_copy_raises(self):
+        system = make_system(*make_sequence_protocol())
+        with pytest.raises(ChannelError):
+            system.deliver_copy(Direction.T2R, 42)
+
+
+class TestRun:
+    def test_run_delivers_under_optimal_adversary(self):
+        system = make_system(
+            *make_sequence_protocol(), adversary=OptimalAdversary()
+        )
+        stats = system.run(["a", "b", "c"])
+        assert stats.completed
+        assert stats.delivered == 3
+        assert system.execution.received_messages() == ["a", "b", "c"]
+
+    def test_run_respects_step_budget(self):
+        # No adversary, non-FIFO channels: nothing ever delivers.
+        system = make_system(*make_sequence_protocol())
+        stats = system.run(["a"], max_steps=25)
+        assert not stats.completed
+        assert stats.steps == 25
+
+    def test_run_counts_packets(self):
+        system = make_system(
+            *make_sequence_protocol(), adversary=OptimalAdversary()
+        )
+        stats = system.run(["a"])
+        assert stats.packets_t2r >= 1
+        assert stats.packets_r2t >= 1
+        assert stats.packets_total == stats.packets_t2r + stats.packets_r2t
+
+    def test_run_is_valid_per_spec(self):
+        system = make_system(
+            *make_sequence_protocol(), adversary=OptimalAdversary()
+        )
+        system.run(["a", "b"])
+        assert check_execution(system.execution).valid
+
+    def test_consecutive_runs_accumulate(self):
+        system = make_system(
+            *make_sequence_protocol(), adversary=OptimalAdversary()
+        )
+        assert system.run(["a"]).completed
+        assert system.run(["b"]).completed
+        assert system.execution.sm() == 2
+        assert system.execution.rm() == 2
+
+
+class TestFifoComposition:
+    def test_fifo_channels_deliver_without_adversary(self):
+        sender, receiver = make_sequence_protocol()
+        system = DataLinkSystem(
+            sender,
+            receiver,
+            chan_t2r=FifoChannel(Direction.T2R),
+            chan_r2t=FifoChannel(Direction.R2T),
+        )
+        stats = system.run(["x", "y"])
+        assert stats.completed
+        assert check_execution(system.execution).valid
+
+
+class TestClone:
+    def test_clone_does_not_share_state(self):
+        system = make_system(
+            *make_sequence_protocol(), adversary=OptimalAdversary()
+        )
+        system.run(["a"])
+        twin = system.clone(adversary=OptimalAdversary())
+        twin_stats = twin.run(["b"])
+        assert twin_stats.completed
+        # Original unaffected.
+        assert system.execution.sm() == 1
+        assert system.receiver.messages_delivered == 1
+
+    def test_clone_starts_fresh_execution(self):
+        system = make_system(
+            *make_sequence_protocol(), adversary=OptimalAdversary()
+        )
+        system.run(["a"])
+        twin = system.clone()
+        assert len(twin.execution) == 0
+
+    def test_clone_preserves_transit(self):
+        system = make_system(*make_sequence_protocol())
+        system.submit_message("a")
+        system.pump_sender(bursts=4)
+        twin = system.clone()
+        assert twin.chan_t2r.transit_size() == 4
+
+
+class TestMakeSystem:
+    def test_probabilistic_configuration(self):
+        system = make_system(*make_sequence_protocol(), q=0.0, seed=1)
+        stats = system.run(["a", "b"])
+        assert stats.completed
+
+    def test_probabilistic_seed_reproducibility(self):
+        def total(seed):
+            system = make_system(*make_sequence_protocol(), q=0.4, seed=seed)
+            system.run(["m"] * 10, max_steps=50_000)
+            return system.execution.sp(Direction.T2R)
+
+        assert total(5) == total(5)

@@ -1,0 +1,165 @@
+"""Tests for the sliding-window protocol."""
+
+import pytest
+
+from repro.channels.adversary import (
+    FairAdversary,
+    OptimalAdversary,
+    RandomAdversary,
+)
+from repro.datalink.spec import check_execution
+from repro.datalink.system import make_system
+from repro.datalink.window import (
+    WindowReceiver,
+    WindowSender,
+    ack_packet,
+    data_packet,
+    make_window_protocol,
+)
+from repro.ioa.actions import Direction, receive_pkt, send_msg
+
+
+class TestConstruction:
+    def test_rejects_zero_window(self):
+        with pytest.raises(ValueError):
+            WindowSender(0)
+        with pytest.raises(ValueError):
+            WindowReceiver(0)
+
+    def test_fresh_preserves_window(self):
+        assert WindowSender(9).fresh().window == 9
+
+
+class TestSenderWindow:
+    def test_admits_up_to_window(self):
+        sender = WindowSender(3)
+        for index in range(3):
+            assert sender.ready_for_message()
+            sender.handle_input(send_msg(f"m{index}"))
+        assert not sender.ready_for_message()
+
+    def test_ack_frees_a_slot(self):
+        sender = WindowSender(2)
+        sender.handle_input(send_msg("a"))
+        sender.handle_input(send_msg("b"))
+        sender.handle_input(receive_pkt(Direction.R2T, ack_packet(0)))
+        assert sender.ready_for_message()
+
+    def test_round_robin_retransmission(self):
+        sender = WindowSender(3)
+        for index in range(3):
+            sender.handle_input(send_msg(f"m{index}"))
+        seen = []
+        for _ in range(6):
+            action = sender.next_output()
+            seen.append(action.packet.header[1])
+            sender.perform_output(action)
+        assert seen == [0, 1, 2, 0, 1, 2]
+
+    def test_duplicate_ack_is_harmless(self):
+        sender = WindowSender(2)
+        sender.handle_input(send_msg("a"))
+        sender.handle_input(receive_pkt(Direction.R2T, ack_packet(0)))
+        sender.handle_input(receive_pkt(Direction.R2T, ack_packet(0)))
+        assert sender.next_output() is None
+
+
+class TestReceiverBuffering:
+    def test_out_of_order_buffered_then_delivered_in_order(self):
+        receiver = WindowReceiver(4)
+        receiver.handle_input(
+            receive_pkt(Direction.T2R, data_packet(2, "c"))
+        )
+        receiver.handle_input(
+            receive_pkt(Direction.T2R, data_packet(1, "b"))
+        )
+        receiver.handle_input(
+            receive_pkt(Direction.T2R, data_packet(0, "a"))
+        )
+        delivered = []
+        while True:
+            action = receiver.next_output()
+            if action is None:
+                break
+            if action.message is not None:
+                delivered.append(action.message)
+            receiver.perform_output(action)
+        assert delivered == ["a", "b", "c"]
+
+    def test_every_data_packet_is_acked(self):
+        receiver = WindowReceiver(4)
+        receiver.handle_input(
+            receive_pkt(Direction.T2R, data_packet(5, "f"))
+        )
+        acks = []
+        while True:
+            action = receiver.next_output()
+            if action is None:
+                break
+            if action.packet is not None:
+                acks.append(action.packet)
+            receiver.perform_output(action)
+        assert ack_packet(5) in acks
+
+    def test_duplicate_data_not_delivered_twice(self):
+        receiver = WindowReceiver(4)
+        for _ in range(2):
+            receiver.handle_input(
+                receive_pkt(Direction.T2R, data_packet(0, "a"))
+            )
+        delivered = 0
+        while True:
+            action = receiver.next_output()
+            if action is None:
+                break
+            if action.message is not None:
+                delivered += 1
+            receiver.perform_output(action)
+        assert delivered == 1
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("window", [1, 3, 8])
+    def test_fifo_delivery_under_reordering(self, window):
+        system = make_system(
+            *make_window_protocol(window),
+            adversary=FairAdversary(seed=3, p_deliver=0.35, max_delay=8),
+        )
+        messages = [f"m{i}" for i in range(30)]
+        stats = system.run(messages, max_steps=60_000)
+        assert stats.completed
+        assert system.execution.received_messages() == messages
+        assert check_execution(system.execution).valid
+
+    def test_safety_under_loss(self):
+        system = make_system(
+            *make_window_protocol(4),
+            adversary=RandomAdversary(seed=2, p_deliver=0.3, p_drop=0.3),
+        )
+        system.run(["m"] * 15, max_steps=30_000)
+        assert check_execution(system.execution).ok
+
+    def test_pipelining_reduces_steps(self):
+        """The point of a window: fewer scheduler rounds per message
+        under a delaying channel."""
+
+        def steps_for(window):
+            system = make_system(
+                *make_window_protocol(window),
+                adversary=FairAdversary(
+                    seed=1, p_deliver=0.0, max_delay=6
+                ),
+            )
+            stats = system.run(["m"] * 40, max_steps=200_000)
+            assert stats.completed
+            return stats.steps
+
+        assert steps_for(8) < steps_for(1) * 0.5
+
+    def test_window_one_equals_stop_and_wait_semantics(self):
+        system = make_system(
+            *make_window_protocol(1), adversary=OptimalAdversary()
+        )
+        stats = system.run(["a", "b"])
+        assert stats.completed
+        assert check_execution(system.execution).valid

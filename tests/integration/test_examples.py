@@ -1,0 +1,60 @@
+"""Integration: every example script runs clean as a subprocess.
+
+The examples are the library's front door; a release in which they
+crash is broken no matter what the unit tests say.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+EXPECTED_EXAMPLES = {
+    "quickstart.py",
+    "forging_alternating_bit.py",
+    "backlog_cost.py",
+    "probabilistic_blowup.py",
+    "ttl_rescues_wraparound.py",
+    "transport_over_network.py",
+}
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+
+
+def test_every_expected_example_exists():
+    present = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert EXPECTED_EXAMPLES <= present
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_EXAMPLES))
+def test_example_runs_clean(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_valid_spec():
+    result = run_example("quickstart.py")
+    assert "DL1/DL2/PL1 OK" in result.stdout
+
+
+def test_forgery_example_shows_violation():
+    result = run_example("forging_alternating_bit.py")
+    assert "rm=" in result.stdout
+    assert "forged" in result.stdout.lower()
+
+
+def test_blowup_example_accepts_q_argument():
+    result = run_example("probabilistic_blowup.py", "0.2")
+    assert result.returncode == 0
+    assert "q=0.2" in result.stdout

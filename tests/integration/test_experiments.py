@@ -1,0 +1,50 @@
+"""Integration: the experiment harness reproduces every paper shape.
+
+These run the fast variants of E1..E6 end to end and assert every
+shape check passes -- the machine-checkable statement that the
+reproduction matches the paper's qualitative claims.
+"""
+
+import pytest
+
+from repro.experiments.runner import REGISTRY, main, run_experiment
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_experiment_passes(name):
+    result = run_experiment(name, fast=True, seed=0)
+    failed = [check for check, ok in result.checks.items() if not ok]
+    assert result.passed, f"{name} failed checks: {failed}"
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_experiment_renders(name):
+    result = run_experiment(name, fast=True, seed=0)
+    text = result.render()
+    assert result.exp_id in text
+    assert "overall: PASS" in text
+
+
+def test_runner_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        run_experiment("nonsense")
+
+
+def test_cli_single_experiment(capsys):
+    exit_code = main(["hoeffding", "--fast"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "E5" in captured.out
+
+
+def test_cli_rejects_unknown_name(capsys):
+    with pytest.raises(SystemExit):
+        main(["nonsense"])
+
+
+def test_experiments_are_seed_deterministic():
+    first = run_experiment("headers", fast=True, seed=0)
+    second = run_experiment("headers", fast=True, seed=0)
+    assert [t.render() for t in first.tables] == [
+        t.render() for t in second.tables
+    ]

@@ -1,0 +1,120 @@
+"""Integration: every non-FIFO-correct protocol against every channel
+regime, with the full specification checked on the recorded execution.
+"""
+
+import pytest
+
+from repro.channels.adversary import (
+    DelayAllAdversary,
+    FairAdversary,
+    OptimalAdversary,
+    RandomAdversary,
+)
+from repro.datalink.spec import check_execution
+from repro.datalink.system import make_system
+from repro.ioa.actions import Direction
+
+MESSAGES = [f"msg-{i}" for i in range(15)]
+
+
+class TestDelivery:
+    def test_optimal_channel(self, nonfifo_correct_factory):
+        system = make_system(
+            *nonfifo_correct_factory(), adversary=OptimalAdversary()
+        )
+        stats = system.run(MESSAGES, max_steps=50_000)
+        assert stats.completed
+        report = check_execution(system.execution)
+        assert report.valid
+        assert system.execution.received_messages() == MESSAGES
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fair_reordering_channel(self, nonfifo_correct_factory, seed):
+        system = make_system(
+            *nonfifo_correct_factory(),
+            adversary=FairAdversary(seed=seed, p_deliver=0.3, max_delay=10),
+        )
+        stats = system.run(MESSAGES, max_steps=100_000)
+        assert stats.completed
+        assert check_execution(system.execution).valid
+
+    @pytest.mark.parametrize("q", [0.1, 0.35])
+    def test_probabilistic_channel(self, nonfifo_correct_factory, q):
+        system = make_system(*nonfifo_correct_factory(), q=q, seed=13)
+        stats = system.run(MESSAGES[:10], max_steps=400_000)
+        assert stats.completed
+        assert check_execution(system.execution).valid
+
+
+class TestSafetyUnderHostility:
+    """Safety must hold even when liveness cannot."""
+
+    def test_blackout_channel_makes_no_progress_safely(
+        self, nonfifo_correct_factory
+    ):
+        system = make_system(
+            *nonfifo_correct_factory(), adversary=DelayAllAdversary()
+        )
+        stats = system.run(MESSAGES[:3], max_steps=300)
+        assert not stats.completed
+        report = check_execution(system.execution)
+        assert report.ok  # nothing delivered, nothing violated
+        assert system.execution.rm() == 0
+
+    @pytest.mark.parametrize("seed", [3, 4, 5, 6])
+    def test_lossy_random_channel_never_breaks_safety(
+        self, nonfifo_correct_factory, seed
+    ):
+        system = make_system(
+            *nonfifo_correct_factory(),
+            adversary=RandomAdversary(seed=seed, p_deliver=0.25, p_drop=0.3),
+        )
+        system.run(MESSAGES[:8], max_steps=30_000)
+        assert check_execution(system.execution).ok
+
+
+class TestAccounting:
+    def test_fixed_header_protocols_have_fixed_alphabet(self):
+        from repro.datalink.flooding import make_flooding
+
+        system = make_system(*make_flooding(3), adversary=OptimalAdversary())
+        system.run(["m"] * 30, max_steps=50_000)
+        assert system.execution.header_count(Direction.T2R) == 3
+        assert system.execution.header_count(Direction.R2T) == 3
+
+    def test_naive_protocol_headers_grow(self):
+        from repro.datalink.sequence import make_sequence_protocol
+
+        system = make_system(
+            *make_sequence_protocol(), adversary=OptimalAdversary()
+        )
+        system.run(["m"] * 30, max_steps=50_000)
+        assert system.execution.header_count(Direction.T2R) == 30
+
+    def test_packet_conservation(self, nonfifo_correct_factory):
+        """sent = delivered + dropped + in transit, per channel."""
+        system = make_system(
+            *nonfifo_correct_factory(),
+            adversary=RandomAdversary(seed=9, p_deliver=0.4, p_drop=0.2),
+        )
+        system.run(MESSAGES[:8], max_steps=30_000)
+        for channel in (system.chan_t2r, system.chan_r2t):
+            assert channel.sent_total == (
+                channel.delivered_total
+                + channel.dropped_total
+                + channel.transit_size()
+            )
+
+    def test_execution_and_channel_counters_agree(
+        self, nonfifo_correct_factory
+    ):
+        system = make_system(
+            *nonfifo_correct_factory(), adversary=OptimalAdversary()
+        )
+        system.run(MESSAGES[:6], max_steps=20_000)
+        assert system.execution.sp(Direction.T2R) == (
+            system.chan_t2r.sent_total
+        )
+        assert system.execution.rp(Direction.T2R) == (
+            system.chan_t2r.delivered_total
+        )

@@ -1,0 +1,39 @@
+"""Tests for the experiment runner's markdown transcript writer."""
+
+import pathlib
+
+from repro.experiments.runner import main, render_markdown, run_experiment
+
+
+def test_render_markdown_structure():
+    result = run_experiment("hoeffding", fast=True)
+    text = render_markdown([result], fast=True, seed=0)
+    assert "### E5:" in text
+    assert "```" in text
+    assert "- [x]" in text
+    assert "REPRODUCED" in text
+
+
+def test_render_markdown_marks_failures():
+    result = run_experiment("hoeffding", fast=True)
+    result.checks["injected failing check"] = False
+    text = render_markdown([result])
+    assert "- [ ] injected failing check" in text
+    assert "FAILED" in text
+
+
+def test_render_markdown_sorts_by_exp_id():
+    first = run_experiment("hoeffding", fast=True)  # E5
+    second = run_experiment("headers", fast=True)  # E2
+    text = render_markdown([first, second])
+    assert text.index("### E2:") < text.index("### E5:")
+
+
+def test_cli_output_flag_writes_file(tmp_path: pathlib.Path, capsys):
+    target = tmp_path / "transcript.md"
+    exit_code = main(["hoeffding", "--fast", "--output", str(target)])
+    assert exit_code == 0
+    content = target.read_text(encoding="utf-8")
+    assert "### E5:" in content
+    captured = capsys.readouterr()
+    assert "transcript written" in captured.out

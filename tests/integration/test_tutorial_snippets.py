@@ -1,0 +1,24 @@
+"""Integration: the tutorial's code blocks run, in order, sharing state."""
+
+import pathlib
+import re
+
+TUTORIAL = (
+    pathlib.Path(__file__).resolve().parents[2] / "docs" / "TUTORIAL.md"
+)
+
+
+def test_tutorial_snippets_run_in_sequence():
+    text = TUTORIAL.read_text(encoding="utf-8")
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    assert len(blocks) >= 5
+    namespace = {}
+    for index, block in enumerate(blocks):
+        exec(
+            compile(block, f"tutorial-block-{index}", "exec"), namespace
+        )
+    # The tour ends with the Theorem 4.1/5.1 measurements in scope.
+    assert namespace["probe"].extension_packets > (
+        namespace["probe"].lower_bound
+    )
+    assert namespace["outcome"].forged

@@ -1,0 +1,117 @@
+"""Unit tests for the action vocabulary."""
+
+from repro.ioa.actions import (
+    Action,
+    ActionType,
+    Direction,
+    receive_msg,
+    receive_pkt,
+    send_msg,
+    send_pkt,
+)
+
+
+class TestDirection:
+    def test_opposite_t2r(self):
+        assert Direction.T2R.opposite is Direction.R2T
+
+    def test_opposite_r2t(self):
+        assert Direction.R2T.opposite is Direction.T2R
+
+    def test_opposite_is_involution(self):
+        for direction in Direction:
+            assert direction.opposite.opposite is direction
+
+
+class TestConstructors:
+    def test_send_msg_fields(self):
+        action = send_msg("hello")
+        assert action.type is ActionType.SEND_MSG
+        assert action.message == "hello"
+        assert action.packet is None
+        assert action.direction is None
+
+    def test_receive_msg_fields(self):
+        action = receive_msg(42)
+        assert action.type is ActionType.RECEIVE_MSG
+        assert action.message == 42
+
+    def test_send_pkt_fields(self):
+        action = send_pkt(Direction.T2R, ("DATA", 0), copy_id=7)
+        assert action.type is ActionType.SEND_PKT
+        assert action.packet == ("DATA", 0)
+        assert action.direction is Direction.T2R
+        assert action.copy_id == 7
+
+    def test_receive_pkt_fields(self):
+        action = receive_pkt(Direction.R2T, "ack")
+        assert action.type is ActionType.RECEIVE_PKT
+        assert action.direction is Direction.R2T
+        assert action.copy_id is None
+
+
+class TestClassification:
+    def test_message_actions(self):
+        assert send_msg("m").is_message_action()
+        assert receive_msg("m").is_message_action()
+        assert not send_msg("m").is_packet_action()
+
+    def test_packet_actions(self):
+        assert send_pkt(Direction.T2R, "p").is_packet_action()
+        assert receive_pkt(Direction.T2R, "p").is_packet_action()
+        assert not send_pkt(Direction.T2R, "p").is_message_action()
+
+
+class TestSameValue:
+    def test_same_value_ignores_copy_id(self):
+        first = send_pkt(Direction.T2R, "p", copy_id=1)
+        second = send_pkt(Direction.T2R, "p", copy_id=2)
+        assert first.same_value(second)
+
+    def test_same_value_distinguishes_packet(self):
+        first = send_pkt(Direction.T2R, "p")
+        second = send_pkt(Direction.T2R, "q")
+        assert not first.same_value(second)
+
+    def test_same_value_distinguishes_direction(self):
+        first = send_pkt(Direction.T2R, "p")
+        second = send_pkt(Direction.R2T, "p")
+        assert not first.same_value(second)
+
+    def test_same_value_distinguishes_type(self):
+        assert not send_pkt(Direction.T2R, "p").same_value(
+            receive_pkt(Direction.T2R, "p")
+        )
+
+
+class TestImmutability:
+    def test_actions_are_frozen(self):
+        action = send_msg("m")
+        try:
+            action.message = "other"
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+    def test_actions_are_hashable(self):
+        actions = {send_msg("m"), send_msg("m"), receive_msg("m")}
+        assert len(actions) == 2
+
+    def test_equal_actions_compare_equal(self):
+        assert send_pkt(Direction.T2R, "p", 1) == Action(
+            ActionType.SEND_PKT,
+            packet="p",
+            direction=Direction.T2R,
+            copy_id=1,
+        )
+
+
+class TestStringForms:
+    def test_send_msg_str(self):
+        assert str(send_msg("m")) == "send_msg('m')"
+
+    def test_send_pkt_str_includes_direction_and_copy(self):
+        text = str(send_pkt(Direction.T2R, "p", copy_id=3))
+        assert "t->r" in text
+        assert "#3" in text

@@ -1,0 +1,139 @@
+"""Unit tests for recorded executions (Definitions 1-2)."""
+
+from collections import Counter
+
+from repro.ioa.actions import (
+    Direction,
+    receive_msg,
+    receive_pkt,
+    send_msg,
+    send_pkt,
+)
+from repro.ioa.execution import Execution
+
+
+def sample_execution() -> Execution:
+    execution = Execution()
+    execution.record(send_msg("a"))
+    execution.record(send_pkt(Direction.T2R, "p0", copy_id=0))
+    execution.record(send_pkt(Direction.T2R, "p0", copy_id=1))
+    execution.record(receive_pkt(Direction.T2R, "p0", copy_id=0))
+    execution.record(send_pkt(Direction.R2T, "ack0", copy_id=2))
+    execution.record(receive_pkt(Direction.R2T, "ack0", copy_id=2))
+    execution.record(receive_msg("a"))
+    return execution
+
+
+class TestRecording:
+    def test_indices_are_sequential(self):
+        execution = sample_execution()
+        assert [event.index for event in execution] == list(range(7))
+
+    def test_len(self):
+        assert len(sample_execution()) == 7
+
+    def test_extend(self):
+        execution = Execution()
+        execution.extend([send_msg("a"), receive_msg("a")])
+        assert execution.sm() == 1
+        assert execution.rm() == 1
+
+    def test_getitem(self):
+        execution = sample_execution()
+        assert execution[0].action == send_msg("a")
+
+
+class TestCounting:
+    """The sm/rm/sp/rp functions of Definition 2."""
+
+    def test_sm(self):
+        assert sample_execution().sm() == 1
+
+    def test_rm(self):
+        assert sample_execution().rm() == 1
+
+    def test_sp_t2r(self):
+        assert sample_execution().sp(Direction.T2R) == 2
+
+    def test_rp_t2r(self):
+        assert sample_execution().rp(Direction.T2R) == 1
+
+    def test_sp_r2t(self):
+        assert sample_execution().sp(Direction.R2T) == 1
+
+    def test_rp_r2t(self):
+        assert sample_execution().rp(Direction.R2T) == 1
+
+    def test_empty_execution_counts(self):
+        execution = Execution()
+        assert execution.sm() == 0
+        assert execution.rm() == 0
+        assert execution.sp(Direction.T2R) == 0
+
+
+class TestSlicing:
+    def test_prefix(self):
+        execution = sample_execution()
+        prefix = execution.prefix(3)
+        assert len(prefix) == 3
+        assert prefix.sm() == 1
+        assert prefix.rm() == 0
+
+    def test_suffix_actions(self):
+        execution = sample_execution()
+        tail = execution.suffix_actions(5)
+        assert len(tail) == 2
+        assert tail[-1] == receive_msg("a")
+
+
+class TestMessageViews:
+    def test_sent_messages_in_order(self):
+        execution = Execution()
+        execution.record(send_msg("x"))
+        execution.record(send_msg("y"))
+        assert execution.sent_messages() == ["x", "y"]
+
+    def test_received_messages_in_order(self):
+        execution = sample_execution()
+        assert execution.received_messages() == ["a"]
+
+
+class TestPacketViews:
+    def test_sent_packet_values_multiset(self):
+        execution = sample_execution()
+        assert execution.sent_packet_values(Direction.T2R) == Counter(
+            {"p0": 2}
+        )
+
+    def test_received_packet_sequence(self):
+        execution = sample_execution()
+        assert execution.received_packet_sequence(Direction.T2R) == ["p0"]
+
+    def test_distinct_packets_per_direction(self):
+        execution = sample_execution()
+        assert execution.distinct_packets(Direction.T2R) == {"p0"}
+        assert execution.distinct_packets(Direction.R2T) == {"ack0"}
+
+    def test_distinct_packets_both_directions(self):
+        assert sample_execution().distinct_packets() == {"p0", "ack0"}
+
+    def test_header_count(self):
+        assert sample_execution().header_count() == 2
+        assert sample_execution().header_count(Direction.T2R) == 1
+
+
+class TestCorrespondence:
+    def test_copy_send_index(self):
+        execution = sample_execution()
+        assert execution.copy_send_index(Direction.T2R) == {0: 1, 1: 2}
+
+    def test_copy_receive_indices(self):
+        execution = sample_execution()
+        assert execution.copy_receive_indices(Direction.T2R) == {0: [3]}
+
+    def test_duplicate_receipt_shows_in_indices(self):
+        execution = Execution()
+        execution.record(send_pkt(Direction.T2R, "p", copy_id=0))
+        execution.record(receive_pkt(Direction.T2R, "p", copy_id=0))
+        execution.record(receive_pkt(Direction.T2R, "p", copy_id=0))
+        assert execution.copy_receive_indices(Direction.T2R)[0] == [1, 2]

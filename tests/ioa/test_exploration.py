@@ -1,0 +1,95 @@
+"""Unit tests for reachable-state exploration (Theorem 2.1 machinery)."""
+
+from repro.datalink.alternating_bit import make_alternating_bit
+from repro.datalink.sequence import make_sequence_protocol
+from repro.ioa.exploration import explore_station_states
+
+
+class TestAlternatingBit:
+    """ABP over a unary alphabet has a tiny, exactly known state space."""
+
+    def test_sender_state_count(self):
+        sender, receiver = make_alternating_bit()
+        result = explore_station_states(sender, receiver, ["m"],
+                                        max_messages=3)
+        # Sender protocol state: (current_packet, bit, pending).
+        # Reachable: bit in {0,1} x {idle, sending} = 4.
+        assert result.k_t == 4
+
+    def test_receiver_state_count(self):
+        sender, receiver = make_alternating_bit()
+        result = explore_station_states(sender, receiver, ["m"],
+                                        max_messages=3)
+        # Receiver protocol state: expected bit in {0,1} (queues always
+        # flushed).
+        assert result.k_r == 2
+
+    def test_not_truncated(self):
+        sender, receiver = make_alternating_bit()
+        result = explore_station_states(sender, receiver, ["m"],
+                                        max_messages=3)
+        assert not result.truncated
+
+    def test_packet_values_discovered(self):
+        sender, receiver = make_alternating_bit()
+        result = explore_station_states(sender, receiver, ["m"],
+                                        max_messages=3)
+        from repro.ioa.actions import Direction
+
+        # Both data bits eventually sent.
+        headers = {
+            packet.header
+            for packet in result.packet_values[Direction.T2R]
+        }
+        assert headers == {("DATA", 0), ("DATA", 1)}
+
+
+class TestSequenceProtocol:
+    def test_states_grow_with_message_budget(self):
+        small = explore_station_states(
+            *make_sequence_protocol(), ["m"], max_messages=1
+        )
+        large = explore_station_states(
+            *make_sequence_protocol(), ["m"], max_messages=3
+        )
+        # Fresh headers per message mean fresh states per message.
+        assert large.k_t > small.k_t
+        assert large.k_r > small.k_r
+
+    def test_pair_count_at_most_product(self):
+        result = explore_station_states(
+            *make_sequence_protocol(), ["m"], max_messages=2
+        )
+        assert result.pair_count <= result.state_product * (
+            2 + 1
+        )  # pairs multiplied by injected-count projection at most
+
+
+class TestBudget:
+    def test_truncation_flag(self):
+        sender, receiver = make_sequence_protocol()
+        result = explore_station_states(
+            sender, receiver, ["m"], max_messages=5, max_configurations=10
+        )
+        assert result.truncated
+        assert result.configurations <= 10
+
+    def test_zero_messages_explores_initial_only(self):
+        sender, receiver = make_alternating_bit()
+        result = explore_station_states(
+            sender, receiver, ["m"], max_messages=0
+        )
+        assert result.k_t == 1
+        assert result.k_r == 1
+
+
+class TestAlphabet:
+    def test_larger_alphabet_more_sender_states(self):
+        unary = explore_station_states(
+            *make_alternating_bit(), ["m"], max_messages=2
+        )
+        binary = explore_station_states(
+            *make_alternating_bit(), ["m", "n"], max_messages=2
+        )
+        # Pending message bodies distinguish sender states.
+        assert binary.k_t >= unary.k_t

@@ -1,0 +1,103 @@
+"""Property-based tests: channel invariants under arbitrary adversaries.
+
+The (PL1) guarantees must survive *any* interleaving of sends,
+deliveries and drops -- hypothesis generates the interleavings.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels.base import Channel, ChannelError
+from repro.channels.packets import Packet
+from repro.datalink.spec import check_pl1
+from repro.ioa.actions import Direction, receive_pkt, send_pkt
+from repro.ioa.execution import Execution
+
+# An op is ("send", header) | ("deliver", index_hint) | ("drop", index_hint).
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("send"), st.integers(0, 3)),
+        st.tuples(st.just("deliver"), st.integers(0, 200)),
+        st.tuples(st.just("drop"), st.integers(0, 200)),
+    ),
+    max_size=120,
+)
+
+
+def apply_ops(ops):
+    """Drive a channel with the op script, recording an execution."""
+    channel = Channel(Direction.T2R)
+    execution = Execution()
+    for op, argument in ops:
+        if op == "send":
+            packet = Packet(header=f"h{argument}")
+            copy = channel.send(packet, len(execution))
+            execution.record(
+                send_pkt(Direction.T2R, packet, copy.copy_id)
+            )
+        else:
+            ids = channel.in_transit_ids()
+            if not ids:
+                continue
+            copy_id = ids[argument % len(ids)]
+            if op == "deliver":
+                copy = channel.deliver(copy_id)
+                execution.record(
+                    receive_pkt(Direction.T2R, copy.packet, copy.copy_id)
+                )
+            else:
+                channel.drop(copy_id)
+    return channel, execution
+
+
+@given(OPS)
+@settings(max_examples=120, deadline=None)
+def test_pl1_holds_under_any_schedule(ops):
+    _, execution = apply_ops(ops)
+    assert check_pl1(execution, Direction.T2R) is None
+
+
+@given(OPS)
+@settings(max_examples=120, deadline=None)
+def test_conservation_under_any_schedule(ops):
+    channel, _ = apply_ops(ops)
+    assert channel.sent_total == (
+        channel.delivered_total
+        + channel.dropped_total
+        + channel.transit_size()
+    )
+
+
+@given(OPS)
+@settings(max_examples=60, deadline=None)
+def test_transit_counts_match_bag(ops):
+    channel, _ = apply_ops(ops)
+    counts = channel.transit_value_counts()
+    assert sum(counts.values()) == channel.transit_size()
+    for packet, count in counts.items():
+        assert channel.transit_count(packet) == count
+        assert len(channel.copies_of(packet)) == count
+
+
+@given(OPS)
+@settings(max_examples=60, deadline=None)
+def test_clone_equivalence(ops):
+    """A clone built mid-schedule behaves like the original."""
+    channel, _ = apply_ops(ops)
+    twin = channel.clone()
+    assert twin.transit_value_counts() == channel.transit_value_counts()
+    assert twin.in_transit_ids() == channel.in_transit_ids()
+
+
+@given(OPS, st.integers(0, 500))
+@settings(max_examples=60, deadline=None)
+def test_double_delivery_always_raises(ops, victim_hint):
+    channel, _ = apply_ops(ops)
+    packet = Packet(header="victim")
+    copy = channel.send(packet)
+    channel.deliver(copy.copy_id)
+    try:
+        channel.deliver(copy.copy_id)
+        assert False, "duplication allowed"
+    except ChannelError:
+        pass

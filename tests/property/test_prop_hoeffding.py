@@ -1,0 +1,69 @@
+"""Property-based tests: the Hoeffding bound dominates binomial tails."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hoeffding import (
+    epsilon_n,
+    exact_binomial_tail,
+    hoeffding_tail_bound,
+)
+
+
+@given(
+    n=st.integers(1, 400),
+    q=st.floats(0.01, 0.99),
+    fraction=st.floats(0.0, 0.999),
+)
+@settings(max_examples=200, deadline=None)
+def test_bound_dominates_exact_tail(n, q, fraction):
+    alpha = q * fraction
+    assert hoeffding_tail_bound(n, q, alpha) >= (
+        exact_binomial_tail(n, q, alpha) - 1e-9
+    )
+
+
+@given(
+    n=st.integers(1, 1000),
+    q=st.floats(0.01, 0.99),
+    fraction=st.floats(0.0, 0.999),
+)
+@settings(max_examples=200, deadline=None)
+def test_bound_is_a_probability(n, q, fraction):
+    value = hoeffding_tail_bound(n, q, q * fraction)
+    assert 0.0 <= value <= 1.0
+
+
+@given(
+    n=st.integers(2, 500),
+    q=st.floats(0.05, 0.95),
+    fraction=st.floats(0.1, 0.9),
+)
+@settings(max_examples=100, deadline=None)
+def test_bound_monotone_in_n(n, q, fraction):
+    alpha = q * fraction
+    assert hoeffding_tail_bound(2 * n, q, alpha) <= (
+        hoeffding_tail_bound(n, q, alpha) + 1e-12
+    )
+
+
+@given(
+    n=st.integers(1, 10_000),
+    q=st.floats(0.01, 0.99),
+    k=st.integers(1, 8),
+)
+@settings(max_examples=100, deadline=None)
+def test_epsilon_n_positive_and_vanishing(n, q, k):
+    eps = epsilon_n(n, q, k)
+    assert eps > 0
+    assert epsilon_n(4 * n, q, k) * 2 == __import__(
+        "pytest"
+    ).approx(eps)
+
+
+@given(n=st.integers(1, 300), q=st.floats(0.01, 0.99))
+@settings(max_examples=80, deadline=None)
+def test_exact_tail_at_full_range_is_one(n, q):
+    assert exact_binomial_tail(n, q, 1.0) == __import__(
+        "pytest"
+    ).approx(1.0, abs=1e-9)

@@ -1,0 +1,87 @@
+"""Property-based tests: protocol safety under randomized hostility.
+
+(DL1)/(DL2)/(PL1) must hold for the non-FIFO-correct protocols no
+matter how the channel delays, reorders or drops -- hypothesis searches
+the adversary space.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels.adversary import FairAdversary, RandomAdversary
+from repro.datalink.flooding import make_flooding
+from repro.datalink.sequence import make_sequence_protocol
+from repro.datalink.spec import check_execution
+from repro.datalink.system import make_system
+
+FACTORIES = {
+    "sequence": make_sequence_protocol,
+    "flooding-K2": lambda: make_flooding(2),
+    "flooding-K3": lambda: make_flooding(3),
+}
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+@given(
+    seed=st.integers(0, 10_000),
+    p_deliver=st.floats(0.05, 0.6),
+    p_drop=st.floats(0.0, 0.4),
+    n=st.integers(1, 8),
+)
+@settings(max_examples=20, deadline=None)
+def test_safety_under_random_loss_and_reorder(
+    name, seed, p_deliver, p_drop, n
+):
+    factory = FACTORIES[name]
+    system = make_system(
+        *factory(),
+        adversary=RandomAdversary(
+            seed=seed, p_deliver=p_deliver, p_drop=min(p_drop, 1 - p_deliver)
+        ),
+    )
+    system.run([f"m{i}" for i in range(n)], max_steps=6_000)
+    report = check_execution(system.execution)
+    assert report.ok, [str(v) for v in report.violations]
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 10))
+@settings(max_examples=15, deadline=None)
+def test_liveness_and_order_under_fair_channel(name, seed, n):
+    factory = FACTORIES[name]
+    system = make_system(
+        *factory(),
+        adversary=FairAdversary(seed=seed, p_deliver=0.3, max_delay=8),
+    )
+    messages = [f"m{i}" for i in range(n)]
+    stats = system.run(messages, max_steps=60_000)
+    assert stats.completed
+    assert system.execution.received_messages() == messages
+    assert check_execution(system.execution).valid
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    q=st.floats(0.0, 0.6),
+    n=st.integers(1, 6),
+)
+@settings(max_examples=15, deadline=None)
+def test_flooding_safe_over_probabilistic_channel(seed, q, n):
+    system = make_system(*make_flooding(3), q=q, seed=seed)
+    system.run(["m"] * n, max_steps=100_000)
+    assert check_execution(system.execution).ok
+
+
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 8))
+@settings(max_examples=15, deadline=None)
+def test_identical_bodies_never_duplicated(seed, n):
+    """The adversary's favourite regime: all messages equal."""
+    system = make_system(
+        *make_flooding(2),
+        adversary=FairAdversary(seed=seed, p_deliver=0.35, max_delay=7),
+    )
+    stats = system.run(["m"] * n, max_steps=60_000)
+    assert stats.completed
+    assert system.execution.rm() == n
+    assert check_execution(system.execution).valid

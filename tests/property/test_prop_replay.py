@@ -1,0 +1,92 @@
+"""Property-based tests: soundness of the replay attack.
+
+Whatever hoard the adversary accumulated, a replay that reports success
+must have produced an execution with ``rm = sm + 1`` (a (DL1)
+violation), and a dry run must predict the executed outcome exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pumping import ReservePool, pump_message
+from repro.core.replay import attempt_replay
+from repro.datalink.alternating_bit import make_alternating_bit
+from repro.datalink.flooding import make_capacity_flooding
+from repro.datalink.spec import check_dl1, check_pl1
+from repro.datalink.system import make_system
+from repro.ioa.actions import Direction
+
+
+def hoarded_abp(data_quota: int, messages: int):
+    system = make_system(*make_alternating_bit())
+    pool = ReservePool()
+    quota = lambda p: data_quota if p.header[0] == "DATA" else 0
+    for _ in range(messages):
+        assert pump_message(system, "m", quota, pool)
+    return system
+
+
+@given(
+    data_quota=st.integers(0, 4),
+    messages=st.integers(0, 4),
+)
+@settings(max_examples=30, deadline=None)
+def test_replay_outcome_is_sound(data_quota, messages):
+    system = hoarded_abp(data_quota, messages)
+    sm_before = system.execution.sm()
+    rm_before = system.execution.rm()
+    prediction = attempt_replay(system, message="m", dry_run=True)
+    outcome = attempt_replay(system, message="m")
+
+    # The dry run predicts reality.
+    assert prediction.success == outcome.success
+
+    if outcome.success:
+        assert outcome.executed
+        assert system.execution.sm() == sm_before
+        assert system.execution.rm() == rm_before + 1
+        assert check_dl1(system.execution) is not None
+        # The forgery used only lawful channel moves.
+        assert check_pl1(system.execution, Direction.T2R) is None
+    else:
+        # Failed attempts never touch the system.
+        assert system.execution.sm() == sm_before
+        assert system.execution.rm() == rm_before
+        assert check_dl1(system.execution) is None
+        assert outcome.deficit or not outcome.extension.delivered
+
+
+@given(
+    data_quota=st.integers(0, 4),
+    messages=st.integers(0, 4),
+)
+@settings(max_examples=30, deadline=None)
+def test_success_iff_both_values_hoarded(data_quota, messages):
+    """For ABP specifically the attack condition is exactly: a stale
+    copy of the next expected data value exists."""
+    system = hoarded_abp(data_quota, messages)
+    next_bit = messages % 2
+    from repro.datalink.alternating_bit import data_packet
+
+    available = system.chan_t2r.transit_count(data_packet(next_bit, "m"))
+    outcome = attempt_replay(system, message="m", dry_run=True)
+    assert outcome.success == (available >= 1)
+
+
+@given(
+    phases=st.integers(2, 4),
+    capacity=st.integers(0, 3),
+    extra=st.integers(0, 2),
+)
+@settings(max_examples=20, deadline=None)
+def test_capacity_flooding_replay_needs_full_cover(phases, capacity, extra):
+    """Capacity-mode flooding needs capacity+1 stale copies of the next
+    phase value; anything less must fail."""
+    system = make_system(*make_capacity_flooding(phases, capacity))
+    pool = ReservePool()
+    hoard = capacity + extra  # may or may not reach capacity + 1
+    quota = lambda p: hoard if p.header[0] == "DATA" else 0
+    for _ in range(phases):
+        assert pump_message(system, "m", quota, pool, max_steps=20_000)
+    outcome = attempt_replay(system, message="m", dry_run=True)
+    assert outcome.success == (hoard >= capacity + 1)

@@ -1,0 +1,82 @@
+"""Property-based tests: the specification checkers themselves.
+
+The greedy matchers in :mod:`repro.datalink.spec` are complete for
+their matching problems; these properties exercise them against
+generated executions with known ground truth.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalink.spec import check_dl1, check_dl1_dl2, check_liveness
+from repro.ioa.actions import receive_msg, send_msg
+from repro.ioa.execution import Execution
+
+MESSAGES = st.lists(st.sampled_from(["a", "b", "c"]), min_size=0, max_size=12)
+
+
+def interleave_fifo(messages, gap_choices):
+    """Build a legal FIFO execution: each message sent, then delivered
+    after a generated number of further sends."""
+    execution = Execution()
+    pending = []
+    gaps = list(gap_choices)
+    for message in messages:
+        execution.record(send_msg(message))
+        pending.append(message)
+        take = gaps.pop(0) % (len(pending) + 1) if gaps else len(pending)
+        for _ in range(take):
+            execution.record(receive_msg(pending.pop(0)))
+    for message in pending:
+        execution.record(receive_msg(message))
+    return execution
+
+
+@given(MESSAGES, st.lists(st.integers(0, 5), max_size=12))
+@settings(max_examples=150, deadline=None)
+def test_fifo_interleavings_always_pass(messages, gaps):
+    execution = interleave_fifo(messages, gaps)
+    assert check_dl1(execution) is None
+    assert check_dl1_dl2(execution) is None
+    assert check_liveness(execution) == 0
+
+
+@given(MESSAGES, st.lists(st.integers(0, 5), max_size=12),
+       st.sampled_from(["a", "b", "c"]))
+@settings(max_examples=150, deadline=None)
+def test_extra_delivery_always_caught_by_dl1(messages, gaps, forged):
+    execution = interleave_fifo(messages, gaps)
+    execution.record(receive_msg(forged))
+    assert check_dl1(execution) is not None
+
+
+@given(MESSAGES)
+@settings(max_examples=100, deadline=None)
+def test_prefix_of_valid_execution_is_ok(messages):
+    """Safety checkers accept every prefix of a valid execution
+    (prefix-closure of safety properties)."""
+    execution = interleave_fifo(messages, [])
+    for length in range(len(execution) + 1):
+        prefix = execution.prefix(length)
+        assert check_dl1(prefix) is None
+        assert check_dl1_dl2(prefix) is None
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["a", "b"]), st.sampled_from(["a", "b"])),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_swapped_distinct_pair_caught_by_dl2(pairs):
+    """Deliver two *distinct* messages in reverse order: (DL2) must
+    object while (DL1) alone must not."""
+    execution = Execution()
+    execution.record(send_msg("x"))
+    execution.record(send_msg("y"))
+    execution.record(receive_msg("y"))
+    execution.record(receive_msg("x"))
+    assert check_dl1(execution) is None
+    assert check_dl1_dl2(execution) is not None
