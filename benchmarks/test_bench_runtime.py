@@ -1,0 +1,88 @@
+"""Benchmark: the runtime's three execution modes on a fixed sweep.
+
+Times the same sharded sweep (the E3/E4/E5 fast grids) executed
+serially, across a 2-worker process pool, and from a warm cache, and
+emits the timings as a JSON blob (stdout + ``BENCH_runtime.json``) for
+the bench trajectory.
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.runtime import ResultCache, run_experiments
+
+SWEEP = ["backlog", "hoeffding", "probabilistic"]
+BLOB_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_runtime.json"
+
+
+def run_once(workers, cache):
+    report = run_experiments(SWEEP, fast=True, seed=0, workers=workers,
+                             cache=cache)
+    assert report.passed
+    return report
+
+
+def test_serial_execution(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_once(workers=1, cache=None), rounds=1, iterations=1
+    )
+    assert report.manifest["totals"]["ran"] > 0
+
+
+def test_parallel_execution(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_once(workers=2, cache=None), rounds=1, iterations=1
+    )
+    assert report.manifest["totals"]["ran"] > 0
+
+
+def test_cached_execution(benchmark, tmp_path):
+    cache = ResultCache(str(tmp_path))
+    run_once(workers=1, cache=cache)  # warm it
+    report = benchmark.pedantic(
+        lambda: run_once(workers=1, cache=cache), rounds=1, iterations=1
+    )
+    assert report.manifest["totals"]["cached"] == (
+        report.manifest["totals"]["tasks"]
+    )
+
+
+def test_emit_timings_blob(tmp_path, capsys):
+    """One self-contained comparison, printed as the bench JSON blob."""
+    timings = {}
+
+    started = time.perf_counter()
+    run_once(workers=1, cache=None)
+    timings["serial_s"] = round(time.perf_counter() - started, 4)
+
+    started = time.perf_counter()
+    run_once(workers=2, cache=None)
+    timings["parallel2_s"] = round(time.perf_counter() - started, 4)
+
+    cache = ResultCache(str(tmp_path))
+    run_once(workers=1, cache=cache)
+    started = time.perf_counter()
+    report = run_once(workers=1, cache=cache)
+    timings["cached_s"] = round(time.perf_counter() - started, 4)
+
+    blob = {
+        "bench": "runtime-modes",
+        "sweep": SWEEP,
+        "fast": True,
+        "tasks": report.manifest["totals"]["tasks"],
+        "timings": timings,
+        "speedup_cached_vs_serial": round(
+            timings["serial_s"] / max(timings["cached_s"], 1e-9), 2
+        ),
+    }
+    with capsys.disabled():
+        print()
+        print(json.dumps(blob, sort_keys=True))
+    BLOB_PATH.write_text(
+        json.dumps(blob, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    assert timings["cached_s"] < timings["serial_s"]

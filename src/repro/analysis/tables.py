@@ -7,7 +7,7 @@ EXPERIMENTS.md transcript without any third-party dependency.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 
 def format_float(value: float, width: int = 10) -> str:
@@ -71,6 +71,32 @@ class Table:
         parts.append(line(["-" * width for width in widths]))
         parts.extend(line(row) for row in self.rows)
         return "\n".join(parts)
+
+    def to_dict(self) -> Dict[str, List]:
+        """JSON-able form; cells are the already-stringified values."""
+        return {
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, List]) -> "Table":
+        """Inverse of :meth:`to_dict` (exact round trip)."""
+        table = cls(data["headers"])
+        for row in data.get("rows", []):
+            cells = [str(cell) for cell in row]
+            if len(cells) != len(table.headers):
+                raise ValueError(
+                    f"row has {len(cells)} cells, table has "
+                    f"{len(table.headers)} columns"
+                )
+            table.rows.append(cells)
+        return table
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self.headers == other.headers and self.rows == other.rows
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.render()

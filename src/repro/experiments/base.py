@@ -12,7 +12,7 @@ transcript both consume these.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from repro.analysis.tables import Table
 
@@ -54,3 +54,33 @@ class ExperimentResult:
             parts.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
         parts.append(f"overall: {'PASS' if self.passed else 'FAIL'}")
         return "\n".join(parts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form; exact round trip via :meth:`from_dict`.
+
+        Key and list orders are preserved, so two results are
+        byte-identical under ``json.dumps`` iff they are equal.
+        """
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "tables": [table.to_dict() for table in self.tables],
+            "notes": list(self.notes),
+            "checks": dict(self.checks),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            exp_id=data["exp_id"],
+            title=data["title"],
+            tables=[
+                Table.from_dict(table) for table in data.get("tables", [])
+            ],
+            notes=[str(note) for note in data.get("notes", [])],
+            checks={
+                str(name): bool(ok)
+                for name, ok in data.get("checks", {}).items()
+            },
+        )

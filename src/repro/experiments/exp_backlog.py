@@ -23,11 +23,17 @@ It also runs the theorem's dichotomy (:func:`repro.core.run_dichotomy`)
 at a few backlog levels: fixed-header protocols either exceed the bound
 or get forged, while the naive protocol's cost stays O(1) -- the escape
 that costs it n headers.
+
+Runtime decomposition: one shard per cost-vs-backlog curve (each phase
+count is an independent sweep), one per dichotomy backlog level, and
+one for the naive protocol's escape probe; :func:`merge` fits the
+curves and applies the shape checks.  Everything here is
+deterministic, so the shard seed is unused.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List
 
 from repro.analysis.growth import fit_linear
 from repro.analysis.tables import Table
@@ -36,48 +42,131 @@ from repro.datalink.alternating_bit import make_alternating_bit
 from repro.datalink.flooding import make_flooding
 from repro.datalink.sequence import make_sequence_protocol
 from repro.experiments.base import ExperimentResult
+from repro.runtime.seeds import derive_seed
 
 EXP_ID = "E3"
+NAME = "backlog"
 TITLE = "Theorem 4.1: cost per message grows as backlog/k (tight)"
 
+SEQUENCE_BACKLOG = 32
 
-def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
-    """Execute E3: cost-vs-backlog curves and the dichotomy table."""
+
+def backlog_levels(fast: bool) -> List[int]:
+    """The swept backlog sizes for the cost curves."""
+    return [0, 8, 32, 128] if fast else [0, 8, 32, 128, 512, 1024]
+
+
+def phase_counts(fast: bool) -> List[int]:
+    """The flooding phase counts (one curve each)."""
+    return [2, 3] if fast else [2, 3, 6]
+
+
+def dichotomy_levels(fast: bool) -> List[int]:
+    """Backlog levels at which the dichotomy is exercised."""
+    return [6, 12] if fast else [6, 12, 24]
+
+
+def shards(fast: bool) -> List[Dict[str, Any]]:
+    """Curves, dichotomy levels and the naive escape, one shard each."""
+    specs: List[Dict[str, Any]] = [
+        {"shard": f"curve-K={phases}", "kind": "curve", "phases": phases}
+        for phases in phase_counts(fast)
+    ]
+    specs.extend(
+        {"shard": f"dichotomy-l={level}", "kind": "dichotomy",
+         "level": level}
+        for level in dichotomy_levels(fast)
+    )
+    specs.append({"shard": "sequence", "kind": "sequence"})
+    return specs
+
+
+def _probe_dict(probe) -> Dict[str, Any]:
+    return {
+        "headers": probe.headers,
+        "backlog_actual": probe.backlog_actual,
+        "extension_packets": probe.extension_packets,
+        "lower_bound": probe.lower_bound,
+        "ratio": probe.ratio,
+    }
+
+
+def run_shard(params: Dict[str, Any], fast: bool, seed: int) -> Dict[str, Any]:
+    """Execute one curve sweep, dichotomy level or escape probe."""
     del seed  # deterministic
-    result = ExperimentResult(exp_id=EXP_ID, title=TITLE)
+    kind = params["kind"]
+    if kind == "curve":
+        phases = int(params["phases"])
+        probes = [
+            _probe_dict(
+                probe_backlog_cost(lambda: make_flooding(phases), backlog)
+            )
+            for backlog in backlog_levels(fast)
+        ]
+        return {
+            "kind": kind,
+            "phases": phases,
+            "probes": probes,
+            "metrics": {
+                "packets": sum(p["extension_packets"] for p in probes),
+            },
+        }
+    if kind == "dichotomy":
+        level = int(params["level"])
+        rows = {}
+        for label, factory in (
+            ("abp", make_alternating_bit),
+            ("flood", lambda: make_flooding(3)),
+        ):
+            outcome = run_dichotomy(factory, level)
+            rows[label] = {
+                "probe": _probe_dict(outcome.probe),
+                "exceeded_bound": outcome.exceeded_bound,
+                "forged": outcome.forged,
+                "theorem_confirmed": outcome.theorem_confirmed,
+            }
+        return {"kind": kind, "level": level, **rows}
+    if kind == "sequence":
+        probe = probe_backlog_cost(make_sequence_protocol, SEQUENCE_BACKLOG)
+        return {"kind": kind, "probe": _probe_dict(probe)}
+    raise ValueError(f"unknown backlog shard kind {kind!r}")
 
-    backlogs: List[int] = [0, 8, 32, 128] if fast else [0, 8, 32, 128, 512, 1024]
-    phase_counts = [2, 3] if fast else [2, 3, 6]
+
+def merge(
+    payloads: List[Dict[str, Any]], fast: bool, seed: int
+) -> ExperimentResult:
+    """Fit the curves and apply the dichotomy/escape checks."""
+    del fast, seed
+    result = ExperimentResult(exp_id=EXP_ID, title=TITLE)
 
     curve_table = Table(
         ["protocol", "k", "backlog", "cost", "floor(l/k)", "cost/l"]
     )
     fit_table = Table(["protocol", "k", "slope", "1/k", "R^2"])
 
-    for phases in phase_counts:
-        label = f"oracle-flood(K={phases})"
+    for payload in (p for p in payloads if p["kind"] == "curve"):
+        label = f"oracle-flood(K={payload['phases']})"
         points = []
-        k_observed = phases
-        for backlog in backlogs:
-            probe = probe_backlog_cost(
-                lambda: make_flooding(phases), backlog
+        k_observed = payload["phases"]
+        for probe in payload["probes"]:
+            k_observed = probe["headers"]
+            points.append(
+                (probe["backlog_actual"], probe["extension_packets"])
             )
-            k_observed = probe.headers
-            points.append((probe.backlog_actual, probe.extension_packets))
             curve_table.add_row(
                 [
                     label,
-                    probe.headers,
-                    probe.backlog_actual,
-                    probe.extension_packets,
-                    probe.lower_bound,
-                    probe.ratio,
+                    probe["headers"],
+                    probe["backlog_actual"],
+                    probe["extension_packets"],
+                    probe["lower_bound"],
+                    probe["ratio"],
                 ]
             )
             result.checks[
-                f"{label} l={probe.backlog_actual}: cost > floor(l/k)"
-            ] = probe.extension_packets > probe.lower_bound or (
-                probe.backlog_actual == 0
+                f"{label} l={probe['backlog_actual']}: cost > floor(l/k)"
+            ] = probe["extension_packets"] > probe["lower_bound"] or (
+                probe["backlog_actual"] == 0
             )
         xs = [float(x) for x, _ in points]
         ys = [float(y) for _, y in points]
@@ -96,51 +185,40 @@ def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
     dich_table = Table(
         ["protocol", "backlog", "cost", "floor(l/k)", "exceeded", "forged"]
     )
-    dich_levels = [6, 12] if fast else [6, 12, 24]
-    for level in dich_levels:
-        abp = run_dichotomy(make_alternating_bit, level)
-        dich_table.add_row(
-            [
-                "alternating-bit",
-                abp.probe.backlog_actual,
-                abp.probe.extension_packets,
-                abp.probe.lower_bound,
-                abp.exceeded_bound,
-                abp.forged,
-            ]
-        )
-        result.checks[
-            f"alternating-bit l={level}: dichotomy holds"
-        ] = abp.theorem_confirmed
-        flood = run_dichotomy(lambda: make_flooding(3), level)
-        dich_table.add_row(
-            [
-                "oracle-flood(K=3)",
-                flood.probe.backlog_actual,
-                flood.probe.extension_packets,
-                flood.probe.lower_bound,
-                flood.exceeded_bound,
-                flood.forged,
-            ]
-        )
-        result.checks[
-            f"oracle-flood(K=3) l={level}: dichotomy holds"
-        ] = flood.theorem_confirmed
+    for payload in (p for p in payloads if p["kind"] == "dichotomy"):
+        level = payload["level"]
+        for label, name in (("alternating-bit", "abp"),
+                            ("oracle-flood(K=3)", "flood")):
+            row = payload[name]
+            dich_table.add_row(
+                [
+                    label,
+                    row["probe"]["backlog_actual"],
+                    row["probe"]["extension_packets"],
+                    row["probe"]["lower_bound"],
+                    row["exceeded_bound"],
+                    row["forged"],
+                ]
+            )
+            result.checks[
+                f"{label} l={level}: dichotomy holds"
+            ] = row["theorem_confirmed"]
 
-    seq_probe = probe_backlog_cost(make_sequence_protocol, 32)
-    dich_table.add_row(
-        [
-            "sequence-number",
-            seq_probe.backlog_actual,
-            seq_probe.extension_packets,
-            seq_probe.lower_bound,
-            seq_probe.extension_packets > seq_probe.lower_bound,
-            False,
-        ]
-    )
-    result.checks[
-        "sequence-number: O(1) cost despite backlog (n-header escape)"
-    ] = 0 < seq_probe.extension_packets <= 3
+    for payload in (p for p in payloads if p["kind"] == "sequence"):
+        probe = payload["probe"]
+        dich_table.add_row(
+            [
+                "sequence-number",
+                probe["backlog_actual"],
+                probe["extension_packets"],
+                probe["lower_bound"],
+                probe["extension_packets"] > probe["lower_bound"],
+                False,
+            ]
+        )
+        result.checks[
+            "sequence-number: O(1) cost despite backlog (n-header escape)"
+        ] = 0 < probe["extension_packets"] <= 3
 
     result.tables.extend([curve_table, fit_table, dich_table])
     result.notes.append(
@@ -149,3 +227,16 @@ def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
         "values in use."
     )
     return result
+
+
+def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
+    """Execute E3: cost-vs-backlog curves and the dichotomy table.
+
+    Runs every shard in-process (same decomposition as the parallel
+    runtime, so the output is identical either way).
+    """
+    payloads = [
+        run_shard(params, fast, derive_seed(seed, NAME, params["shard"]))
+        for params in shards(fast)
+    ]
+    return merge(payloads, fast, seed)

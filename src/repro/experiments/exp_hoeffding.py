@@ -10,11 +10,18 @@ tabulates the two derived quantities of Section 5 at the paper's
 operating points: the Lemma 5.2 failure probability
 ``exp(-n q^2 / 4k^3)`` and ``eps_n = O(1/sqrt(n))``, demonstrating the
 vanishing of the correction term.
+
+Runtime decomposition: one shard per ``n`` (the exact binomial
+summation is ``O(n)`` per grid point, so the largest ``n`` dominate
+and parallelise cleanly); :func:`merge` reassembles the grid in
+``n`` order and applies the shape checks.  The computation is exact --
+no randomness -- so the shard seed is unused.
 """
 
 from __future__ import annotations
 
-from typing import List
+import math
+from typing import Any, Dict, List
 
 from repro.analysis.tables import Table
 from repro.core.hoeffding import (
@@ -24,31 +31,76 @@ from repro.core.hoeffding import (
     lemma52_failure_bound,
 )
 from repro.experiments.base import ExperimentResult
+from repro.runtime.seeds import derive_seed
 
 EXP_ID = "E5"
+NAME = "hoeffding"
 TITLE = "Theorem 5.4: Hoeffding bound dominates the exact binomial tail"
 
+QS: List[float] = [0.2, 0.5, 0.8]
+QS_FAST: List[float] = [0.2, 0.5]
+FRACTIONS: List[float] = [0.25, 0.5, 0.75]
+SECTION5_Q = 0.3
+SECTION5_K = 3
 
-def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
-    """Execute E5 over the (n, q, alpha) grid."""
+
+def sample_sizes(fast: bool) -> List[int]:
+    """The swept ``n`` values."""
+    return [50, 200] if fast else [50, 200, 1000, 2000]
+
+
+def shards(fast: bool) -> List[Dict[str, Any]]:
+    """One independent work unit per sample size ``n``."""
+    return [{"shard": f"n={n}", "n": n} for n in sample_sizes(fast)]
+
+
+def run_shard(params: Dict[str, Any], fast: bool, seed: int) -> Dict[str, Any]:
+    """Compute the exact/bounded tails for one ``n`` row block."""
     del seed  # exact computation, no randomness
-    result = ExperimentResult(exp_id=EXP_ID, title=TITLE)
+    n = int(params["n"])
+    qs = QS_FAST if fast else QS
+    grid_rows = []
+    for q in qs:
+        for fraction in FRACTIONS:
+            alpha = q * fraction
+            exact = exact_binomial_tail(n, q, alpha)
+            bound = hoeffding_tail_bound(n, q, alpha)
+            grid_rows.append(
+                {
+                    "n": n,
+                    "q": q,
+                    "alpha": alpha,
+                    "exact": exact,
+                    "bound": bound,
+                    "dominates": bound >= exact - 1e-12,
+                }
+            )
+    eps = epsilon_n(n, SECTION5_Q, SECTION5_K)
+    return {
+        "n": n,
+        "grid": grid_rows,
+        "eps_n": eps,
+        "lemma52": lemma52_failure_bound(n, SECTION5_Q, SECTION5_K),
+        "metrics": {"grid_points": len(grid_rows)},
+    }
 
-    ns: List[int] = [50, 200] if fast else [50, 200, 1000, 2000]
-    qs: List[float] = [0.2, 0.5] if fast else [0.2, 0.5, 0.8]
-    fractions = [0.25, 0.5, 0.75]
+
+def merge(
+    payloads: List[Dict[str, Any]], fast: bool, seed: int
+) -> ExperimentResult:
+    """Reassemble the grid (payloads arrive in ``n`` order) and check."""
+    del fast, seed
+    result = ExperimentResult(exp_id=EXP_ID, title=TITLE)
 
     grid = Table(["n", "q", "alpha", "exact tail", "Hoeffding", "dominates"])
     all_dominate = True
-    for n in ns:
-        for q in qs:
-            for fraction in fractions:
-                alpha = q * fraction
-                exact = exact_binomial_tail(n, q, alpha)
-                bound = hoeffding_tail_bound(n, q, alpha)
-                ok = bound >= exact - 1e-12
-                all_dominate = all_dominate and ok
-                grid.add_row([n, q, alpha, exact, bound, ok])
+    for payload in payloads:
+        for row in payload["grid"]:
+            all_dominate = all_dominate and row["dominates"]
+            grid.add_row(
+                [row["n"], row["q"], row["alpha"], row["exact"],
+                 row["bound"], row["dominates"]]
+            )
     result.checks["Hoeffding bound dominates on the whole grid"] = (
         all_dominate
     )
@@ -56,20 +108,20 @@ def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
     section5 = Table(
         ["n", "q", "k", "eps_n", "Lemma 5.2 failure prob"]
     )
-    for n in ns:
-        for k in (3,):
-            q = 0.3
-            section5.add_row(
-                [n, q, k, epsilon_n(n, q, k), lemma52_failure_bound(n, q, k)]
-            )
-    eps_values = [epsilon_n(n, 0.3, 3) for n in ns]
+    for payload in payloads:
+        section5.add_row(
+            [payload["n"], SECTION5_Q, SECTION5_K, payload["eps_n"],
+             payload["lemma52"]]
+        )
+    eps_values = [payload["eps_n"] for payload in payloads]
     result.checks["eps_n decreases in n (O(1/sqrt(n)))"] = all(
         earlier > later for earlier, later in zip(eps_values, eps_values[1:])
     )
     # eps_n * sqrt(n) should be constant.
-    import math
-
-    scaled = [eps * math.sqrt(n) for eps, n in zip(eps_values, ns)]
+    scaled = [
+        eps * math.sqrt(payload["n"])
+        for eps, payload in zip(eps_values, payloads)
+    ]
     result.checks["eps_n * sqrt(n) is constant"] = (
         max(scaled) - min(scaled) < 1e-9
     )
@@ -80,3 +132,16 @@ def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
         "binomial terms); no Monte Carlo error in this table."
     )
     return result
+
+
+def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
+    """Execute E5 over the (n, q, alpha) grid.
+
+    Runs every shard in-process (same decomposition as the parallel
+    runtime, so the output is identical either way).
+    """
+    payloads = [
+        run_shard(params, fast, derive_seed(seed, NAME, params["shard"]))
+        for params in shards(fast)
+    ]
+    return merge(payloads, fast, seed)

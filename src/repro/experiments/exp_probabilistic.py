@@ -20,11 +20,19 @@ Series generated (the paper's implied figure):
 Shape checks: flooding classifies exponential with base > 1 growing in
 ``q``; the naive protocol classifies linear; every crossover exists and
 is small.
+
+Runtime decomposition: one shard per ``q`` (the protocol runs, which
+dominate the cost, are independent across error probabilities);
+:func:`run_shard` returns the raw cumulative-packet series and
+:func:`merge` does the growth fits, crossovers and shape checks.
+Shard seeds are derived via
+:func:`repro.runtime.seeds.derive_seed`, so serial, parallel and
+cached executions produce identical results.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from repro.analysis.growth import classify_growth, find_crossover
 from repro.analysis.tables import Table
@@ -33,24 +41,74 @@ from repro.core.theorem51 import run_probabilistic_delivery
 from repro.datalink.flooding import make_flooding
 from repro.datalink.sequence import make_sequence_protocol
 from repro.experiments.base import ExperimentResult
+from repro.runtime.seeds import derive_seed
 
 EXP_ID = "E4"
+NAME = "probabilistic"
 TITLE = "Theorem 5.1: exponential blowup over a probabilistic channel"
 
 PHASES = 3
 
 
-def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
-    """Execute E4 and report the growth fits and crossovers."""
-    result = ExperimentResult(exp_id=EXP_ID, title=TITLE)
-    qs: List[float] = [0.2, 0.4] if fast else [0.1, 0.2, 0.3, 0.5]
-    budget = 150_000 if fast else 400_000
+def error_probabilities(fast: bool) -> List[float]:
+    """The swept channel error probabilities."""
+    return [0.2, 0.4] if fast else [0.1, 0.2, 0.3, 0.5]
 
-    def horizon(q: float) -> int:
-        # Smaller q compounds more slowly; run longer so the
-        # exponential regime dominates the fit window.
-        base_n = 30 if fast else 42
-        return max(base_n, min(96, round(base_n * 0.3 / q)))
+
+def horizon(q: float, fast: bool) -> int:
+    """Messages to request at one ``q``.
+
+    Smaller q compounds more slowly; run longer so the exponential
+    regime dominates the fit window.
+    """
+    base_n = 30 if fast else 42
+    return max(base_n, min(96, round(base_n * 0.3 / q)))
+
+
+def shards(fast: bool) -> List[Dict[str, Any]]:
+    """One independent work unit per error probability."""
+    return [{"shard": f"q={q}", "q": q} for q in error_probabilities(fast)]
+
+
+def run_shard(params: Dict[str, Any], fast: bool, seed: int) -> Dict[str, Any]:
+    """Run both protocols at one ``q``; returns the raw series."""
+    q = float(params["q"])
+    n = horizon(q, fast)
+    budget = 150_000 if fast else 400_000
+    flood = run_probabilistic_delivery(
+        lambda: make_flooding(PHASES),
+        q=q,
+        n=n,
+        seed=seed,
+        packet_budget=budget,
+    )
+    naive = run_probabilistic_delivery(
+        make_sequence_protocol, q=q, n=n, seed=seed
+    )
+    return {
+        "q": q,
+        "flood": {
+            "delivered": flood.delivered,
+            "total_packets": flood.total_packets,
+            "cumulative_packets": list(flood.cumulative_packets),
+        },
+        "naive": {
+            "delivered": naive.delivered,
+            "total_packets": naive.total_packets,
+            "cumulative_packets": list(naive.cumulative_packets),
+        },
+        "metrics": {
+            "packets": flood.total_packets + naive.total_packets,
+        },
+    }
+
+
+def merge(
+    payloads: List[Dict[str, Any]], fast: bool, seed: int
+) -> ExperimentResult:
+    """Fit, compare and check the per-``q`` series."""
+    del fast, seed  # the payloads carry everything the report needs
+    result = ExperimentResult(exp_id=EXP_ID, title=TITLE)
 
     series_table = Table(
         ["protocol", "q", "delivered", "total pkts", "model", "base/slope"]
@@ -64,38 +122,30 @@ def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
         ]
     )
 
-    bases: Dict[float, float] = {}
-    for q in qs:
-        n = horizon(q)
-        flood = run_probabilistic_delivery(
-            lambda: make_flooding(PHASES),
-            q=q,
-            n=n,
-            seed=seed,
-            packet_budget=budget,
-        )
-        naive = run_probabilistic_delivery(
-            make_sequence_protocol, q=q, n=n, seed=seed
-        )
+    ordered_bases: List[float] = []
+    for payload in payloads:
+        q = payload["q"]
+        flood = payload["flood"]
+        naive = payload["naive"]
 
         # Fit on the tail half of the series: the early messages are
         # dominated by constant per-message costs, the asymptotic
         # regime (which the theorem speaks about) by the compounding.
-        half = max(0, flood.delivered // 2 - 1)
-        xs = list(range(half + 1, flood.delivered + 1))
+        half = max(0, flood["delivered"] // 2 - 1)
+        xs = list(range(half + 1, flood["delivered"] + 1))
         kind, value = classify_growth(
             [float(x) for x in xs],
-            [float(y) for y in flood.cumulative_packets[half:]],
+            [float(y) for y in flood["cumulative_packets"][half:]],
         )
         series_table.add_row(
-            ["oracle-flood(K=3)", q, flood.delivered, flood.total_packets,
-             kind, value]
+            ["oracle-flood(K=3)", q, flood["delivered"],
+             flood["total_packets"], kind, value]
         )
         result.checks[f"flood q={q}: growth classified exponential"] = (
             kind == "exponential" and value > 1.0
         )
         if kind == "exponential":
-            bases[q] = value
+            ordered_bases.append(value)
             # Theory lines: the protocol's epoch recurrence and the
             # theorem's (slack-ridden) floor.
             recurrence = (1.0 / (1.0 - q)) ** (1.0 / PHASES)
@@ -105,14 +155,14 @@ def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
                 f"flood q={q}: fitted base exceeds theorem floor"
             ] = value >= floor
 
-        xs_naive = list(range(1, naive.delivered + 1))
+        xs_naive = list(range(1, naive["delivered"] + 1))
         kind_naive, value_naive = classify_growth(
             [float(x) for x in xs_naive],
-            [float(y) for y in naive.cumulative_packets],
+            [float(y) for y in naive["cumulative_packets"]],
         )
         series_table.add_row(
-            ["sequence-number", q, naive.delivered, naive.total_packets,
-             kind_naive, value_naive]
+            ["sequence-number", q, naive["delivered"],
+             naive["total_packets"], kind_naive, value_naive]
         )
         result.checks[f"naive q={q}: growth classified linear"] = (
             kind_naive == "linear"
@@ -120,11 +170,11 @@ def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
 
         # Crossover: first message count where the bounded protocol is
         # dearer than the naive one.
-        shared = min(flood.delivered, naive.delivered)
+        shared = min(flood["delivered"], naive["delivered"])
         crossover = find_crossover(
             list(range(1, shared + 1)),
-            flood.cumulative_packets[:shared],
-            naive.cumulative_packets[:shared],
+            flood["cumulative_packets"][:shared],
+            naive["cumulative_packets"][:shared],
         )
         result.checks[f"q={q}: naive wins (crossover exists)"] = (
             crossover is not None
@@ -135,11 +185,10 @@ def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
                 f"one at message {crossover:.1f}"
             )
 
-    # Monotonicity of the blowup in q.
-    ordered = [bases[q] for q in qs if q in bases]
+    # Monotonicity of the blowup in q (payloads arrive in q order).
     result.checks["fitted base increases with q"] = all(
         earlier <= later + 0.02
-        for earlier, later in zip(ordered, ordered[1:])
+        for earlier, later in zip(ordered_bases, ordered_bases[1:])
     )
 
     result.tables.extend([series_table, theory_table])
@@ -150,3 +199,16 @@ def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
         "recurrence."
     )
     return result
+
+
+def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
+    """Execute E4 and report the growth fits and crossovers.
+
+    Runs every shard in-process (same decomposition and derived seeds
+    as the parallel runtime, so the output is identical either way).
+    """
+    payloads = [
+        run_shard(params, fast, derive_seed(seed, NAME, params["shard"]))
+        for params in shards(fast)
+    ]
+    return merge(payloads, fast, seed)

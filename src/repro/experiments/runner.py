@@ -8,12 +8,19 @@ or one::
 
     python -m repro.experiments backlog --fast
 
+Execution goes through the :mod:`repro.runtime` engine: experiments
+decompose into seed-sharded tasks that run serially or across a
+process pool (``--parallel N``), with results cached on disk under
+``.repro-cache/`` (``--no-cache`` to disable) and a structured run
+manifest available via ``--json PATH``.
+
 The transcript printed here is what EXPERIMENTS.md records.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict
 
@@ -40,21 +47,66 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "transport": exp_transport.run,
 }
 
+# Experiments the runtime decomposes into independent shards; each
+# module exposes ``shards(fast)`` / ``run_shard(params, fast, seed)`` /
+# ``merge(payloads, fast, seed)``.  The rest run as one whole task.
+SHARDED = {
+    "backlog": exp_backlog,
+    "probabilistic": exp_probabilistic,
+    "hoeffding": exp_hoeffding,
+}
+
+
+def _validate_kwargs(fast, seed) -> None:
+    if not isinstance(fast, bool):
+        raise TypeError(
+            f"fast must be a bool, got {type(fast).__name__} ({fast!r})"
+        )
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise TypeError(
+            f"seed must be an int, got {type(seed).__name__} ({seed!r})"
+        )
+
 
 def run_experiment(
     name: str, fast: bool = False, seed: int = 0
 ) -> ExperimentResult:
     """Run one registered experiment by name."""
+    _validate_kwargs(fast, seed)
+    if name == "all":
+        raise ValueError(
+            "run_experiment runs a single experiment; use run_all() "
+            "(or `python -m repro.experiments all`) for every one"
+        )
     if name not in REGISTRY:
         raise KeyError(
             f"unknown experiment {name!r}; choose from "
-            f"{sorted(REGISTRY)} or 'all'"
+            f"{sorted(REGISTRY)}, or 'all' via run_all()"
         )
     return REGISTRY[name](fast=fast, seed=seed)
 
 
+def run_all(
+    fast: bool = False, seed: int = 0
+) -> Dict[str, ExperimentResult]:
+    """Run every registered experiment; results keyed by name."""
+    _validate_kwargs(fast, seed)
+    return {
+        name: REGISTRY[name](fast=fast, seed=seed)
+        for name in sorted(REGISTRY)
+    }
+
+
 def main(argv=None) -> int:
     """CLI entry point.  Returns a process exit code."""
+    from repro.runtime import (
+        ResultCache,
+        TaskFailure,
+        TextProgressReporter,
+        run_experiments,
+    )
+    from repro.runtime.cache import default_cache_dir
+
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
@@ -77,6 +129,45 @@ def main(argv=None) -> int:
         "--seed", type=int, default=0, help="randomness seed"
     )
     parser.add_argument(
+        "--parallel",
+        metavar="N",
+        type=int,
+        default=1,
+        help="worker processes (default 1 = serial in-process)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute everything; neither read nor write the cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "result cache directory (default: $REPRO_CACHE_DIR or "
+            ".repro-cache)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write results + run manifest as JSON to FILE",
+    )
+    parser.add_argument(
+        "--timeout",
+        metavar="SECONDS",
+        type=float,
+        default=None,
+        help="per-task wall-clock limit (parallel mode)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the live progress report (stderr)",
+    )
+    parser.add_argument(
         "--output",
         metavar="FILE",
         default=None,
@@ -90,15 +181,47 @@ def main(argv=None) -> int:
             f"unknown experiment {args.experiment!r}; choose from "
             f"{sorted(REGISTRY)} or 'all'"
         )
+    if args.parallel < 1:
+        parser.error("--parallel must be >= 1")
 
-    all_passed = True
-    results = []
-    for name in names:
-        result = run_experiment(name, fast=args.fast, seed=args.seed)
-        results.append(result)
+    cache = (
+        None
+        if args.no_cache
+        else ResultCache(args.cache_dir or default_cache_dir())
+    )
+    reporter = None if args.quiet else TextProgressReporter(sys.stderr)
+    try:
+        report = run_experiments(
+            names,
+            fast=args.fast,
+            seed=args.seed,
+            workers=args.parallel,
+            cache=cache,
+            timeout=args.timeout,
+            reporter=reporter,
+        )
+    except TaskFailure as failure:
+        print(f"error: {failure}", file=sys.stderr)
+        return 1
+
+    results = [report.results[name] for name in names]
+    for result in results:
         print(result.render())
         print()
-        all_passed = all_passed and result.passed
+    all_passed = all(result.passed for result in results)
+
+    if args.json is not None:
+        document = {
+            "experiments": [result.to_dict() for result in results],
+            "manifest": report.manifest,
+            "passed": all_passed,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            # Insertion order is meaningful (check order, task plan
+            # order) and deterministic, so no key sorting.
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"run manifest written to {args.json}")
     if args.output is not None:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(render_markdown(results, fast=args.fast,

@@ -1,0 +1,194 @@
+"""Orchestration: experiments -> tasks -> executor -> merged results.
+
+:func:`run_experiments` is the one call behind both the CLI and
+library users.  It plans the run (:func:`plan_tasks`), settles every
+task through :func:`repro.runtime.executor.run_tasks` (cache first,
+then pool or serial execution), merges shard payloads back into
+:class:`~repro.experiments.base.ExperimentResult` objects, and builds
+the run manifest.
+
+Determinism contract: for a fixed ``(names, fast, seed)`` the merged
+results -- and hence ``ExperimentResult.to_dict()`` -- are identical
+whether tasks ran serially, across a process pool, or from a warm
+cache.  Shard seeds come from
+:func:`~repro.runtime.seeds.derive_seed`, never from scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.base import ExperimentResult
+from repro.runtime import cache as cache_mod
+from repro.runtime.executor import run_tasks
+from repro.runtime.manifest import build_manifest
+from repro.runtime.seeds import derive_seed
+from repro.runtime.task import (
+    KIND_SHARD,
+    KIND_WHOLE,
+    STATUS_FAILED,
+    TaskOutcome,
+    TaskSpec,
+)
+
+
+class TaskFailure(RuntimeError):
+    """One or more tasks exhausted their retry budget.
+
+    Attributes:
+        outcomes: the failed outcomes (spec + stringified error each).
+    """
+
+    def __init__(self, outcomes: List[TaskOutcome]) -> None:
+        self.outcomes = outcomes
+        lines = ", ".join(
+            f"{o.spec.task_id} ({o.error})" for o in outcomes
+        )
+        super().__init__(f"{len(outcomes)} task(s) failed: {lines}")
+
+
+@dataclass
+class RunReport:
+    """Everything one engine run produced.
+
+    Attributes:
+        results: merged results, keyed by experiment name, in run
+            order.
+        manifest: the structured run record (see
+            :mod:`repro.runtime.manifest`).
+        outcomes: raw per-task outcomes, in plan order.
+    """
+
+    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+    manifest: Dict[str, Any] = field(default_factory=dict)
+    outcomes: List[TaskOutcome] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """Every experiment's shape checks hold."""
+        return all(result.passed for result in self.results.values())
+
+
+def plan_tasks(
+    names: List[str], fast: bool = False, seed: int = 0
+) -> List[TaskSpec]:
+    """Decompose experiments into task specs, seeds derived per shard.
+
+    Sharded experiments (those in
+    :data:`repro.experiments.runner.SHARDED`) contribute one spec per
+    parameter shard with a :func:`derive_seed`-derived seed; the rest
+    contribute a single whole-experiment spec carrying the root seed,
+    which keeps their output bit-identical to a direct
+    ``run(fast=..., seed=...)`` call.
+    """
+    from repro.experiments.runner import REGISTRY, SHARDED
+
+    specs: List[TaskSpec] = []
+    for name in names:
+        if name not in REGISTRY:
+            raise KeyError(f"unknown experiment {name!r}")
+        module = SHARDED.get(name)
+        if module is None:
+            specs.append(
+                TaskSpec(
+                    experiment=name,
+                    shard="whole",
+                    params={},
+                    fast=fast,
+                    seed=seed,
+                    kind=KIND_WHOLE,
+                )
+            )
+            continue
+        for params in module.shards(fast):
+            shard = params["shard"]
+            specs.append(
+                TaskSpec(
+                    experiment=name,
+                    shard=shard,
+                    params=dict(params),
+                    fast=fast,
+                    seed=derive_seed(seed, name, shard),
+                    kind=KIND_SHARD,
+                )
+            )
+    return specs
+
+
+def merge_outcomes(
+    names: List[str],
+    outcomes: List[TaskOutcome],
+    fast: bool,
+    seed: int,
+) -> Dict[str, ExperimentResult]:
+    """Reassemble per-experiment results from settled task outcomes."""
+    from repro.experiments.runner import SHARDED
+
+    by_experiment: Dict[str, List[TaskOutcome]] = {}
+    for outcome in outcomes:
+        by_experiment.setdefault(outcome.spec.experiment, []).append(outcome)
+
+    results: Dict[str, ExperimentResult] = {}
+    for name in names:
+        settled = by_experiment.get(name, [])
+        module = SHARDED.get(name)
+        if module is None:
+            (outcome,) = settled
+            results[name] = ExperimentResult.from_dict(outcome.payload)
+        else:
+            payloads = [outcome.payload for outcome in settled]
+            results[name] = module.merge(payloads, fast, seed)
+    return results
+
+
+def run_experiments(
+    names: List[str],
+    fast: bool = False,
+    seed: int = 0,
+    workers: int = 1,
+    cache=None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    reporter=None,
+) -> RunReport:
+    """Run experiments through the task runtime; returns a report.
+
+    Args:
+        names: experiment registry names, in the order to report.
+        fast: reduced (CI-sized) grids.
+        seed: root seed; shard seeds are derived from it.
+        workers: process count (``<= 1`` = serial in-process).
+        cache: a :class:`~repro.runtime.cache.ResultCache`, or ``None``
+            to disable caching entirely.
+        timeout: per-task wall-clock limit (pool mode).
+        retries: extra attempts per task on worker failure.
+        reporter: progress sink (see :mod:`repro.runtime.progress`).
+
+    Raises:
+        TaskFailure: a task failed after all retries; no partial
+            results are returned.
+    """
+    specs = plan_tasks(names, fast=fast, seed=seed)
+    outcomes = run_tasks(
+        specs,
+        workers=workers,
+        cache=cache,
+        timeout=timeout,
+        retries=retries,
+        reporter=reporter,
+    )
+    failed = [o for o in outcomes if o.status == STATUS_FAILED]
+    if failed:
+        raise TaskFailure(failed)
+    results = merge_outcomes(names, outcomes, fast, seed)
+    manifest = build_manifest(
+        outcomes,
+        names=names,
+        fast=fast,
+        seed=seed,
+        workers=workers,
+        code_version=cache_mod.code_version(),
+        cache_dir=str(cache.directory) if cache is not None else None,
+    )
+    return RunReport(results=results, manifest=manifest, outcomes=outcomes)

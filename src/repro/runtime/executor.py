@@ -1,0 +1,232 @@
+"""Task scheduling: process pool with serial fallback, retry, timeout.
+
+:func:`run_tasks` takes a list of :class:`TaskSpec` and settles every
+one of them exactly once, in three layers:
+
+1. **cache** -- specs whose result is already on disk come back as
+   ``cached`` outcomes without touching a worker;
+2. **execution** -- the rest run through a
+   :class:`~concurrent.futures.ProcessPoolExecutor` when
+   ``workers >= 2`` (with a per-task ``timeout`` and transparent pool
+   recovery on :class:`~concurrent.futures.process.BrokenProcessPool`),
+   or in-process when ``workers <= 1``;
+3. **retry** -- tasks that raised are retried up to ``retries`` more
+   times (fresh submission each round) before settling as ``failed``.
+
+Outcomes are returned in the order of the input specs regardless of
+completion order, so downstream merging is deterministic.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.runtime.progress import NullReporter
+from repro.runtime.task import (
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    TaskOutcome,
+    TaskSpec,
+)
+
+Runner = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+
+def _default_runner() -> Runner:
+    from repro.runtime.worker import execute
+
+    return execute
+
+
+def _metrics_of(payload: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    if isinstance(payload, dict):
+        metrics = payload.get("metrics")
+        if isinstance(metrics, dict):
+            return dict(metrics)
+    return {}
+
+
+def run_tasks(
+    specs: List[TaskSpec],
+    workers: int = 1,
+    cache=None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    reporter=None,
+    runner: Optional[Runner] = None,
+) -> List[TaskOutcome]:
+    """Settle every spec; returns outcomes in input order.
+
+    Args:
+        specs: the work units.
+        workers: process count; ``<= 1`` runs serially in-process.
+        cache: optional :class:`~repro.runtime.cache.ResultCache`;
+            hits skip execution, fresh results are written back.
+        timeout: per-task wall-clock limit in seconds.  Enforced in
+            pool mode; the serial path cannot preempt a running task,
+            so there it is best-effort (checked between tasks only).
+        retries: additional attempts for tasks that raise.
+        reporter: progress sink (see :mod:`repro.runtime.progress`).
+        runner: override the task body (tests); defaults to
+            :func:`repro.runtime.worker.execute`.
+    """
+    reporter = reporter or NullReporter()
+    runner = runner or _default_runner()
+    reporter.on_start(specs, workers)
+
+    outcomes: Dict[int, TaskOutcome] = {}
+    done = 0
+    total = len(specs)
+
+    def settle(index: int, outcome: TaskOutcome) -> None:
+        nonlocal done
+        outcomes[index] = outcome
+        done += 1
+        reporter.on_task(outcome, done, total)
+        if (
+            cache is not None
+            and outcome.status == STATUS_OK
+            and outcome.payload is not None
+        ):
+            cache.put(
+                specs[index], outcome.payload, wall_time=outcome.wall_time
+            )
+
+    pending: List[int] = []
+    for index, spec in enumerate(specs):
+        entry = cache.get(spec) if cache is not None else None
+        if entry is not None:
+            settle(
+                index,
+                TaskOutcome(
+                    spec=spec,
+                    status=STATUS_CACHED,
+                    payload=entry["payload"],
+                    wall_time=0.0,
+                    attempts=0,
+                    metrics=_metrics_of(entry["payload"]),
+                ),
+            )
+        else:
+            pending.append(index)
+
+    attempts = {index: 0 for index in pending}
+    if workers >= 2 and pending:
+        _run_pooled(
+            specs, pending, attempts, workers, timeout, retries, runner,
+            settle,
+        )
+    else:
+        _run_serial(specs, pending, attempts, retries, runner, settle)
+
+    ordered = [outcomes[index] for index in range(total)]
+    reporter.on_finish(ordered)
+    return ordered
+
+
+def _outcome_ok(
+    spec: TaskSpec, result: Dict[str, Any], attempts: int
+) -> TaskOutcome:
+    payload = result["payload"]
+    return TaskOutcome(
+        spec=spec,
+        status=STATUS_OK,
+        payload=payload,
+        wall_time=float(result.get("wall_time", 0.0)),
+        attempts=attempts,
+        metrics=_metrics_of(payload),
+    )
+
+
+def _outcome_failed(
+    spec: TaskSpec, error: BaseException, attempts: int
+) -> TaskOutcome:
+    return TaskOutcome(
+        spec=spec,
+        status=STATUS_FAILED,
+        payload=None,
+        attempts=attempts,
+        error=f"{type(error).__name__}: {error}",
+    )
+
+
+def _run_serial(specs, pending, attempts, retries, runner, settle) -> None:
+    for index in pending:
+        spec = specs[index]
+        last_error: Optional[BaseException] = None
+        while attempts[index] <= retries:
+            attempts[index] += 1
+            try:
+                result = runner(spec.to_dict())
+            except Exception as error:  # noqa: BLE001 - retried/reported
+                last_error = error
+                continue
+            settle(index, _outcome_ok(spec, result, attempts[index]))
+            last_error = None
+            break
+        if last_error is not None:
+            settle(index, _outcome_failed(spec, last_error, attempts[index]))
+
+
+def _run_pooled(
+    specs, pending, attempts, workers, timeout, retries, runner, settle
+) -> None:
+    remaining = list(pending)
+    pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+    try:
+        while remaining:
+            futures = {}
+            for index in remaining:
+                attempts[index] += 1
+                futures[index] = pool.submit(runner, specs[index].to_dict())
+            retry_round: List[int] = []
+            pool_broken = False
+            for index in list(futures):
+                spec = specs[index]
+                try:
+                    result = futures[index].result(timeout=timeout)
+                except concurrent.futures.TimeoutError:
+                    futures[index].cancel()
+                    error: BaseException = TimeoutError(
+                        f"task exceeded {timeout}s"
+                    )
+                    if attempts[index] <= retries:
+                        retry_round.append(index)
+                    else:
+                        settle(
+                            index,
+                            _outcome_failed(spec, error, attempts[index]),
+                        )
+                    # A timed-out worker may still be burning its slot;
+                    # recycle the pool so later tasks start clean.
+                    pool_broken = True
+                except BrokenProcessPool as error:
+                    pool_broken = True
+                    if attempts[index] <= retries:
+                        retry_round.append(index)
+                    else:
+                        settle(
+                            index,
+                            _outcome_failed(spec, error, attempts[index]),
+                        )
+                except Exception as error:  # noqa: BLE001 - retried
+                    if attempts[index] <= retries:
+                        retry_round.append(index)
+                    else:
+                        settle(
+                            index,
+                            _outcome_failed(spec, error, attempts[index]),
+                        )
+                else:
+                    settle(index, _outcome_ok(spec, result, attempts[index]))
+            remaining = retry_round
+            if pool_broken:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers
+                )
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)

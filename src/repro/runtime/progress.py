@@ -1,0 +1,75 @@
+"""Live progress reporting for runtime executions.
+
+The executor drives a small reporter protocol; the default
+:class:`TextProgressReporter` prints one line per finished task to a
+stream (stderr by the CLI), and :class:`NullReporter` swallows
+everything (library callers, tests).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO, List, Optional
+
+from repro.runtime.task import STATUS_FAILED, TaskOutcome, TaskSpec
+
+
+class NullReporter:
+    """A reporter that reports nothing."""
+
+    def on_start(self, specs: List[TaskSpec], workers: int) -> None:
+        """Called once before any task runs."""
+
+    def on_task(self, outcome: TaskOutcome, done: int, total: int) -> None:
+        """Called after each task settles (ok, cached or failed)."""
+
+    def on_finish(self, outcomes: List[TaskOutcome]) -> None:
+        """Called once after the last task settles."""
+
+
+class TextProgressReporter(NullReporter):
+    """One status line per task, plus a run summary.
+
+    Output looks like::
+
+        runtime: 11 tasks, workers=2
+        [ 1/11] ok      probabilistic/q=0.2      0.21s
+        [ 2/11] cached  hoeffding/n=50           -
+        ...
+        runtime: done in 3.2s -- 9 ran, 2 cached, 0 failed
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._started = 0.0
+
+    def _emit(self, line: str) -> None:
+        print(line, file=self.stream, flush=True)
+
+    def on_start(self, specs: List[TaskSpec], workers: int) -> None:
+        self._started = time.perf_counter()
+        self._emit(f"runtime: {len(specs)} tasks, workers={workers}")
+
+    def on_task(self, outcome: TaskOutcome, done: int, total: int) -> None:
+        width = len(str(total))
+        timing = (
+            f"{outcome.wall_time:.2f}s" if outcome.status == "ok" else "-"
+        )
+        line = (
+            f"[{done:>{width}}/{total}] {outcome.status:<7} "
+            f"{outcome.spec.task_id:<28} {timing}"
+        )
+        if outcome.status == STATUS_FAILED and outcome.error:
+            line += f"  {outcome.error}"
+        self._emit(line)
+
+    def on_finish(self, outcomes: List[TaskOutcome]) -> None:
+        elapsed = time.perf_counter() - self._started
+        ran = sum(1 for o in outcomes if o.status == "ok")
+        cached = sum(1 for o in outcomes if o.status == "cached")
+        failed = sum(1 for o in outcomes if o.status == STATUS_FAILED)
+        self._emit(
+            f"runtime: done in {elapsed:.1f}s -- "
+            f"{ran} ran, {cached} cached, {failed} failed"
+        )

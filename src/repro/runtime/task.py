@@ -1,0 +1,114 @@
+"""The runtime's task model.
+
+A :class:`TaskSpec` is one independent work unit: either one *shard*
+of a sharded experiment (a parameter point with its derived seed) or a
+*whole* unsharded experiment.  Specs are plain JSON-able data so they
+cross process boundaries and cache files unchanged; the mapping from
+spec to executable code lives in :mod:`repro.runtime.worker`.
+
+A :class:`TaskOutcome` is what came back: the JSON payload plus the
+observability record (status, wall time, attempts, metrics).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+# Task kinds.
+KIND_SHARD = "shard"  # one shard of a sharded experiment
+KIND_WHOLE = "whole"  # an entire unsharded experiment
+
+# Outcome statuses.
+STATUS_OK = "ok"  # executed this run
+STATUS_CACHED = "cached"  # served from the result cache
+STATUS_FAILED = "failed"  # exhausted its retry budget
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One independent, deterministic work unit.
+
+    Attributes:
+        experiment: registry name of the owning experiment.
+        shard: stable shard identifier (``"whole"`` for unsharded
+            experiments).
+        params: the shard's parameter point (JSON-able mapping).
+        fast: run the reduced (CI-sized) grids.
+        seed: the seed this task runs with -- already derived via
+            :func:`repro.runtime.seeds.derive_seed` for shard tasks,
+            the root seed for whole-experiment tasks.
+        kind: ``"shard"`` or ``"whole"``.
+    """
+
+    experiment: str
+    shard: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    fast: bool = False
+    seed: int = 0
+    kind: str = KIND_SHARD
+
+    @property
+    def task_id(self) -> str:
+        """Stable human-readable identifier."""
+        return f"{self.experiment}/{self.shard}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-able form (what crosses the process boundary)."""
+        return {
+            "experiment": self.experiment,
+            "shard": self.shard,
+            "params": dict(self.params),
+            "fast": self.fast,
+            "seed": self.seed,
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TaskSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            experiment=data["experiment"],
+            shard=data["shard"],
+            params=dict(data.get("params", {})),
+            fast=bool(data.get("fast", False)),
+            seed=int(data.get("seed", 0)),
+            kind=data.get("kind", KIND_SHARD),
+        )
+
+    def canonical_params(self) -> str:
+        """Canonical JSON of the parameter point (cache-key input)."""
+        return json.dumps(self.params, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class TaskOutcome:
+    """Result and observability record of one executed task.
+
+    Attributes:
+        spec: the task that ran.
+        status: ``"ok"``, ``"cached"`` or ``"failed"``.
+        payload: the task's JSON payload (shard payload dict, or the
+            serialized :class:`~repro.experiments.base.ExperimentResult`
+            for whole-experiment tasks); ``None`` when failed.
+        wall_time: seconds of worker wall-clock the task consumed
+            (0.0 for cache hits).
+        attempts: execution attempts, including the successful one.
+        metrics: task-reported counters (e.g. packet counts), taken
+            from the payload's optional ``"metrics"`` entry.
+        error: stringified terminal exception when failed.
+    """
+
+    spec: TaskSpec
+    status: str = STATUS_OK
+    payload: Optional[Dict[str, Any]] = None
+    wall_time: float = 0.0
+    attempts: int = 1
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """The task produced a payload (fresh or cached)."""
+        return self.status in (STATUS_OK, STATUS_CACHED)

@@ -5,9 +5,11 @@ shape check passes -- the machine-checkable statement that the
 reproduction matches the paper's qualitative claims.
 """
 
+import json
+
 import pytest
 
-from repro.experiments.runner import REGISTRY, main, run_experiment
+from repro.experiments.runner import REGISTRY, main, run_all, run_experiment
 
 
 @pytest.mark.parametrize("name", sorted(REGISTRY))
@@ -30,11 +32,77 @@ def test_runner_unknown_experiment_rejected():
         run_experiment("nonsense")
 
 
-def test_cli_single_experiment(capsys):
+def test_runner_unknown_name_error_lists_choices_and_all():
+    with pytest.raises(KeyError) as excinfo:
+        run_experiment("nonsense")
+    message = str(excinfo.value)
+    assert "boundness" in message
+    assert "all" in message
+
+
+def test_runner_all_gets_a_dedicated_error():
+    with pytest.raises(ValueError, match="run_all"):
+        run_experiment("all")
+
+
+@pytest.mark.parametrize("fast", ["yes", 1, None])
+def test_runner_rejects_non_bool_fast(fast):
+    with pytest.raises(TypeError, match="fast"):
+        run_experiment("hoeffding", fast=fast)
+
+
+@pytest.mark.parametrize("seed", ["0", 1.5, None, True])
+def test_runner_rejects_non_int_seed(seed):
+    with pytest.raises(TypeError, match="seed"):
+        run_experiment("hoeffding", seed=seed)
+
+
+def test_run_all_validates_kwargs_before_running():
+    with pytest.raises(TypeError):
+        run_all(fast="definitely")
+    with pytest.raises(TypeError):
+        run_all(seed="zero")
+
+
+def test_cli_single_experiment(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
     exit_code = main(["hoeffding", "--fast"])
     captured = capsys.readouterr()
     assert exit_code == 0
     assert "E5" in captured.out
+
+
+def test_cli_no_cache_and_quiet(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    exit_code = main(["hoeffding", "--fast", "--no-cache", "--quiet"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "E5" in captured.out
+    assert captured.err == ""  # --quiet silences the progress report
+    assert not (tmp_path / "cache").exists()  # --no-cache wrote nothing
+
+
+def test_cli_json_flag_writes_results_and_manifest(capsys, tmp_path,
+                                                   monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    target = tmp_path / "run.json"
+    exit_code = main(["hoeffding", "--fast", "--json", str(target)])
+    assert exit_code == 0
+    document = json.loads(target.read_text(encoding="utf-8"))
+    assert document["passed"] is True
+    assert document["experiments"][0]["exp_id"] == "E5"
+    manifest = document["manifest"]
+    assert manifest["schema"] == "repro.runtime/1"
+    assert [task["experiment"] for task in manifest["tasks"]] == (
+        ["hoeffding"] * len(manifest["tasks"])
+    )
+    captured = capsys.readouterr()
+    assert "run manifest written" in captured.out
+
+
+def test_cli_parallel_rejects_bad_worker_count():
+    with pytest.raises(SystemExit):
+        main(["hoeffding", "--fast", "--parallel", "0"])
 
 
 def test_cli_rejects_unknown_name(capsys):

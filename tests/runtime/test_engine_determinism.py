@@ -1,0 +1,116 @@
+"""Integration: serial, parallel and cached runs are bit-identical.
+
+The runtime's determinism contract: for a fixed ``(names, fast,
+seed)``, ``ExperimentResult.to_dict()`` does not depend on how tasks
+were scheduled.  These tests run the three sharded experiments (plus
+one whole-experiment task) through every execution mode and compare.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.runtime import ResultCache, TaskFailure, run_experiments
+
+NAMES = ["hoeffding", "backlog", "probabilistic", "headers"]
+
+
+@pytest.fixture(scope="module")
+def direct_results():
+    """The pre-runtime ground truth: plain run() calls."""
+    return {
+        name: run_experiment(name, fast=True, seed=0).to_dict()
+        for name in NAMES
+    }
+
+
+def canonical(result_dict):
+    return json.dumps(result_dict, sort_keys=True)
+
+
+def test_serial_engine_matches_direct(direct_results):
+    report = run_experiments(NAMES, fast=True, seed=0, workers=1,
+                             cache=None)
+    for name in NAMES:
+        assert canonical(report.results[name].to_dict()) == canonical(
+            direct_results[name]
+        )
+    assert report.passed
+
+
+def test_parallel_engine_matches_direct(direct_results):
+    report = run_experiments(NAMES, fast=True, seed=0, workers=2,
+                             cache=None)
+    for name in NAMES:
+        assert canonical(report.results[name].to_dict()) == canonical(
+            direct_results[name]
+        )
+
+
+def test_warm_cache_matches_direct(tmp_path, direct_results):
+    cache = ResultCache(str(tmp_path))
+    cold = run_experiments(NAMES, fast=True, seed=0, workers=1,
+                           cache=cache)
+    warm = run_experiments(NAMES, fast=True, seed=0, workers=2,
+                           cache=cache)
+    for name in NAMES:
+        assert canonical(warm.results[name].to_dict()) == canonical(
+            direct_results[name]
+        )
+    assert {t["status"] for t in cold.manifest["tasks"]} == {"ok"}
+    assert {t["status"] for t in warm.manifest["tasks"]} == {"cached"}
+    assert warm.manifest["totals"]["ran"] == 0
+
+
+def test_different_seed_changes_probabilistic_series():
+    base = run_experiments(["probabilistic"], fast=True, seed=0,
+                           cache=None)
+    other = run_experiments(["probabilistic"], fast=True, seed=1,
+                            cache=None)
+    first = base.results["probabilistic"].tables[0].to_dict()
+    second = other.results["probabilistic"].tables[0].to_dict()
+    assert first != second  # the channel randomness actually moved
+
+
+def test_manifest_is_deterministic_modulo_timing(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    first = run_experiments(NAMES, fast=True, seed=0, workers=1,
+                            cache=cache)
+    second = run_experiments(NAMES, fast=True, seed=0, workers=2,
+                             cache=cache)
+
+    def stripped(manifest):
+        doc = json.loads(json.dumps(manifest))
+        doc.pop("totals")
+        doc.pop("workers")
+        for task in doc["tasks"]:
+            task.pop("status")
+            task.pop("wall_time")
+            task.pop("attempts")
+        return doc
+
+    assert stripped(first.manifest) == stripped(second.manifest)
+
+
+def test_task_failure_raises_with_context(monkeypatch, tmp_path):
+    from repro.runtime import executor as executor_mod
+
+    def exploding(spec_dict):
+        raise RuntimeError("injected")
+
+    monkeypatch.setattr(executor_mod, "_default_runner", lambda: exploding)
+    with pytest.raises(TaskFailure, match="hoeffding/n=50"):
+        run_experiments(["hoeffding"], fast=True, seed=0, workers=1,
+                        retries=0, cache=None)
+
+
+def test_result_round_trip_through_dict(direct_results):
+    from repro.experiments.base import ExperimentResult
+
+    for name, data in direct_results.items():
+        restored = ExperimentResult.from_dict(data)
+        assert restored.to_dict() == data
+        assert restored.render() == ExperimentResult.from_dict(
+            json.loads(json.dumps(data))
+        ).render()

@@ -1,0 +1,124 @@
+"""Unit: the task executor -- serial fallback, pool, retry, timeout.
+
+The pool tests submit module-level functions (anything submitted to a
+ProcessPoolExecutor must be picklable by reference).
+"""
+
+import time
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import run_tasks
+from repro.runtime.task import (
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    TaskSpec,
+)
+
+
+def specs(count=3):
+    return [
+        TaskSpec(
+            experiment="fake",
+            shard=f"s{i}",
+            params={"shard": f"s{i}", "i": i},
+            fast=True,
+            seed=i,
+            kind="shard",
+        )
+        for i in range(count)
+    ]
+
+
+def echo_runner(spec_dict):
+    """Pool-safe task body: payload echoes the spec's parameters."""
+    return {
+        "payload": {"i": spec_dict["params"]["i"], "seed": spec_dict["seed"],
+                    "metrics": {"i": spec_dict["params"]["i"]}},
+        "wall_time": 0.01,
+    }
+
+
+def failing_runner(spec_dict):
+    raise RuntimeError(f"boom {spec_dict['shard']}")
+
+
+def sleepy_runner(spec_dict):
+    # Short enough that the orphaned worker drains quickly after the
+    # pool is recycled, long enough to trip the 0.25s timeout reliably.
+    time.sleep(3.0)
+    return {"payload": {}, "wall_time": 3.0}
+
+
+def test_serial_runs_in_order():
+    outcomes = run_tasks(specs(3), workers=1, runner=echo_runner)
+    assert [o.status for o in outcomes] == [STATUS_OK] * 3
+    assert [o.payload["i"] for o in outcomes] == [0, 1, 2]
+    assert [o.metrics["i"] for o in outcomes] == [0, 1, 2]
+    assert all(o.attempts == 1 for o in outcomes)
+
+
+def test_pool_matches_serial():
+    serial = run_tasks(specs(4), workers=1, runner=echo_runner)
+    pooled = run_tasks(specs(4), workers=2, runner=echo_runner)
+    assert [o.payload for o in serial] == [o.payload for o in pooled]
+
+
+def test_serial_retries_transient_failures():
+    attempts = {"count": 0}
+
+    def flaky(spec_dict):
+        attempts["count"] += 1
+        if attempts["count"] == 1:
+            raise RuntimeError("transient")
+        return echo_runner(spec_dict)
+
+    outcomes = run_tasks(specs(1), workers=1, retries=2, runner=flaky)
+    assert outcomes[0].status == STATUS_OK
+    assert outcomes[0].attempts == 2
+
+
+def test_failure_after_retry_budget():
+    outcomes = run_tasks(specs(1), workers=1, retries=2,
+                         runner=failing_runner)
+    assert outcomes[0].status == STATUS_FAILED
+    assert outcomes[0].attempts == 3
+    assert "boom" in outcomes[0].error
+
+
+def test_pool_failure_after_retry_budget():
+    outcomes = run_tasks(specs(1), workers=2, retries=1,
+                         runner=failing_runner)
+    assert outcomes[0].status == STATUS_FAILED
+    assert outcomes[0].attempts == 2
+    assert "boom" in outcomes[0].error
+
+
+def test_pool_timeout_fails_task():
+    outcomes = run_tasks(
+        specs(1), workers=2, timeout=0.25, retries=0, runner=sleepy_runner
+    )
+    assert outcomes[0].status == STATUS_FAILED
+    assert "TimeoutError" in outcomes[0].error
+
+
+def test_cache_hits_skip_execution(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    first = run_tasks(specs(2), workers=1, cache=cache, runner=echo_runner)
+    assert [o.status for o in first] == [STATUS_OK, STATUS_OK]
+
+    def exploding(spec_dict):
+        raise AssertionError("cache should have served this")
+
+    second = run_tasks(specs(2), workers=1, cache=cache, runner=exploding)
+    assert [o.status for o in second] == [STATUS_CACHED, STATUS_CACHED]
+    assert [o.payload for o in first] == [o.payload for o in second]
+    assert all(o.wall_time == 0.0 for o in second)
+
+
+def test_failed_tasks_are_not_cached(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    run_tasks(specs(1), workers=1, retries=0, cache=cache,
+              runner=failing_runner)
+    retry = run_tasks(specs(1), workers=1, cache=cache, runner=echo_runner)
+    assert retry[0].status == STATUS_OK

@@ -1,0 +1,52 @@
+"""Unit: deterministic per-shard seed derivation."""
+
+import pytest
+
+from repro.runtime.seeds import SEED_BITS, derive_seed
+
+
+def test_same_triple_same_seed():
+    assert derive_seed(0, "probabilistic", "q=0.2") == derive_seed(
+        0, "probabilistic", "q=0.2"
+    )
+
+
+def test_distinct_inputs_distinct_seeds():
+    seeds = {
+        derive_seed(root, exp, shard)
+        for root in (0, 1, 2)
+        for exp in ("probabilistic", "hoeffding", "backlog")
+        for shard in ("a", "b", "c")
+    }
+    assert len(seeds) == 27
+
+
+def test_seed_range():
+    for shard in ("q=0.1", "q=0.5", "n=2000"):
+        seed = derive_seed(12345, "exp", shard)
+        assert 0 <= seed < (1 << SEED_BITS)
+
+
+def test_root_seed_matters():
+    assert derive_seed(0, "exp", "s") != derive_seed(1, "exp", "s")
+
+
+def test_experiment_and_shard_both_matter():
+    assert derive_seed(0, "a", "s") != derive_seed(0, "b", "s")
+    assert derive_seed(0, "a", "s") != derive_seed(0, "a", "t")
+
+
+@pytest.mark.parametrize(
+    "root,exp,shard",
+    [
+        (0.5, "exp", "s"),
+        (True, "exp", "s"),
+        (0, "", "s"),
+        (0, "exp", ""),
+        (0, None, "s"),
+        (0, "exp", 3),
+    ],
+)
+def test_invalid_inputs_rejected(root, exp, shard):
+    with pytest.raises(TypeError):
+        derive_seed(root, exp, shard)

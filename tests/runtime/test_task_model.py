@@ -1,0 +1,60 @@
+"""Unit: task planning and the TaskSpec/TaskOutcome model."""
+
+import pytest
+
+from repro.experiments.runner import REGISTRY, SHARDED
+from repro.runtime.engine import plan_tasks
+from repro.runtime.seeds import derive_seed
+from repro.runtime.task import KIND_SHARD, KIND_WHOLE, TaskSpec
+
+
+def test_spec_dict_round_trip():
+    spec = TaskSpec(
+        experiment="probabilistic",
+        shard="q=0.2",
+        params={"shard": "q=0.2", "q": 0.2},
+        fast=True,
+        seed=123,
+        kind=KIND_SHARD,
+    )
+    assert TaskSpec.from_dict(spec.to_dict()) == spec
+    assert spec.task_id == "probabilistic/q=0.2"
+
+
+def test_canonical_params_is_order_insensitive():
+    first = TaskSpec("e", "s", params={"a": 1, "b": 2})
+    second = TaskSpec("e", "s", params={"b": 2, "a": 1})
+    assert first.canonical_params() == second.canonical_params()
+
+
+def test_plan_covers_every_shard():
+    for name, module in SHARDED.items():
+        specs = plan_tasks([name], fast=True, seed=0)
+        expected = module.shards(True)
+        assert [s.shard for s in specs] == [p["shard"] for p in expected]
+        assert all(s.kind == KIND_SHARD for s in specs)
+        # Seeds are the documented derivation, not scheduling-dependent.
+        for spec in specs:
+            assert spec.seed == derive_seed(0, name, spec.shard)
+
+
+def test_plan_unsharded_experiment_is_one_whole_task():
+    specs = plan_tasks(["headers"], fast=True, seed=42)
+    assert len(specs) == 1
+    assert specs[0].kind == KIND_WHOLE
+    assert specs[0].seed == 42  # whole tasks keep the root seed
+
+
+def test_plan_preserves_order_and_ids_unique():
+    names = sorted(REGISTRY)
+    specs = plan_tasks(names, fast=True, seed=0)
+    ids = [s.task_id for s in specs]
+    assert len(ids) == len(set(ids))
+    # Experiment order in the plan follows the requested order.
+    seen = [s.experiment for s in specs]
+    assert sorted(set(seen), key=seen.index) == names
+
+
+def test_plan_rejects_unknown_experiment():
+    with pytest.raises(KeyError):
+        plan_tasks(["nonsense"], fast=True, seed=0)
