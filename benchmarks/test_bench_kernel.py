@@ -1,0 +1,169 @@
+"""Benchmark: the fast-path simulation kernel against its pre-kernel
+baseline.
+
+Five workloads exercise the three kernel optimisations (trace elision,
+batched channel/adversary decisions, interned exploration):
+
+* ``e4_fast_sweep`` -- the full E4 fast grid (COUNTS-mode probabilistic
+  runs), the headline >=3x target;
+* ``step_loop_flood_q0.4`` -- one raw probabilistic delivery loop;
+* ``explore_capflood32`` -- heavy interned BFS, the >=2x target;
+* ``explore_seq_m6`` -- exploration of a growing-header protocol;
+* ``channel_sampling_fair`` -- adversary decision batching on the
+  engine step loop.
+
+``BEFORE`` holds the timings of the identical workloads measured on
+the pre-kernel tree (see docs/PERFORMANCE.md for the exact provenance);
+``test_emit_timings_blob`` re-times them on the current tree and writes
+the before/after comparison to ``BENCH_kernel.json``.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.channels.adversary import FairAdversary
+from repro.core.theorem51 import run_probabilistic_delivery
+from repro.datalink.alternating_bit import make_alternating_bit
+from repro.datalink.flooding import make_capacity_flooding, make_flooding
+from repro.datalink.sequence import make_sequence_protocol
+from repro.datalink.system import make_system
+from repro.experiments import exp_probabilistic
+from repro.ioa.exploration import explore_station_states
+
+BLOB_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_kernel.json"
+
+# Baseline wall times (seconds, best of 3) of the workloads below on
+# the pre-kernel tree (commit 9167b09: Event-per-action recording,
+# per-copy Decision objects, snapshot-keyed exploration), measured on
+# the same container class as CI.
+BEFORE = {
+    "e4_fast_sweep_s": 0.2651,
+    "step_loop_flood_q0.4_s": 0.2953,
+    "explore_capflood32_s": 2.8111,
+    "explore_seq_m6_s": 0.0323,
+    "channel_sampling_fair_s": 0.0165,
+}
+
+# The tentpole targets were E4 >=3x and exploration >=2x; measured
+# 3.4x and 7.8x.  The blob asserts looser floors (wall-clock on shared
+# CI runners is noisy); the committed BENCH_kernel.json records the
+# real measured ratios.
+MIN_SPEEDUP = {"e4_fast_sweep_s": 2.0, "explore_capflood32_s": 2.0}
+
+
+def e4_fast_sweep():
+    result = exp_probabilistic.run(fast=True, seed=0)
+    assert all(result.checks.values())
+    return result
+
+
+def step_loop_flood():
+    result = run_probabilistic_delivery(
+        lambda: make_flooding(3), q=0.4, n=30, seed=7,
+        packet_budget=150_000,
+    )
+    assert result.delivered > 0
+    return result
+
+
+def explore_capflood32():
+    sender, receiver = make_capacity_flooding(3, 2)
+    return explore_station_states(
+        sender, receiver, ["m0", "m1"],
+        max_messages=3, max_configurations=60_000,
+    )
+
+
+def explore_seq_m6():
+    sender, receiver = make_sequence_protocol()
+    return explore_station_states(
+        sender, receiver, ["m0", "m1"],
+        max_messages=6, max_configurations=500_000,
+    )
+
+
+def channel_sampling_fair():
+    sender, receiver = make_alternating_bit()
+    system = make_system(
+        sender, receiver,
+        adversary=FairAdversary(seed=5, p_deliver=0.3, max_delay=12),
+    )
+    system.run(["m"] * 200, max_steps=50_000)
+    return system
+
+
+WORKLOADS = {
+    "e4_fast_sweep_s": e4_fast_sweep,
+    "step_loop_flood_q0.4_s": step_loop_flood,
+    "explore_capflood32_s": explore_capflood32,
+    "explore_seq_m6_s": explore_seq_m6,
+    "channel_sampling_fair_s": channel_sampling_fair,
+}
+
+
+def best_of(fn, reps=3):
+    timings = []
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - started)
+    return min(timings)
+
+
+def test_bench_e4_fast_sweep(benchmark):
+    benchmark.pedantic(e4_fast_sweep, rounds=1, iterations=1)
+
+
+def test_bench_step_loop(benchmark):
+    benchmark.pedantic(step_loop_flood, rounds=1, iterations=1)
+
+
+def test_bench_explore_capflood(benchmark):
+    exploration = benchmark.pedantic(
+        explore_capflood32, rounds=1, iterations=1
+    )
+    assert exploration.configurations == 60_000
+    assert exploration.perf["configs_per_sec"] > 0
+
+
+def test_bench_explore_sequence(benchmark):
+    benchmark.pedantic(explore_seq_m6, rounds=1, iterations=1)
+
+
+def test_bench_channel_sampling(benchmark):
+    benchmark.pedantic(channel_sampling_fair, rounds=1, iterations=1)
+
+
+def test_emit_timings_blob(capsys):
+    """Before/after comparison, committed as BENCH_kernel.json."""
+    after = {
+        name: round(best_of(fn), 4) for name, fn in WORKLOADS.items()
+    }
+    speedups = {
+        name: round(BEFORE[name] / max(after[name], 1e-9), 2)
+        for name in WORKLOADS
+    }
+    exploration = explore_capflood32()
+    blob = {
+        "bench": "simulation-kernel",
+        "baseline_commit": "9167b09",
+        "before_s": BEFORE,
+        "after_s": after,
+        "speedup": speedups,
+        "exploration_perf": {
+            key: (round(value, 2) if isinstance(value, float) else value)
+            for key, value in exploration.perf.items()
+        },
+    }
+    with capsys.disabled():
+        print()
+        print(json.dumps(blob, sort_keys=True))
+    BLOB_PATH.write_text(
+        json.dumps(blob, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    for name, floor in MIN_SPEEDUP.items():
+        assert speedups[name] >= floor, (
+            f"{name}: speedup {speedups[name]} fell below {floor}"
+        )

@@ -7,6 +7,19 @@ that behaviour is a :class:`ChannelAdversary`: an object the engine
 consults every step with a read view of both channels, returning
 deliver/drop decisions.
 
+Decisions come in two equivalent encodings:
+
+* :class:`Decision` -- a small frozen dataclass, convenient for
+  hand-written scripts and tests;
+* a packed ``(DecisionKind, Direction, copy_id)`` tuple -- what the
+  stock adversaries return on the hot path, so a step that delivers
+  hundreds of copies allocates no per-copy objects.
+
+The engine (:meth:`repro.datalink.system.DataLinkSystem.apply_decisions`)
+accepts both, mixed freely.  Adversaries whose behaviour does not
+depend on the channel state set :attr:`ChannelAdversary.needs_view` to
+``False``; the engine then passes ``None`` instead of a view.
+
 The stock adversaries here are the building blocks the theorem drivers
 in :mod:`repro.core` compose, plus fair/random ones for liveness tests:
 
@@ -23,7 +36,10 @@ in :mod:`repro.core` compose, plus fair/random ones for liveness tests:
   packets in beta_1 which are not from the set P_i", Theorem 3.1).
 * :class:`FairAdversary` / :class:`RandomAdversary` -- randomised
   channels with bounded / unbounded delay for testing liveness and
-  safety under noise.
+  safety under noise.  Both draw from an explicit per-instance
+  :class:`random.Random` (derived from the seed via
+  :func:`repro.runtime.seeds.derive_seed`), never from the module-level
+  ``random`` state, so parallel experiment shards stay deterministic.
 * :class:`ScriptedAdversary` -- an explicit per-step script, for unit
   tests.
 """
@@ -34,7 +50,7 @@ import abc
 import enum
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.channels.base import Channel
 from repro.channels.packets import Packet
@@ -48,7 +64,15 @@ class DecisionKind(enum.Enum):
     DROP = "drop"
 
 
-@dataclass(frozen=True)
+# Module-level aliases so hot loops skip the enum attribute lookup.
+DELIVER = DecisionKind.DELIVER
+DROP = DecisionKind.DROP
+
+# The packed hot-path encoding of one decision.
+PackedDecision = Tuple[DecisionKind, Direction, int]
+
+
+@dataclass(frozen=True, slots=True)
 class Decision:
     """One adversary decision about one transit copy."""
 
@@ -66,9 +90,39 @@ class Decision:
         """Convenience constructor for a loss decision."""
         return Decision(DecisionKind.DROP, direction, copy_id)
 
+    def packed(self) -> PackedDecision:
+        """The packed-tuple encoding of this decision."""
+        return (self.kind, self.direction, self.copy_id)
+
+
+AnyDecision = Union[Decision, PackedDecision]
+
+
+def _derived_rng(seed: int, label: str) -> random.Random:
+    """A ``random.Random`` seeded via the runtime's seed derivation.
+
+    Routing adversary seeds through
+    :func:`repro.runtime.seeds.derive_seed` keeps the streams of
+    distinct adversaries (and distinct experiment shards reusing small
+    seeds like 0, 1, 2) uncorrelated, and guarantees nothing here ever
+    touches the process-global ``random`` state.
+    """
+    # Imported lazily: repro.runtime pulls in the experiment registry,
+    # which transitively imports this module.
+    from repro.runtime.seeds import derive_seed
+
+    return random.Random(derive_seed(seed, "channels.adversary", label))
+
 
 class AdversaryView:
-    """Read-only view of the system state handed to adversaries."""
+    """Read-only view of the system state handed to adversaries.
+
+    The engine keeps one instance per system and refreshes
+    ``step_index`` in place each step, so constructing views is not a
+    per-step cost.
+    """
+
+    __slots__ = ("_channels", "step_index")
 
     def __init__(self, channels: Dict[Direction, Channel], step_index: int) -> None:
         self._channels = channels
@@ -86,12 +140,20 @@ class AdversaryView:
 class ChannelAdversary(abc.ABC):
     """Decides, each engine step, which copies to deliver or drop."""
 
+    #: Whether :meth:`decide` reads the view at all.  Adversaries that
+    #: ignore the channel state set this to ``False`` and the engine
+    #: passes ``None``, skipping even the per-step view refresh.
+    needs_view: bool = True
+
     @abc.abstractmethod
-    def decide(self, view: AdversaryView) -> List[Decision]:
+    def decide(self, view: Optional[AdversaryView]) -> List[AnyDecision]:
         """Return this step's decisions.
 
-        Decisions are applied in list order; referencing a copy not in
-        transit is an error (the engine lets the channel raise).
+        Decisions -- :class:`Decision` objects or packed
+        ``(kind, direction, copy_id)`` tuples, mixed freely -- are
+        applied in list order; referencing a copy not in transit is an
+        error (the engine lets the channel raise).  ``view`` is ``None``
+        when the adversary declared ``needs_view = False``.
         """
 
 
@@ -103,11 +165,11 @@ class OptimalAdversary(ChannelAdversary):
     the behaviour against which boundness is measured.
     """
 
-    def decide(self, view: AdversaryView) -> List[Decision]:
-        decisions = []
+    def decide(self, view: AdversaryView) -> List[AnyDecision]:
+        decisions: List[AnyDecision] = []
         for direction in view.directions():
             for copy_id in view.channel(direction).in_transit_ids():
-                decisions.append(Decision.deliver(direction, copy_id))
+                decisions.append((DELIVER, direction, copy_id))
         return decisions
 
 
@@ -134,13 +196,13 @@ class OptimalFromNowAdversary(ChannelAdversary):
             {d: set(ch.in_transit_ids()) for d, ch in channels.items()}
         )
 
-    def decide(self, view: AdversaryView) -> List[Decision]:
-        decisions = []
+    def decide(self, view: AdversaryView) -> List[AnyDecision]:
+        decisions: List[AnyDecision] = []
         for direction in view.directions():
             held = self.stale_ids.get(direction, set())
             for copy_id in view.channel(direction).in_transit_ids():
                 if copy_id not in held:
-                    decisions.append(Decision.deliver(direction, copy_id))
+                    decisions.append((DELIVER, direction, copy_id))
         return decisions
 
 
@@ -151,7 +213,9 @@ class DelayAllAdversary(ChannelAdversary):
     pump that accumulates the stale copies all three proofs require.
     """
 
-    def decide(self, view: AdversaryView) -> List[Decision]:
+    needs_view = False
+
+    def decide(self, view: Optional[AdversaryView]) -> List[AnyDecision]:
         return []
 
 
@@ -185,13 +249,13 @@ class HoldValuesAdversary(ChannelAdversary):
         self.stop_after_first_passed = stop_after_first_passed
         self._stopped = False
 
-    def decide(self, view: AdversaryView) -> List[Decision]:
-        decisions: List[Decision] = []
+    def decide(self, view: AdversaryView) -> List[AnyDecision]:
+        decisions: List[AnyDecision] = []
         for direction in view.directions():
             channel = view.channel(direction)
             if direction is not self.direction:
                 decisions.extend(
-                    Decision.deliver(direction, cid)
+                    (DELIVER, direction, cid)
                     for cid in channel.in_transit_ids()
                 )
                 continue
@@ -200,7 +264,7 @@ class HoldValuesAdversary(ChannelAdversary):
             for copy in channel.in_transit():
                 if self.held(copy.packet):
                     continue
-                decisions.append(Decision.deliver(direction, copy.copy_id))
+                decisions.append((DELIVER, direction, copy.copy_id))
                 if self.stop_after_first_passed:
                     self._stopped = True
                     break
@@ -215,6 +279,11 @@ class FairAdversary(ChannelAdversary):
     delivered unconditionally.  Satisfies (PL2) within any window of
     ``max_delay`` steps, so liveness tests can assert delivery by a
     computable deadline.
+
+    All copies of one step are sampled in a single pass from the
+    instance's own :class:`random.Random`; pass ``rng`` to share a
+    stream with the caller (e.g. one derived per experiment shard), or
+    ``seed`` to derive a private one.
     """
 
     def __init__(
@@ -222,22 +291,27 @@ class FairAdversary(ChannelAdversary):
         seed: int = 0,
         p_deliver: float = 0.5,
         max_delay: int = 16,
+        rng: Optional[random.Random] = None,
     ) -> None:
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else _derived_rng(seed, "fair")
         self.p_deliver = p_deliver
         self.max_delay = max_delay
         self._first_seen: Dict[tuple, int] = {}
 
-    def decide(self, view: AdversaryView) -> List[Decision]:
-        decisions = []
+    def decide(self, view: AdversaryView) -> List[AnyDecision]:
+        decisions: List[AnyDecision] = []
+        rand = self._rng.random
+        threshold = self.p_deliver
+        first_seen = self._first_seen
         for direction in view.directions():
+            step = view.step_index
+            horizon = step - self.max_delay
             for copy_id in view.channel(direction).in_transit_ids():
                 key = (direction, copy_id)
-                born = self._first_seen.setdefault(key, view.step_index)
-                overdue = view.step_index - born >= self.max_delay
-                if overdue or self._rng.random() < self.p_deliver:
-                    decisions.append(Decision.deliver(direction, copy_id))
-                    del self._first_seen[key]
+                born = first_seen.setdefault(key, step)
+                if born <= horizon or rand() < threshold:
+                    decisions.append((DELIVER, direction, copy_id))
+                    del first_seen[key]
         return decisions
 
 
@@ -248,37 +322,50 @@ class RandomAdversary(ChannelAdversary):
     ``p_deliver``, dropped with probability ``p_drop``, and otherwise
     left in transit.  Used by property-based safety tests: protocols
     must never violate (DL1)/(DL2) no matter what this does.
+
+    Sampling is one pass per step over both bags from the instance's
+    own :class:`random.Random` (see :class:`FairAdversary` for the
+    ``rng``/``seed`` contract).
     """
 
     def __init__(
-        self, seed: int = 0, p_deliver: float = 0.3, p_drop: float = 0.1
+        self,
+        seed: int = 0,
+        p_deliver: float = 0.3,
+        p_drop: float = 0.1,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if p_deliver + p_drop > 1.0:
             raise ValueError("p_deliver + p_drop must not exceed 1")
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else _derived_rng(seed, "random")
         self.p_deliver = p_deliver
         self.p_drop = p_drop
 
-    def decide(self, view: AdversaryView) -> List[Decision]:
-        decisions = []
+    def decide(self, view: AdversaryView) -> List[AnyDecision]:
+        decisions: List[AnyDecision] = []
+        rand = self._rng.random
+        p_deliver = self.p_deliver
+        p_lost = p_deliver + self.p_drop
         for direction in view.directions():
             for copy_id in view.channel(direction).in_transit_ids():
-                roll = self._rng.random()
-                if roll < self.p_deliver:
-                    decisions.append(Decision.deliver(direction, copy_id))
-                elif roll < self.p_deliver + self.p_drop:
-                    decisions.append(Decision.drop(direction, copy_id))
+                roll = rand()
+                if roll < p_deliver:
+                    decisions.append((DELIVER, direction, copy_id))
+                elif roll < p_lost:
+                    decisions.append((DROP, direction, copy_id))
         return decisions
 
 
 class ScriptedAdversary(ChannelAdversary):
     """Plays back an explicit per-step decision script, then idles."""
 
-    def __init__(self, script: List[List[Decision]]) -> None:
+    needs_view = False
+
+    def __init__(self, script: List[List[AnyDecision]]) -> None:
         self.script = [list(step) for step in script]
         self._cursor = 0
 
-    def decide(self, view: AdversaryView) -> List[Decision]:
+    def decide(self, view: Optional[AdversaryView]) -> List[AnyDecision]:
         if self._cursor >= len(self.script):
             return []
         step = self.script[self._cursor]

@@ -134,12 +134,18 @@ class Channel:
     # observation (used by adversaries, oracles and analyses)
     # ------------------------------------------------------------------
     def in_transit(self) -> List[TransitCopy]:
-        """All copies currently in the bag, oldest send first."""
-        return sorted(self._in_transit.values(), key=lambda c: c.copy_id)
+        """All copies currently in the bag, oldest send first.
+
+        Copy ids are minted by a monotone counter, so the bag dict's
+        insertion order *is* copy-id order (removals preserve it, and
+        :meth:`clone` re-bases the counter past every id seen); no sort
+        is needed on this hot observation path.
+        """
+        return list(self._in_transit.values())
 
     def in_transit_ids(self) -> List[int]:
         """Copy ids currently in the bag, oldest send first."""
-        return sorted(self._in_transit)
+        return list(self._in_transit)
 
     def transit_size(self) -> int:
         """Number of copies in the bag (the paper's "packets delayed

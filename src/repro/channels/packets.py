@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Hashable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Packet:
     """A packet value ``p`` from the alphabet ``P``.
 
@@ -39,9 +39,14 @@ class Packet:
         return f"<{self.header}|{self.body!r}>"
 
 
-@dataclass(frozen=True)
 class TransitCopy:
     """One copy of a packet value in transit on a channel.
+
+    A plain slotted class rather than a dataclass: one is allocated
+    per ``send_pkt`` on the engine's hottest path, and copies are
+    identified by ``copy_id`` (two copies are never compared by
+    value).  Treat instances as immutable -- channels and clones share
+    them freely.
 
     Attributes:
         copy_id: channel-unique identifier; the structural enforcement
@@ -52,9 +57,20 @@ class TransitCopy:
             "stale" copies (sent before some cut) from "fresh" ones.
     """
 
-    copy_id: int
-    packet: Packet
-    sent_at: int
+    __slots__ = ("copy_id", "packet", "sent_at")
+
+    def __init__(
+        self, copy_id: int, packet: Packet, sent_at: int = 0
+    ) -> None:
+        self.copy_id = copy_id
+        self.packet = packet
+        self.sent_at = sent_at
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TransitCopy(copy_id={self.copy_id}, packet={self.packet!r}, "
+            f"sent_at={self.sent_at})"
+        )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"copy#{self.copy_id}({self.packet})@{self.sent_at}"

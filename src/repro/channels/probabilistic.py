@@ -81,17 +81,26 @@ class ProbabilisticChannel(Channel):
             self._delayed_ever += 1
 
     def mandatory_deliveries(self) -> List[int]:
-        """Copies due now: the immediate ones, plus any trickled."""
+        """Copies due now: the immediate ones, plus any trickled.
+
+        The trickle pass samples every in-transit copy in one sweep of
+        the bag dict from the channel's own :class:`random.Random`
+        (copy-id order, so the draw sequence is reproducible from the
+        seed alone).
+        """
+        if not self._due and self.trickle is not TricklePolicy.UNIFORM:
+            return []
         due, self._due = self._due, []
         # A due copy may have been dropped or force-delivered by a test
         # in the meantime; silently skip such ids.
-        due = [cid for cid in due if cid in self._in_transit]
+        in_transit = self._in_transit
+        due = [cid for cid in due if cid in in_transit]
         if self.trickle is TricklePolicy.UNIFORM:
             due_set = set(due)
-            for cid in self.in_transit_ids():
-                if cid not in due_set and (
-                    self._rng.random() < self.trickle_probability
-                ):
+            rand = self._rng.random
+            threshold = self.trickle_probability
+            for cid in in_transit:
+                if cid not in due_set and rand() < threshold:
                     due.append(cid)
         return due
 

@@ -29,7 +29,7 @@ from typing import Hashable, List, Optional, Tuple
 from repro.channels.adversary import OptimalFromNowAdversary
 from repro.channels.packets import Packet
 from repro.datalink.system import DataLinkSystem
-from repro.ioa.actions import ActionType, Direction
+from repro.ioa.actions import Direction
 from repro.ioa.execution import Execution
 
 
@@ -145,14 +145,12 @@ def find_extension(
     steps = 0
 
     while clone.receiver.messages_delivered < goal and steps < max_steps:
-        before = len(clone.execution)
+        rp_before = clone.execution.rp(Direction.T2R)
         clone.step()
         steps += 1
-        made_receipt = any(
-            event.action.type is ActionType.RECEIVE_PKT
-            and event.action.direction is Direction.T2R
-            for event in clone.execution.events[before:]
-        )
+        # The rp counter is O(1) in every trace mode; scanning the
+        # step's event slice for a t->r receipt would be O(events).
+        made_receipt = clone.execution.rp(Direction.T2R) > rp_before
         if track_states and cycle is None and made_receipt:
             # One snapshot per step that contained a t->r receipt.
             # Under the optimal-from-now channel the only in-transit

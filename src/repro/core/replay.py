@@ -82,6 +82,12 @@ def attempt_replay(
         A :class:`ReplayOutcome`; ``outcome.success and
         outcome.executed`` means ``system.execution`` now contains a
         (DL1)-violating forged delivery.
+
+    The extension is always computed on a ``TraceMode.FULL`` clone
+    (clones re-record from scratch), so a live system running in
+    ``TraceMode.COUNTS`` can still be attacked -- but spec-checking the
+    *forged* execution afterwards needs the live system itself to be in
+    FULL mode.
     """
     extension = find_extension(system, message=message, max_steps=max_steps)
     if not extension.delivered:

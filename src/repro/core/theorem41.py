@@ -34,6 +34,7 @@ from repro.core.replay import ReplayOutcome, attempt_replay
 from repro.datalink.stations import ReceiverStation, SenderStation
 from repro.datalink.system import DataLinkSystem, make_system
 from repro.ioa.actions import Direction
+from repro.ioa.execution import TraceMode
 
 
 @dataclass
@@ -89,6 +90,7 @@ def plant_backlog(
     max_messages: int = 4096,
     max_steps_per_message: int = 50_000,
     discovery_messages: int = 8,
+    trace_mode: TraceMode = TraceMode.FULL,
 ) -> Tuple[DataLinkSystem, ReservePool, int]:
     """Build a valid execution with ~``backlog`` packets in transit.
 
@@ -108,7 +110,7 @@ def plant_backlog(
         valid configuration with the backlog planted.
     """
     sender, receiver = pair_factory()
-    system = make_system(sender, receiver)
+    system = make_system(sender, receiver, trace_mode=trace_mode)
     pool = ReservePool()
     messages_spent = 0
 
@@ -169,13 +171,19 @@ def probe_backlog_cost(
     max_messages: int = 4096,
     max_steps: int = 200_000,
 ) -> BacklogProbe:
-    """Measure the packet cost of the next message at a backlog level."""
+    """Measure the packet cost of the next message at a backlog level.
+
+    Only counters and channel state are consumed, so the pumping runs
+    in ``TraceMode.COUNTS`` (the extension itself is measured on a
+    FULL-mode clone either way).
+    """
     system, pool, spent = plant_backlog(
         pair_factory,
         backlog,
         message=message,
         max_messages=max_messages,
         max_steps_per_message=max_steps,
+        trace_mode=TraceMode.COUNTS,
     )
     return _probe(system, spent, message, max_steps)
 
@@ -221,6 +229,7 @@ def run_dichotomy(
         message=message,
         max_messages=max_messages,
         max_steps_per_message=max_steps,
+        trace_mode=TraceMode.COUNTS,
     )
     probe = _probe(system, spent, message, max_steps)
     exceeded = (

@@ -30,6 +30,7 @@ from repro.channels.probabilistic import TricklePolicy
 from repro.datalink.stations import ReceiverStation, SenderStation
 from repro.datalink.system import DataLinkSystem, make_system
 from repro.ioa.actions import Direction
+from repro.ioa.execution import TraceMode
 
 
 @dataclass
@@ -49,6 +50,9 @@ class ProbabilisticRunResult:
             the end (the compounding quantity).
         completed: all ``n`` messages were delivered.
         steps: engine steps consumed.
+        events_elided: trace events skipped (never allocated) by the
+            run's trace mode -- 0 under ``TraceMode.FULL``, everything
+            under the default ``TraceMode.COUNTS``.
     """
 
     q: float
@@ -60,6 +64,7 @@ class ProbabilisticRunResult:
     final_backlog_t2r: int = 0
     completed: bool = False
     steps: int = 0
+    events_elided: int = 0
 
     @property
     def total_packets(self) -> int:
@@ -76,6 +81,7 @@ def run_probabilistic_delivery(
     max_steps: int = 2_000_000,
     trickle: TricklePolicy = TricklePolicy.NEVER,
     packet_budget: Optional[int] = None,
+    trace_mode: TraceMode = TraceMode.COUNTS,
 ) -> ProbabilisticRunResult:
     """Deliver ``n`` (identical) messages over a probabilistic channel.
 
@@ -95,13 +101,19 @@ def run_probabilistic_delivery(
         packet_budget: optional early stop once this many packets have
             been sent -- exponential runs get expensive fast, and the
             truncated series is still fit-able.
+        trace_mode: the run only consumes Definition-2 counters, so it
+            defaults to ``TraceMode.COUNTS`` (no per-event allocation).
+            Pass ``TraceMode.FULL`` to keep the event list, e.g. to
+            spec-check the run afterwards; the reported statistics are
+            identical either way.
 
     Returns:
         The per-message cumulative packet series and final pool size.
     """
     sender, receiver = pair_factory()
     system: DataLinkSystem = make_system(
-        sender, receiver, q=q, seed=seed, trickle=trickle
+        sender, receiver, q=q, seed=seed, trickle=trickle,
+        trace_mode=trace_mode,
     )
     cumulative: List[int] = []
     steps_used = 0
@@ -134,4 +146,5 @@ def run_probabilistic_delivery(
         final_backlog_t2r=system.chan_t2r.transit_size(),
         completed=delivered >= n,
         steps=steps_used,
+        events_elided=system.execution.events_elided,
     )

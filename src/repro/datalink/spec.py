@@ -30,6 +30,13 @@ matching exists the greedy one does.  For (DL1)+(DL2) the mapping must
 also be order-preserving across *all* messages, so the greedy cursor is
 global: each receive must match a send strictly later than the previous
 receive's send, again earliest-first.
+
+Trace modes.  Every checker walks the event list, so the execution must
+have been recorded under ``TraceMode.FULL`` (the default); handing a
+counters-only (``TraceMode.COUNTS``) execution to a checker raises
+:class:`~repro.ioa.execution.TraceElidedError` -- bulk sweeps that
+elide traces give up spec-checkability by construction, which is why
+the elision is opt-in per system.
 """
 
 from __future__ import annotations
@@ -212,7 +219,12 @@ def check_execution(
     initial_transit_t2r: Optional[Set[int]] = None,
     initial_transit_r2t: Optional[Set[int]] = None,
 ) -> SpecReport:
-    """Run every checker and collect the results."""
+    """Run every checker and collect the results.
+
+    Raises:
+        TraceElidedError: if ``execution`` was recorded in
+            ``TraceMode.COUNTS`` (the checkers need the event list).
+    """
     report = SpecReport()
     for direction, initial in (
         (Direction.T2R, initial_transit_t2r),

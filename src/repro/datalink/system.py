@@ -11,6 +11,13 @@ is polled for (re)transmissions, the channels deliver whatever their
 own discipline mandates, and the adversary (if any) makes its moves.
 Retransmission timers are modelled by polling frequency, packet delay
 by the adversary withholding copies across steps.
+
+Hot-path notes: the engine records through the execution's fast paths
+(so a :class:`~repro.ioa.execution.TraceMode.COUNTS` system allocates
+no per-event objects), keeps one :class:`AdversaryView` alive for the
+whole run (refreshing its ``step_index`` in place), and accepts the
+adversaries' packed ``(kind, direction, copy_id)`` decision tuples
+alongside :class:`~repro.channels.adversary.Decision` objects.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from typing import Dict, Hashable, Iterable, Optional, Sequence
 
 from repro.channels.adversary import (
     AdversaryView,
+    AnyDecision,
     ChannelAdversary,
     Decision,
     DecisionKind,
@@ -34,9 +42,8 @@ from repro.ioa.actions import (
     Direction,
     receive_pkt,
     send_msg,
-    send_pkt,
 )
-from repro.ioa.execution import Execution
+from repro.ioa.execution import Execution, TraceMode
 
 
 @dataclass
@@ -78,6 +85,11 @@ class DataLinkSystem:
         adversary: optional channel adversary consulted every step.
         sender_burst: sender polls per step (how many transmissions the
             retransmission "timer" allows per scheduling round).
+        trace_mode: how much of the execution to materialise.  The
+            default FULL keeps every event (required by the spec
+            checkers and the replay machinery); COUNTS keeps only the
+            Definition-2 counters, which is what bulk experiment sweeps
+            need, at a fraction of the cost.
     """
 
     def __init__(
@@ -88,6 +100,7 @@ class DataLinkSystem:
         chan_r2t: Optional[Channel] = None,
         adversary: Optional[ChannelAdversary] = None,
         sender_burst: int = 1,
+        trace_mode: TraceMode = TraceMode.FULL,
     ) -> None:
         self.sender = sender
         self.receiver = receiver
@@ -99,8 +112,38 @@ class DataLinkSystem:
         )
         self.adversary = adversary
         self.sender_burst = sender_burst
-        self.execution = Execution()
+        self.trace_mode = trace_mode
+        self.execution = Execution(trace_mode=trace_mode)
         self._step_index = 0
+        # Channels are fixed for the system's lifetime; build the
+        # direction map and the adversary's read view once instead of
+        # per step/call.
+        self._channels: Dict[Direction, Channel] = {
+            Direction.T2R: self.chan_t2r,
+            Direction.R2T: self.chan_r2t,
+        }
+        self._adversary_view = AdversaryView(self._channels, 0)
+        # COUNTS-mode fast paths bypass the Action-object plumbing
+        # (next_output/perform_output/handle_input) and talk to the
+        # station hooks directly.  That is only behaviour-preserving
+        # when the station runs the *base-class* plumbing, so each
+        # bypass is gated on the concrete class not overriding it.
+        sender_cls = type(sender)
+        receiver_cls = type(receiver)
+        self._sender_fast_output = (
+            sender_cls.next_output is SenderStation.next_output
+            and sender_cls.perform_output is SenderStation.perform_output
+        )
+        self._receiver_fast_output = (
+            receiver_cls.next_output is ReceiverStation.next_output
+            and receiver_cls.perform_output is ReceiverStation.perform_output
+        )
+        self._sender_fast_input = (
+            sender_cls.handle_input is SenderStation.handle_input
+        )
+        self._receiver_fast_input = (
+            receiver_cls.handle_input is ReceiverStation.handle_input
+        )
         self._attach_oracle()
 
     # ------------------------------------------------------------------
@@ -109,10 +152,10 @@ class DataLinkSystem:
     @property
     def channels(self) -> Dict[Direction, Channel]:
         """Both channels, keyed by direction."""
-        return {Direction.T2R: self.chan_t2r, Direction.R2T: self.chan_r2t}
+        return self._channels
 
     def _attach_oracle(self) -> None:
-        oracle = ChannelOracle(self.channels)
+        oracle = ChannelOracle(self._channels)
         for station in (self.sender, self.receiver):
             if station.uses_oracle:
                 station.oracle = oracle
@@ -127,47 +170,107 @@ class DataLinkSystem:
     # ------------------------------------------------------------------
     def submit_message(self, message: Hashable) -> None:
         """Environment action ``send_msg(message)``."""
-        self.execution.record(send_msg(message))
-        self.sender.handle_input(send_msg(message))
+        action = send_msg(message)
+        self.execution.record(action)
+        self.sender.handle_input(action)
 
     def pump_sender(self, bursts: Optional[int] = None) -> int:
         """Poll the sender up to ``bursts`` times; returns packets sent."""
         bursts = self.sender_burst if bursts is None else bursts
+        sender = self.sender
+        chan = self.chan_t2r
+        execution = self.execution
         sent = 0
+        if (
+            execution.trace_mode is TraceMode.COUNTS
+            and self._sender_fast_output
+        ):
+            # Inline of the base next_output/perform_output pair with
+            # no Action built: offer current_packet, count, notify.
+            for _ in range(bursts):
+                packet = sender.current_packet
+                if packet is None:
+                    break
+                copy = chan.send(packet, len(execution))
+                execution.record_send_pkt(Direction.T2R, packet, copy.copy_id)
+                sender.packets_sent += 1
+                sender.on_packet_sent(packet)
+                sent += 1
+            return sent
         for _ in range(bursts):
-            action = self.sender.next_output()
+            action = sender.next_output()
             if action is None:
                 break
-            copy = self.chan_t2r.send(action.packet, len(self.execution))
-            self.execution.record(
-                send_pkt(Direction.T2R, action.packet, copy.copy_id)
-            )
-            self.sender.perform_output(action)
+            copy = chan.send(action.packet, len(execution))
+            execution.record_send_pkt(Direction.T2R, action.packet, copy.copy_id)
+            sender.perform_output(action)
             sent += 1
         return sent
 
     def pump_receiver(self) -> int:
         """Flush the receiver's pending outputs; returns their count."""
+        receiver = self.receiver
+        chan = self.chan_r2t
+        execution = self.execution
         fired = 0
+        if (
+            execution.trace_mode is TraceMode.COUNTS
+            and self._receiver_fast_output
+        ):
+            # Inline of the base next_output/perform_output pair:
+            # deliveries drain first, then control packets, no Action
+            # objects in between.
+            deliveries = receiver._deliveries
+            outgoing = receiver._outgoing
+            while True:
+                if deliveries:
+                    message = deliveries.popleft()
+                    execution.record_receive_msg(message)
+                    receiver.messages_delivered += 1
+                    receiver.on_delivered(message)
+                elif outgoing:
+                    packet = outgoing.popleft()
+                    copy = chan.send(packet, len(execution))
+                    execution.record_send_pkt(
+                        Direction.R2T, packet, copy.copy_id
+                    )
+                else:
+                    return fired
+                fired += 1
         while True:
-            action = self.receiver.next_output()
+            action = receiver.next_output()
             if action is None:
                 return fired
             if action.type is ActionType.RECEIVE_MSG:
-                self.execution.record(action)
+                execution.record(action)
             else:
-                copy = self.chan_r2t.send(action.packet, len(self.execution))
-                self.execution.record(
-                    send_pkt(Direction.R2T, action.packet, copy.copy_id)
+                copy = chan.send(action.packet, len(execution))
+                execution.record_send_pkt(
+                    Direction.R2T, action.packet, copy.copy_id
                 )
-            self.receiver.perform_output(action)
+            receiver.perform_output(action)
             fired += 1
 
     def deliver_copy(self, direction: Direction, copy_id: int) -> TransitCopy:
         """Deliver one transit copy to the station at its far end."""
-        copy = self.channels[direction].deliver(copy_id)
+        copy = self._channels[direction].deliver(copy_id)
+        execution = self.execution
+        if execution.trace_mode is TraceMode.COUNTS:
+            if direction is Direction.T2R:
+                if self._receiver_fast_input:
+                    execution.record_receive_pkt(
+                        direction, copy.packet, copy.copy_id
+                    )
+                    self.receiver.on_packet(copy.packet)
+                    return copy
+            elif self._sender_fast_input:
+                execution.record_receive_pkt(
+                    direction, copy.packet, copy.copy_id
+                )
+                self.sender.on_packet(copy.packet)
+                return copy
         action = receive_pkt(direction, copy.packet, copy.copy_id)
-        self.execution.record(action)
+        execution.record(action)
         if direction is Direction.T2R:
             self.receiver.handle_input(action)
         else:
@@ -177,18 +280,29 @@ class DataLinkSystem:
     def drop_copy(self, direction: Direction, copy_id: int) -> TransitCopy:
         """Lose one transit copy (no event is recorded: losses are
         invisible to every automaton in the model)."""
-        return self.channels[direction].drop(copy_id)
+        return self._channels[direction].drop(copy_id)
 
     # ------------------------------------------------------------------
     # composite moves
     # ------------------------------------------------------------------
-    def apply_decisions(self, decisions: Iterable[Decision]) -> None:
-        """Apply adversary decisions in order."""
+    def apply_decisions(self, decisions: Iterable[AnyDecision]) -> None:
+        """Apply adversary decisions in order.
+
+        Accepts :class:`~repro.channels.adversary.Decision` objects and
+        packed ``(kind, direction, copy_id)`` tuples, mixed freely.
+        """
+        deliver = DecisionKind.DELIVER
         for decision in decisions:
-            if decision.kind is DecisionKind.DELIVER:
-                self.deliver_copy(decision.direction, decision.copy_id)
+            if type(decision) is tuple:
+                kind, direction, copy_id = decision
             else:
-                self.drop_copy(decision.direction, decision.copy_id)
+                kind = decision.kind
+                direction = decision.direction
+                copy_id = decision.copy_id
+            if kind is deliver:
+                self.deliver_copy(direction, copy_id)
+            else:
+                self.drop_copy(direction, copy_id)
 
     def flush_mandatory(self) -> int:
         """Deliver every copy the channels themselves mandate.
@@ -198,32 +312,41 @@ class DataLinkSystem:
         probabilistic channel with a lucky coin).
         """
         delivered = 0
+        chan_t2r = self.chan_t2r
+        chan_r2t = self.chan_r2t
         while True:
             progress = 0
-            for direction, channel in self.channels.items():
-                for copy_id in channel.mandatory_deliveries():
-                    self.deliver_copy(direction, copy_id)
-                    progress += 1
-                    if direction is Direction.T2R:
-                        # Let the receiver push acks out promptly so the
-                        # reverse channel sees them this same flush.
-                        self.pump_receiver()
+            for copy_id in chan_t2r.mandatory_deliveries():
+                self.deliver_copy(Direction.T2R, copy_id)
+                progress += 1
+                # Let the receiver push acks out promptly so the
+                # reverse channel sees them this same flush.
+                self.pump_receiver()
+            for copy_id in chan_r2t.mandatory_deliveries():
+                self.deliver_copy(Direction.R2T, copy_id)
+                progress += 1
             delivered += progress
             if progress == 0:
                 return delivered
 
     def adversary_view(self) -> AdversaryView:
         """The read view handed to the adversary this step."""
-        return AdversaryView(self.channels, self._step_index)
+        view = self._adversary_view
+        view.step_index = self._step_index
+        return view
 
     def step(self) -> None:
         """One scheduling round.  See the module docstring."""
         self.pump_receiver()
         self.pump_sender()
         self.flush_mandatory()
-        if self.adversary is not None:
-            self.apply_decisions(self.adversary.decide(self.adversary_view()))
-            self.flush_mandatory()
+        adversary = self.adversary
+        if adversary is not None:
+            view = self.adversary_view() if adversary.needs_view else None
+            decisions = adversary.decide(view)
+            if decisions:
+                self.apply_decisions(decisions)
+                self.flush_mandatory()
         self.pump_receiver()
         self._step_index += 1
 
@@ -283,13 +406,17 @@ class DataLinkSystem:
     # extension finder and the replay attack)
     # ------------------------------------------------------------------
     def clone(
-        self, adversary: Optional[ChannelAdversary] = None
+        self,
+        adversary: Optional[ChannelAdversary] = None,
+        trace_mode: TraceMode = TraceMode.FULL,
     ) -> "DataLinkSystem":
         """Independent system in the same configuration.
 
         Stations and channel bags are deep-copied; the clone starts a
         fresh (empty) execution, so counters measured on it cover only
-        what happens after the cut.
+        what happens after the cut.  Clones default to FULL tracing
+        regardless of the parent's mode -- their consumers (the
+        extension finder, the replay attack) read event lists.
         """
         twin = DataLinkSystem(
             sender=self.sender.clone(),  # type: ignore[arg-type]
@@ -298,6 +425,7 @@ class DataLinkSystem:
             chan_r2t=self.chan_r2t.clone(),
             adversary=adversary,
             sender_burst=self.sender_burst,
+            trace_mode=trace_mode,
         )
         return twin
 
@@ -310,6 +438,7 @@ def make_system(
     seed: int = 0,
     trickle: TricklePolicy = TricklePolicy.NEVER,
     sender_burst: int = 1,
+    trace_mode: TraceMode = TraceMode.FULL,
 ) -> DataLinkSystem:
     """Convenience constructor for common configurations.
 
@@ -336,4 +465,5 @@ def make_system(
         chan_r2t,
         adversary=adversary,
         sender_burst=sender_burst,
+        trace_mode=trace_mode,
     )

@@ -99,6 +99,11 @@ def run_shard(params: Dict[str, Any], fast: bool, seed: int) -> Dict[str, Any]:
         },
         "metrics": {
             "packets": flood.total_packets + naive.total_packets,
+            "engine_steps": flood.steps + naive.steps,
+            # Fast-path kernel observability: both runs execute in
+            # TraceMode.COUNTS, so every action is counted but never
+            # materialised as an Event.
+            "events_elided": flood.events_elided + naive.events_elided,
         },
     }
 

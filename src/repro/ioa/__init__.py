@@ -29,7 +29,7 @@ from repro.ioa.actions import (
 )
 from repro.ioa.automaton import IOAutomaton
 from repro.ioa.composition import Composition, Wire
-from repro.ioa.execution import Event, Execution
+from repro.ioa.execution import Event, Execution, TraceElidedError, TraceMode
 from repro.ioa.exploration import ExplorationResult, explore_station_states
 
 __all__ = [
@@ -42,6 +42,8 @@ __all__ = [
     "Execution",
     "ExplorationResult",
     "IOAutomaton",
+    "TraceElidedError",
+    "TraceMode",
     "explore_station_states",
     "receive_msg",
     "receive_pkt",

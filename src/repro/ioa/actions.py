@@ -51,7 +51,7 @@ class ActionType(enum.Enum):
     RECEIVE_PKT = "receive_pkt"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Action:
     """One externally visible action of the composed system.
 

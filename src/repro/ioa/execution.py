@@ -15,18 +15,73 @@ It also tracks the *packet correspondence* between ``send_pkt`` and
 offers multiset views of packet traffic that the lower-bound
 adversaries in :mod:`repro.core` use to decide when a replay is
 possible.
+
+Trace modes
+-----------
+
+Bulk experiment sweeps (the Monte-Carlo runs behind Theorem 5.1, the
+boundness sampling behind Theorem 2.1) only ever consume the
+Definition-2 counters and the in-transit channel state; materialising a
+:class:`Event` per action is pure overhead there.  An execution
+therefore runs in one of two :class:`TraceMode` s:
+
+* ``TraceMode.FULL`` (default) -- every action is materialised as an
+  :class:`Event`; all views below are available.  Spec checking
+  (:mod:`repro.datalink.spec`) and the replay attack
+  (:mod:`repro.core.replay`) require this mode.
+* ``TraceMode.COUNTS`` -- only the Definition-2 counters, the distinct
+  packet-value sets (the paper's header count) and the length are
+  maintained; no ``Event`` objects are allocated.  Views that need the
+  event list raise :class:`TraceElidedError`.
+
+The counters are maintained *incrementally in both modes*, so
+``sm``/``rm``/``sp``/``rp``/``header_count`` are O(1) regardless of the
+trace mode, and a COUNTS-mode run reports exactly the same statistics
+as a FULL-mode run of the same system (a property the trace-mode tests
+enforce).
 """
 
 from __future__ import annotations
 
+import enum
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator, List, Optional
 
-from repro.ioa.actions import Action, ActionType, Direction
+from repro.ioa.actions import (
+    Action,
+    ActionType,
+    Direction,
+    receive_msg,
+    receive_pkt,
+    send_pkt,
+)
 
 
-@dataclass(frozen=True)
+class TraceMode(enum.Enum):
+    """How much of an execution is materialised.
+
+    FULL: every action becomes an :class:`Event` (the default; needed
+        by the spec checkers, the replay attack and anything that walks
+        ``events``).
+    COUNTS: only the Definition-2 counters and packet-value sets are
+        kept; per-event allocation is skipped entirely.
+    """
+
+    FULL = "full"
+    COUNTS = "counts"
+
+
+class TraceElidedError(RuntimeError):
+    """An event-level view was requested from a COUNTS-mode execution.
+
+    Seeing this means a consumer that needs full traces (spec checker,
+    replay, extension finder) was handed a counters-only execution;
+    construct the system with ``trace_mode=TraceMode.FULL`` instead.
+    """
+
+
+@dataclass(frozen=True, slots=True)
 class Event:
     """One recorded action occurrence.
 
@@ -42,7 +97,6 @@ class Event:
         return f"[{self.index}] {self.action}"
 
 
-@dataclass
 class Execution:
     """A recorded execution of the composed data link system.
 
@@ -50,82 +104,227 @@ class Execution:
     execution as read-only.  ``Execution`` deliberately knows nothing
     about protocols: it is the shared language between the engine, the
     specification checkers and the adversaries.
+
+    Args:
+        events: initial events (FULL mode only); counters are rebuilt
+            from them.
+        trace_mode: see :class:`TraceMode`.
     """
 
-    events: List[Event] = field(default_factory=list)
+    __slots__ = (
+        "events",
+        "trace_mode",
+        "_length",
+        "_elided",
+        "_sm",
+        "_rm",
+        "_sp_t2r",
+        "_sp_r2t",
+        "_rp_t2r",
+        "_rp_r2t",
+        "_distinct_t2r",
+        "_distinct_r2t",
+        "_last_sent_t2r",
+        "_last_sent_r2t",
+    )
+
+    def __init__(
+        self,
+        events: Optional[List[Event]] = None,
+        trace_mode: TraceMode = TraceMode.FULL,
+    ) -> None:
+        if events and trace_mode is TraceMode.COUNTS:
+            raise ValueError("cannot seed a COUNTS-mode execution with events")
+        self.events: List[Event] = []
+        self.trace_mode = trace_mode
+        self._length = 0
+        self._elided = 0
+        self._sm = 0
+        self._rm = 0
+        # Per-direction counters live in scalar slots rather than an
+        # enum-keyed dict: the hot paths bump them tens of thousands of
+        # times per run and an attribute store beats a dict item store
+        # with an Enum.__hash__ behind it.
+        self._sp_t2r = 0
+        self._sp_r2t = 0
+        self._rp_t2r = 0
+        self._rp_r2t = 0
+        self._distinct_t2r: set = set()
+        self._distinct_r2t: set = set()
+        # Identity memo for the distinct-value sets: stations re-offer
+        # the *same* Packet object across retransmissions, so an `is`
+        # check skips the hash-and-probe for the typical send run.
+        self._last_sent_t2r: object = None
+        self._last_sent_r2t: object = None
+        if events:
+            for event in events:
+                self.record(event.action)
 
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
-    def record(self, action: Action) -> Event:
-        """Append ``action`` as the next event and return the event."""
-        event = Event(len(self.events), action)
+    def _count(self, action: Action) -> None:
+        kind = action.type
+        if kind is ActionType.SEND_PKT:
+            if action.direction is Direction.T2R:
+                self._sp_t2r += 1
+                self._distinct_t2r.add(action.packet)
+            else:
+                self._sp_r2t += 1
+                self._distinct_r2t.add(action.packet)
+        elif kind is ActionType.RECEIVE_PKT:
+            if action.direction is Direction.T2R:
+                self._rp_t2r += 1
+            else:
+                self._rp_r2t += 1
+        elif kind is ActionType.SEND_MSG:
+            self._sm += 1
+        else:
+            self._rm += 1
+
+    def record(self, action: Action) -> Optional[Event]:
+        """Append ``action`` as the next event and return the event.
+
+        In COUNTS mode only the counters are updated and ``None`` is
+        returned (no ``Event`` is allocated).
+        """
+        self._count(action)
+        index = self._length
+        self._length = index + 1
+        if self.trace_mode is TraceMode.COUNTS:
+            self._elided += 1
+            return None
+        event = Event(index, action)
         self.events.append(event)
         return event
+
+    def record_send_pkt(
+        self, direction: Direction, packet: Hashable, copy_id: Optional[int]
+    ) -> None:
+        """Fast path for ``send_pkt`` events on the engine's hot loop.
+
+        Equivalent to ``record(send_pkt(direction, packet, copy_id))``
+        but skips building the :class:`~repro.ioa.actions.Action` (and
+        the :class:`Event`) entirely in COUNTS mode.
+        """
+        if direction is Direction.T2R:
+            self._sp_t2r += 1
+            if packet is not self._last_sent_t2r:
+                self._distinct_t2r.add(packet)
+                self._last_sent_t2r = packet
+        else:
+            self._sp_r2t += 1
+            if packet is not self._last_sent_r2t:
+                self._distinct_r2t.add(packet)
+                self._last_sent_r2t = packet
+        index = self._length
+        self._length = index + 1
+        if self.trace_mode is TraceMode.COUNTS:
+            self._elided += 1
+            return
+        self.events.append(Event(index, send_pkt(direction, packet, copy_id)))
+
+    def record_receive_pkt(
+        self, direction: Direction, packet: Hashable, copy_id: Optional[int]
+    ) -> None:
+        """Fast path for ``receive_pkt`` events; see
+        :meth:`record_send_pkt`."""
+        if direction is Direction.T2R:
+            self._rp_t2r += 1
+        else:
+            self._rp_r2t += 1
+        index = self._length
+        self._length = index + 1
+        if self.trace_mode is TraceMode.COUNTS:
+            self._elided += 1
+            return
+        self.events.append(
+            Event(index, receive_pkt(direction, packet, copy_id))
+        )
+
+    def record_receive_msg(self, message: Hashable) -> None:
+        """Fast path for ``receive_msg`` events; see
+        :meth:`record_send_pkt`."""
+        self._rm += 1
+        index = self._length
+        self._length = index + 1
+        if self.trace_mode is TraceMode.COUNTS:
+            self._elided += 1
+            return
+        self.events.append(Event(index, receive_msg(message)))
 
     def extend(self, actions: Iterable[Action]) -> None:
         """Append several actions in order."""
         for action in actions:
             self.record(action)
 
+    @property
+    def events_elided(self) -> int:
+        """Events skipped (never allocated) under COUNTS mode."""
+        return self._elided
+
     # ------------------------------------------------------------------
     # basic structure
     # ------------------------------------------------------------------
+    def _require_events(self, what: str) -> None:
+        if self.trace_mode is TraceMode.COUNTS:
+            raise TraceElidedError(
+                f"{what} needs the event list, but this execution runs "
+                "in COUNTS mode (events are elided); use "
+                "trace_mode=TraceMode.FULL"
+            )
+
     def __len__(self) -> int:
-        return len(self.events)
+        return self._length
 
     def __iter__(self) -> Iterator[Event]:
+        self._require_events("iteration")
         return iter(self.events)
 
     def __getitem__(self, index: int) -> Event:
+        self._require_events("indexing")
         return self.events[index]
 
     def actions(self) -> List[Action]:
         """The bare action sequence."""
+        self._require_events("actions()")
         return [event.action for event in self.events]
 
     def prefix(self, length: int) -> "Execution":
         """The execution consisting of the first ``length`` events."""
+        self._require_events("prefix()")
         return Execution(list(self.events[:length]))
 
     def suffix_actions(self, start: int) -> List[Action]:
         """Actions of events with ``index >= start``."""
+        self._require_events("suffix_actions()")
         return [event.action for event in self.events if event.index >= start]
 
     # ------------------------------------------------------------------
-    # Definition 2: counting functions
+    # Definition 2: counting functions (O(1); maintained incrementally)
     # ------------------------------------------------------------------
     def sm(self) -> int:
         """Number of ``send_msg`` actions."""
-        return self._count_type(ActionType.SEND_MSG)
+        return self._sm
 
     def rm(self) -> int:
         """Number of ``receive_msg`` actions."""
-        return self._count_type(ActionType.RECEIVE_MSG)
+        return self._rm
 
     def sp(self, direction: Direction) -> int:
         """Number of ``send_pkt`` actions in ``direction``."""
-        return self._count_type(ActionType.SEND_PKT, direction)
+        return self._sp_t2r if direction is Direction.T2R else self._sp_r2t
 
     def rp(self, direction: Direction) -> int:
         """Number of ``receive_pkt`` actions in ``direction``."""
-        return self._count_type(ActionType.RECEIVE_PKT, direction)
-
-    def _count_type(
-        self, action_type: ActionType, direction: Optional[Direction] = None
-    ) -> int:
-        return sum(
-            1
-            for event in self.events
-            if event.action.type is action_type
-            and (direction is None or event.action.direction is direction)
-        )
+        return self._rp_t2r if direction is Direction.T2R else self._rp_r2t
 
     # ------------------------------------------------------------------
     # message views
     # ------------------------------------------------------------------
     def sent_messages(self) -> List[Hashable]:
         """Payloads of ``send_msg`` actions, in order."""
+        self._require_events("sent_messages()")
         return [
             event.action.message
             for event in self.events
@@ -134,6 +333,7 @@ class Execution:
 
     def received_messages(self) -> List[Hashable]:
         """Payloads of ``receive_msg`` actions, in order."""
+        self._require_events("received_messages()")
         return [
             event.action.message
             for event in self.events
@@ -147,6 +347,7 @@ class Execution:
         self, action_type: ActionType, direction: Direction
     ) -> List[Event]:
         """All packet events of the given kind and direction, in order."""
+        self._require_events("packet_events()")
         return [
             event
             for event in self.events
@@ -188,15 +389,14 @@ class Execution:
         The paper measures header usage as the number of distinct
         packets ``|P|`` sent in valid executions (Section 2.3,
         "Headers").  When ``direction`` is ``None`` both channels are
-        counted together.
+        counted together.  Available in every trace mode (the sets are
+        maintained incrementally).
         """
-        values = set()
-        for event in self.events:
-            if event.action.type is ActionType.SEND_PKT and (
-                direction is None or event.action.direction is direction
-            ):
-                values.add(event.action.packet)
-        return values
+        if direction is Direction.T2R:
+            return set(self._distinct_t2r)
+        if direction is Direction.R2T:
+            return set(self._distinct_r2t)
+        return self._distinct_t2r | self._distinct_r2t
 
     def header_count(self, direction: Optional[Direction] = None) -> int:
         """``len(distinct_packets(direction))``."""
@@ -226,4 +426,10 @@ class Execution:
         return mapping
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.trace_mode is TraceMode.COUNTS:
+            return (
+                f"<Execution COUNTS: {self._length} actions, "
+                f"sm={self._sm} rm={self._rm} "
+                f"sp=({self._sp_t2r}, {self._sp_r2t})>"
+            )
         return "\n".join(str(event) for event in self.events)

@@ -25,13 +25,43 @@ inequality ``boundness <= k_t * k_r``.
 The exploration is exact (not an abstraction) in one common special
 case: protocols whose stations ignore duplicate receipts, such as the
 alternating-bit protocol, behave identically under multisets and sets.
+
+Interned search
+---------------
+
+The frontier can explode combinatorially (the FIFO/CFSM reachability
+literature -- Pachl; Bollig-Finkel-Suresh -- is a catalogue of exactly
+this blow-up), so the inner loop is engineered to touch nothing heavier
+than small integers:
+
+* every station state is **interned** the first time it is seen: its
+  ``protocol_state()`` key maps to a small int, alongside one
+  representative ``snapshot()`` used to restore the working automaton;
+* every packet value and every channel value-*set* is interned the same
+  way, with set-extension (``set | {value}``) memoised on
+  ``(set_id, value_id)`` pairs so a set is hashed at most once;
+* the **transition function itself is memoised** on interned ids:
+  delivering value ``v`` to a receiver in state ``r`` always produces
+  the same successor (the automata are deterministic and two states
+  with equal protocol keys behave identically forever), so each
+  distinct ``(state, input)`` pair runs the real automaton exactly
+  once;
+* a configuration is the 5-tuple of ints
+  ``(sender_id, receiver_id, t2r_set_id, r2t_set_id, injected)``,
+  itself interned to a single int; the visited set is a set of those
+  ints, and duplicate successors are discarded on the int tuple before
+  any snapshot or canonicalisation work happens.
+
+``ExplorationResult.perf`` reports the interning/memo counters and the
+configurations-per-second throughput.
 """
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, List, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.ioa.actions import ActionType, Direction, receive_pkt, send_msg
 from repro.ioa.automaton import IOAutomaton
@@ -51,6 +81,9 @@ class ExplorationResult:
         truncated: True when the exploration hit ``max_configurations``
             before exhausting the abstract state space.
         packet_values: distinct packet values observed per direction.
+        perf: interning/memoisation counters and throughput for the
+            run (configs/sec, memo hit/miss counts, table sizes,
+            duplicate successors short-circuited).
     """
 
     sender_states: Set[Hashable] = field(default_factory=set)
@@ -59,6 +92,7 @@ class ExplorationResult:
     configurations: int = 0
     truncated: bool = False
     packet_values: dict = field(default_factory=dict)
+    perf: Dict[str, float] = field(default_factory=dict)
 
     @property
     def k_t(self) -> int:
@@ -74,6 +108,204 @@ class ExplorationResult:
     def state_product(self) -> int:
         """The ``k_t * k_r`` bound of Theorem 2.1."""
         return self.k_t * self.k_r
+
+
+class _InternedSearch:
+    """All interning tables and memoised transitions of one exploration.
+
+    Station states are interned by their ``protocol_state()`` key: two
+    snapshots with equal keys behave identically forever (that is the
+    key's contract, and what the Theorem 2.1 counting relies on), so
+    one representative snapshot per key suffices to generate successors
+    and every transition needs to run on the real automaton only once
+    per distinct ``(state id, input id)`` pair.
+    """
+
+    __slots__ = (
+        "sender", "receiver", "alphabet", "result",
+        "sender_ids", "sender_snaps", "sender_keys",
+        "receiver_ids", "receiver_snaps", "receiver_keys",
+        "value_ids", "values",
+        "set_ids", "set_members", "set_extend",
+        "ready_memo", "msg_memo", "out_memo", "sender_rcv_memo",
+        "receiver_rcv_memo",
+        "memo_hits", "memo_misses", "dup_skipped",
+    )
+
+    def __init__(
+        self,
+        sender: IOAutomaton,
+        receiver: IOAutomaton,
+        alphabet: List[Hashable],
+        result: ExplorationResult,
+    ) -> None:
+        self.sender = sender.clone()
+        self.receiver = receiver.clone()
+        self.alphabet = alphabet
+        self.result = result
+        # state id -> representative snapshot / protocol key
+        self.sender_ids: Dict[Hashable, int] = {}
+        self.sender_snaps: List[Hashable] = []
+        self.sender_keys: List[Hashable] = []
+        self.receiver_ids: Dict[Hashable, int] = {}
+        self.receiver_snaps: List[Hashable] = []
+        self.receiver_keys: List[Hashable] = []
+        # packet values and value sets
+        self.value_ids: Dict[Hashable, int] = {}
+        self.values: List[Hashable] = []
+        self.set_ids: Dict[Tuple[int, ...], int] = {(): 0}
+        self.set_members: List[Tuple[int, ...]] = [()]
+        self.set_extend: Dict[Tuple[int, int], int] = {}
+        # transition memos
+        self.ready_memo: Dict[int, bool] = {}
+        self.msg_memo: Dict[Tuple[int, int], int] = {}
+        self.out_memo: Dict[int, Optional[Tuple[int, int]]] = {}
+        self.sender_rcv_memo: Dict[Tuple[int, int], int] = {}
+        self.receiver_rcv_memo: Dict[Tuple[int, int], Tuple[int, Tuple[int, ...]]] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.dup_skipped = 0
+
+    # -- interning ------------------------------------------------------
+    def intern_sender(self, automaton: IOAutomaton) -> int:
+        key = automaton.protocol_state()
+        sid = self.sender_ids.get(key)
+        if sid is None:
+            sid = len(self.sender_keys)
+            self.sender_ids[key] = sid
+            self.sender_keys.append(key)
+            self.sender_snaps.append(automaton.snapshot())
+        return sid
+
+    def intern_receiver(self, automaton: IOAutomaton) -> int:
+        key = automaton.protocol_state()
+        rid = self.receiver_ids.get(key)
+        if rid is None:
+            rid = len(self.receiver_keys)
+            self.receiver_ids[key] = rid
+            self.receiver_keys.append(key)
+            self.receiver_snaps.append(automaton.snapshot())
+        return rid
+
+    def intern_value(self, value: Hashable) -> int:
+        vid = self.value_ids.get(value)
+        if vid is None:
+            vid = len(self.values)
+            self.value_ids[value] = vid
+            self.values.append(value)
+        return vid
+
+    def extend_set(self, set_id: int, value_id: int) -> int:
+        """Id of ``set | {value}``, memoised on the id pair."""
+        new_id = self.set_extend.get((set_id, value_id))
+        if new_id is not None:
+            return new_id
+        members = self.set_members[set_id]
+        if value_id in members:
+            new_id = set_id
+        else:
+            extended = tuple(sorted(members + (value_id,)))
+            new_id = self.set_ids.get(extended)
+            if new_id is None:
+                new_id = len(self.set_members)
+                self.set_ids[extended] = new_id
+                self.set_members.append(extended)
+        self.set_extend[(set_id, value_id)] = new_id
+        return new_id
+
+    # -- memoised transitions ------------------------------------------
+    def sender_ready(self, sid: int) -> bool:
+        ready = self.ready_memo.get(sid)
+        if ready is None:
+            self.sender.restore(self.sender_snaps[sid])
+            probe = getattr(self.sender, "ready_for_message", None)
+            ready = True if probe is None else bool(probe())
+            self.ready_memo[sid] = ready
+        return ready
+
+    def sender_after_msg(self, sid: int, msg_index: int) -> int:
+        key = (sid, msg_index)
+        nid = self.msg_memo.get(key)
+        if nid is None:
+            self.memo_misses += 1
+            self.sender.restore(self.sender_snaps[sid])
+            self.sender.handle_input(send_msg(self.alphabet[msg_index]))
+            nid = self.intern_sender(self.sender)
+            self.msg_memo[key] = nid
+        else:
+            self.memo_hits += 1
+        return nid
+
+    def sender_output(self, sid: int) -> Optional[Tuple[int, int]]:
+        """``(successor id, sent value id)`` or ``None`` when quiescent."""
+        if sid in self.out_memo:
+            self.memo_hits += 1
+            return self.out_memo[sid]
+        self.memo_misses += 1
+        self.sender.restore(self.sender_snaps[sid])
+        output = self.sender.next_output()
+        if output is None or output.type is not ActionType.SEND_PKT:
+            transition = None
+        else:
+            self.sender.perform_output(output)
+            self.result.packet_values[Direction.T2R].add(output.packet)
+            transition = (
+                self.intern_sender(self.sender),
+                self.intern_value(output.packet),
+            )
+        self.out_memo[sid] = transition
+        return transition
+
+    def sender_after_rcv(self, sid: int, value_id: int) -> int:
+        key = (sid, value_id)
+        nid = self.sender_rcv_memo.get(key)
+        if nid is None:
+            self.memo_misses += 1
+            self.sender.restore(self.sender_snaps[sid])
+            self.sender.handle_input(
+                receive_pkt(Direction.R2T, self.values[value_id])
+            )
+            nid = self.intern_sender(self.sender)
+            self.sender_rcv_memo[key] = nid
+        else:
+            self.memo_hits += 1
+        return nid
+
+    def receiver_after_rcv(
+        self, rid: int, value_id: int
+    ) -> Tuple[int, Tuple[int, ...]]:
+        """Deliver a value to the receiver and flush its outputs.
+
+        Returns ``(successor id, value ids of the r->t packets the
+        flush emitted)``.  The engine
+        (:meth:`repro.datalink.system.DataLinkSystem.pump_receiver`)
+        always drains the receiver's output queues before anything else
+        can observe them, so transient queue states are engine
+        artifacts, not protocol states; flushing here keeps them out of
+        the ``k_r`` count (without it, ack queues of every length
+        register as distinct states and the count diverges).
+        """
+        key = (rid, value_id)
+        memo = self.receiver_rcv_memo.get(key)
+        if memo is not None:
+            self.memo_hits += 1
+            return memo
+        self.memo_misses += 1
+        receiver = self.receiver
+        receiver.restore(self.receiver_snaps[rid])
+        receiver.handle_input(receive_pkt(Direction.T2R, self.values[value_id]))
+        emitted: List[int] = []
+        while True:
+            output = receiver.next_output()
+            if output is None:
+                break
+            receiver.perform_output(output)
+            if output.type is ActionType.SEND_PKT:
+                self.result.packet_values[Direction.R2T].add(output.packet)
+                emitted.append(self.intern_value(output.packet))
+        memo = (self.intern_receiver(receiver), tuple(emitted))
+        self.receiver_rcv_memo[key] = memo
+        return memo
 
 
 def explore_station_states(
@@ -100,225 +332,101 @@ def explore_station_states(
     Returns:
         An :class:`ExplorationResult` with the visited station states.
     """
+    started = time.perf_counter()
     alphabet: List[Hashable] = list(message_alphabet)
     result = ExplorationResult(packet_values={Direction.T2R: set(),
                                               Direction.R2T: set()})
+    search = _InternedSearch(sender, receiver, alphabet, result)
 
-    initial = _Configuration(
-        sender_snap=sender.snapshot(),
-        receiver_snap=receiver.snapshot(),
-        sender_key=sender.protocol_state(),
-        receiver_key=receiver.protocol_state(),
-        t2r_values=frozenset(),
-        r2t_values=frozenset(),
-        injected=0,
+    initial = (
+        search.intern_sender(sender),
+        search.intern_receiver(receiver),
+        0,  # empty t->r value set
+        0,  # empty r->t value set
+        0,  # messages injected
     )
-    seen = {initial.key()}
-    queue = deque([initial])
-    sender_work = sender.clone()
-    receiver_work = receiver.clone()
+    seen: Set[Tuple[int, int, int, int, int]] = {initial}
+    queue: deque = deque([initial])
+    message_indices = range(len(alphabet))
+    sender_keys = search.sender_keys
+    receiver_keys = search.receiver_keys
 
     while queue:
         if result.configurations >= max_configurations:
             result.truncated = True
             break
         config = queue.popleft()
+        sid, rid, t2r, r2t, injected = config
         result.configurations += 1
-        result.sender_states.add(config.sender_key)
-        result.receiver_states.add(config.receiver_key)
+        result.sender_states.add(sender_keys[sid])
+        result.receiver_states.add(receiver_keys[rid])
 
-        for successor in _successors(config, sender_work, receiver_work,
-                                     alphabet, max_messages, result):
-            key = successor.key()
-            if key not in seen:
-                seen.add(key)
+        successors: List[Tuple[int, int, int, int, int]] = []
+
+        # 1. Environment injects a new message.  The environment
+        # modelled here is the paper's one-outstanding-message regime:
+        # it submits only when the sender signals readiness (stations
+        # expose this via ``ready_for_message``; automata without the
+        # attribute accept submissions at any time).
+        if injected < max_messages and search.sender_ready(sid):
+            for msg_index in message_indices:
+                successors.append((
+                    search.sender_after_msg(sid, msg_index),
+                    rid, t2r, r2t, injected + 1,
+                ))
+
+        # 2. Sender fires its enabled output (a send_pkt^{t->r}).
+        fired = search.sender_output(sid)
+        if fired is not None:
+            new_sid, value_id = fired
+            successors.append((
+                new_sid, rid, search.extend_set(t2r, value_id), r2t, injected,
+            ))
+
+        # 3. Channel delivers some value to the receiver
+        #    (set-abstraction: the value stays available afterwards).
+        #    The receiver's resulting outputs are flushed atomically,
+        #    mirroring the engine's pump discipline.
+        for value_id in search.set_members[t2r]:
+            new_rid, emitted = search.receiver_after_rcv(rid, value_id)
+            new_r2t = r2t
+            for emitted_id in emitted:
+                new_r2t = search.extend_set(new_r2t, emitted_id)
+            successors.append((sid, new_rid, t2r, new_r2t, injected))
+
+        # 4. Channel delivers some value to the sender.
+        for value_id in search.set_members[r2t]:
+            successors.append((
+                search.sender_after_rcv(sid, value_id),
+                rid, t2r, r2t, injected,
+            ))
+
+        for successor in successors:
+            if successor in seen:
+                search.dup_skipped += 1
+            else:
+                seen.add(successor)
                 queue.append(successor)
 
     pairs = set()
-    # Recompute exact pair count from visited configurations: the pairs
-    # are a projection of `seen`.
-    for key in seen:
-        pairs.add((key[0], key[1]))
+    # Exact pair count over every configuration reached (including
+    # still-queued ones): a projection of `seen` onto the station ids,
+    # which intern protocol-state keys one-to-one.
+    for config in seen:
+        pairs.add((config[0], config[1]))
     result.pair_count = len(pairs)
+
+    elapsed = time.perf_counter() - started
+    result.perf = {
+        "elapsed_s": round(elapsed, 6),
+        "configs_per_sec": round(result.configurations / elapsed, 1)
+        if elapsed > 0 else 0.0,
+        "memo_hits": search.memo_hits,
+        "memo_misses": search.memo_misses,
+        "duplicate_successors_skipped": search.dup_skipped,
+        "interned_sender_states": len(search.sender_keys),
+        "interned_receiver_states": len(search.receiver_keys),
+        "interned_packet_values": len(search.values),
+        "interned_value_sets": len(search.set_members),
+    }
     return result
-
-
-@dataclass(frozen=True)
-class _Configuration:
-    """One abstract configuration of the composed system.
-
-    Carries both the full station snapshots (needed to *restore* the
-    automata when generating successors) and the protocol-state keys
-    (bookkeeping counters stripped; used for deduplication and for the
-    ``k_t``/``k_r`` counts, which must not be inflated by counters that
-    never influence behaviour).
-    """
-
-    sender_snap: Hashable
-    receiver_snap: Hashable
-    sender_key: Hashable
-    receiver_key: Hashable
-    t2r_values: frozenset
-    r2t_values: frozenset
-    injected: int
-
-    def key(self) -> Tuple:
-        return (
-            self.sender_key,
-            self.receiver_key,
-            self.t2r_values,
-            self.r2t_values,
-            self.injected,
-        )
-
-
-def _config_from(
-    sender: IOAutomaton,
-    receiver_snap: Hashable,
-    receiver_key: Hashable,
-    t2r: frozenset,
-    r2t: frozenset,
-    injected: int,
-) -> _Configuration:
-    """Configuration with a freshly mutated sender, receiver unchanged."""
-    return _Configuration(
-        sender.snapshot(),
-        receiver_snap,
-        sender.protocol_state(),
-        receiver_key,
-        t2r,
-        r2t,
-        injected,
-    )
-
-
-def _config_with_receiver(
-    sender_snap: Hashable,
-    sender_key: Hashable,
-    receiver: IOAutomaton,
-    t2r: frozenset,
-    r2t: frozenset,
-    injected: int,
-) -> _Configuration:
-    """Configuration with a freshly mutated receiver, sender unchanged."""
-    return _Configuration(
-        sender_snap,
-        receiver.snapshot(),
-        sender_key,
-        receiver.protocol_state(),
-        t2r,
-        r2t,
-        injected,
-    )
-
-
-def _flush_receiver(
-    receiver: IOAutomaton,
-    r2t_values: frozenset,
-    result: ExplorationResult,
-) -> frozenset:
-    """Fire the receiver's outputs until quiescent.
-
-    The engine (:meth:`repro.datalink.system.DataLinkSystem.pump_receiver`)
-    always drains the receiver's output queues before anything else can
-    observe them, so transient queue states are engine artifacts, not
-    protocol states.  Flushing here keeps them out of the ``k_r`` count
-    (without it, ack queues of every length register as distinct
-    states and the count diverges).
-    """
-    while True:
-        output = receiver.next_output()
-        if output is None:
-            return r2t_values
-        receiver.perform_output(output)
-        if output.type is ActionType.SEND_PKT:
-            r2t_values = r2t_values | {output.packet}
-            result.packet_values[Direction.R2T].add(output.packet)
-
-
-def _successors(
-    config: _Configuration,
-    sender: IOAutomaton,
-    receiver: IOAutomaton,
-    alphabet: List[Hashable],
-    max_messages: int,
-    result: ExplorationResult,
-) -> List[_Configuration]:
-    """All abstract one-step successors of ``config``."""
-    successors: List[_Configuration] = []
-
-    # 1. Environment injects a new message.  The environment modelled
-    # here is the paper's one-outstanding-message regime: it submits
-    # only when the sender signals readiness (stations expose this via
-    # ``ready_for_message``; automata without the attribute accept
-    # submissions at any time).
-    if config.injected < max_messages:
-        for message in alphabet:
-            sender.restore(config.sender_snap)
-            ready = getattr(sender, "ready_for_message", None)
-            if ready is not None and not ready():
-                break
-            sender.handle_input(send_msg(message))
-            successors.append(
-                _config_from(
-                    sender,
-                    config.receiver_snap,
-                    config.receiver_key,
-                    config.t2r_values,
-                    config.r2t_values,
-                    config.injected + 1,
-                )
-            )
-
-    # 2. Sender fires its enabled output (a send_pkt^{t->r}).
-    sender.restore(config.sender_snap)
-    output = sender.next_output()
-    if output is not None and output.type is ActionType.SEND_PKT:
-        sender.perform_output(output)
-        result.packet_values[Direction.T2R].add(output.packet)
-        successors.append(
-            _config_from(
-                sender,
-                config.receiver_snap,
-                config.receiver_key,
-                config.t2r_values | {output.packet},
-                config.r2t_values,
-                config.injected,
-            )
-        )
-
-    # 3. Channel delivers some value to the receiver (set-abstraction:
-    #    the value stays available afterwards).  The receiver's
-    #    resulting outputs are flushed atomically, mirroring the
-    #    engine's pump discipline.
-    for value in config.t2r_values:
-        receiver.restore(config.receiver_snap)
-        receiver.handle_input(receive_pkt(Direction.T2R, value))
-        r2t = _flush_receiver(receiver, config.r2t_values, result)
-        successors.append(
-            _config_with_receiver(
-                config.sender_snap,
-                config.sender_key,
-                receiver,
-                config.t2r_values,
-                r2t,
-                config.injected,
-            )
-        )
-
-    # 5. Channel delivers some value to the sender.
-    for value in config.r2t_values:
-        sender.restore(config.sender_snap)
-        sender.handle_input(receive_pkt(Direction.R2T, value))
-        successors.append(
-            _config_from(
-                sender,
-                config.receiver_snap,
-                config.receiver_key,
-                config.t2r_values,
-                config.r2t_values,
-                config.injected,
-            )
-        )
-
-    return successors

@@ -29,6 +29,14 @@ from repro.runtime.task import TaskSpec
 # Bump to invalidate every existing cache entry on format changes.
 CACHE_FORMAT = "repro-cache/1"
 
+# Version of the simulation kernel's statistics contract.  The code
+# digest below already changes on any edit, but entries produced by a
+# different *kernel generation* (trace elision, batched decisions,
+# interned exploration) must stay invalid even for readers that pin or
+# strip the code digest -- so the generation is salted into every key
+# explicitly.  Bump on any change to what the fast paths count.
+KERNEL_VERSION = "repro-kernel/2"
+
 DEFAULT_CACHE_DIR = ".repro-cache"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
@@ -80,6 +88,7 @@ class ResultCache:
         material = "\x1f".join(
             [
                 CACHE_FORMAT,
+                KERNEL_VERSION,
                 code_version(),
                 spec.experiment,
                 spec.shard,
@@ -122,6 +131,7 @@ class ResultCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         entry = {
             "format": CACHE_FORMAT,
+            "kernel_version": KERNEL_VERSION,
             "code_version": code_version(),
             "spec": spec.to_dict(),
             "payload": payload,

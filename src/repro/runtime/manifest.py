@@ -52,6 +52,15 @@ def build_manifest(
         if outcome.error is not None:
             entry["error"] = outcome.error
         tasks.append(entry)
+    # Aggregate numeric per-task metrics (packet counts, engine steps,
+    # events elided by COUNTS-mode runs, ...) so one manifest field
+    # answers "how much work did this run do" without walking tasks.
+    metric_totals: Dict[str, float] = {}
+    for outcome in outcomes:
+        for name, value in outcome.metrics.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            metric_totals[name] = metric_totals.get(name, 0) + value
     return {
         "schema": MANIFEST_SCHEMA,
         "experiments": list(names),
@@ -73,5 +82,6 @@ def build_manifest(
             "wall_time": round(
                 sum(o.wall_time for o in outcomes), 6
             ),
+            "metrics": metric_totals,
         },
     }

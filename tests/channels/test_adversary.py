@@ -21,6 +21,22 @@ PKT_A = Packet(header="a")
 PKT_B = Packet(header="b")
 
 
+def unpack(decision):
+    """Normalise a Decision object or packed tuple to (kind, dir, id)."""
+    if isinstance(decision, Decision):
+        return (decision.kind, decision.direction, decision.copy_id)
+    kind, direction, copy_id = decision
+    return (kind, direction, copy_id)
+
+
+def kinds(decisions):
+    return [unpack(d)[0] for d in decisions]
+
+
+def copy_ids(decisions):
+    return {unpack(d)[2] for d in decisions}
+
+
 def make_view(step: int = 0):
     channels = {
         Direction.T2R: NonFifoChannel(Direction.T2R),
@@ -48,7 +64,7 @@ class TestOptimal:
         channels[Direction.R2T].send(PKT_B)
         decisions = OptimalAdversary().decide(view)
         assert len(decisions) == 2
-        assert all(d.kind is DecisionKind.DELIVER for d in decisions)
+        assert all(k is DecisionKind.DELIVER for k in kinds(decisions))
 
     def test_empty_channels_no_decisions(self):
         _, view = make_view()
@@ -62,7 +78,7 @@ class TestOptimalFromNow:
         adversary = OptimalFromNowAdversary.from_channels(channels)
         fresh = channels[Direction.T2R].send(PKT_B)
         decisions = adversary.decide(view)
-        delivered_ids = {d.copy_id for d in decisions}
+        delivered_ids = copy_ids(decisions)
         assert fresh.copy_id in delivered_ids
         assert stale.copy_id not in delivered_ids
 
@@ -72,7 +88,7 @@ class TestOptimalFromNow:
         adversary = OptimalFromNowAdversary.from_channels(channels)
         reverse = channels[Direction.R2T].send(PKT_B)
         decisions = adversary.decide(view)
-        assert {d.copy_id for d in decisions} == {reverse.copy_id}
+        assert copy_ids(decisions) == {reverse.copy_id}
 
 
 class TestDelayAll:
@@ -90,7 +106,7 @@ class TestHoldValues:
         adversary = HoldValuesAdversary(
             Direction.T2R, held=lambda p: p == PKT_A
         )
-        delivered = {d.copy_id for d in adversary.decide(view)}
+        delivered = copy_ids(adversary.decide(view))
         assert passed.copy_id in delivered
         assert held.copy_id not in delivered
 
@@ -100,7 +116,7 @@ class TestHoldValues:
         adversary = HoldValuesAdversary(
             Direction.T2R, held=lambda p: True
         )
-        delivered = {d.copy_id for d in adversary.decide(view)}
+        delivered = copy_ids(adversary.decide(view))
         assert reverse.copy_id in delivered
 
     def test_stop_after_first_passed(self):
@@ -112,11 +128,11 @@ class TestHoldValues:
             held=lambda p: p == PKT_A,
             stop_after_first_passed=True,
         )
-        first = adversary.decide(view)
-        assert len([d for d in first if d.direction is Direction.T2R]) == 1
+        first = [unpack(d) for d in adversary.decide(view)]
+        assert len([d for d in first if d[1] is Direction.T2R]) == 1
         # After stopping, nothing more passes on the held direction.
-        second = adversary.decide(view)
-        assert [d for d in second if d.direction is Direction.T2R] == []
+        second = [unpack(d) for d in adversary.decide(view)]
+        assert [d for d in second if d[1] is Direction.T2R] == []
 
 
 class TestFair:
@@ -127,11 +143,11 @@ class TestFair:
         delivered_at = None
         for step in range(10):
             view = AdversaryView(channels, step)
-            decisions = adversary.decide(view)
-            if any(d.copy_id == copy.copy_id for d in decisions):
+            decisions = [unpack(d) for d in adversary.decide(view)]
+            if any(cid == copy.copy_id for _, _, cid in decisions):
                 delivered_at = step
-                for d in decisions:
-                    channels[d.direction].deliver(d.copy_id)
+                for _, direction, cid in decisions:
+                    channels[direction].deliver(cid)
                 break
         assert delivered_at is not None
         assert delivered_at <= 4
@@ -143,8 +159,9 @@ class TestFair:
             channels[Direction.T2R].send(PKT_A)
         for step in range(50):
             for decision in adversary.decide(AdversaryView(channels, step)):
-                assert decision.kind is DecisionKind.DELIVER
-                channels[decision.direction].deliver(decision.copy_id)
+                kind, direction, cid = unpack(decision)
+                assert kind is DecisionKind.DELIVER
+                channels[direction].deliver(cid)
 
 
 class TestRandom:
@@ -161,15 +178,18 @@ class TestRandom:
             outcomes = []
             for step in range(10):
                 channels[Direction.T2R].send(PKT_A)
-                decisions = adversary.decide(AdversaryView(channels, step))
+                decisions = [
+                    unpack(d)
+                    for d in adversary.decide(AdversaryView(channels, step))
+                ]
                 outcomes.append(
-                    tuple((d.kind.value, d.copy_id) for d in decisions)
+                    tuple((kind.value, cid) for kind, _, cid in decisions)
                 )
-                for d in decisions:
-                    if d.kind is DecisionKind.DELIVER:
-                        channels[d.direction].deliver(d.copy_id)
+                for kind, direction, cid in decisions:
+                    if kind is DecisionKind.DELIVER:
+                        channels[direction].deliver(cid)
                     else:
-                        channels[d.direction].drop(d.copy_id)
+                        channels[direction].drop(cid)
             return outcomes
 
         assert run(7) == run(7)
@@ -186,3 +206,54 @@ class TestScripted:
             Decision.deliver(Direction.T2R, copy.copy_id)
         ]
         assert adversary.decide(view) == []
+
+
+class TestSeedDerivation:
+    """The randomized adversaries draw from derive_seed-derived RNGs."""
+
+    def test_fair_rng_comes_from_derive_seed(self):
+        import random
+
+        from repro.runtime.seeds import derive_seed
+
+        expected = random.Random(
+            derive_seed(9, "channels.adversary", "fair")
+        )
+        adversary = FairAdversary(seed=9)
+        assert adversary._rng.getstate() == expected.getstate()
+
+    def test_random_rng_comes_from_derive_seed(self):
+        import random
+
+        from repro.runtime.seeds import derive_seed
+
+        expected = random.Random(
+            derive_seed(11, "channels.adversary", "random")
+        )
+        adversary = RandomAdversary(seed=11)
+        assert adversary._rng.getstate() == expected.getstate()
+
+    def test_explicit_rng_overrides_seed(self):
+        import random
+
+        rng = random.Random(123)
+        state = rng.getstate()
+        adversary = FairAdversary(seed=0, rng=rng)
+        assert adversary._rng is rng
+        assert adversary._rng.getstate() == state
+
+    def test_different_seeds_diverge(self):
+        channels, _ = make_view()
+        for _ in range(12):
+            channels[Direction.T2R].send(PKT_A)
+
+        def trace(adversary):
+            return [
+                tuple(unpack(d))
+                for step in range(6)
+                for d in adversary.decide(AdversaryView(channels, step))
+            ]
+
+        assert trace(FairAdversary(seed=1, p_deliver=0.4, max_delay=50)) != (
+            trace(FairAdversary(seed=2, p_deliver=0.4, max_delay=50))
+        )

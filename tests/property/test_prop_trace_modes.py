@@ -1,0 +1,141 @@
+"""Property-based tests: COUNTS-mode runs report FULL-mode statistics.
+
+The trace-elision kernel (``TraceMode.COUNTS``) promises that skipping
+per-event ``Event`` allocation changes *nothing observable* about a
+run's statistics: every Definition-2 counter, the header sets, the
+channel backlogs and every :class:`DeliveryStats` field must match a
+FULL-mode run of the identical system, seed for seed.  These
+properties drive real protocol pairs over probabilistic and
+adversarial channels in both modes and compare everything.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels.adversary import FairAdversary, RandomAdversary
+from repro.channels.probabilistic import TricklePolicy
+from repro.datalink.alternating_bit import make_alternating_bit
+from repro.datalink.flooding import make_capacity_flooding
+from repro.datalink.sequence import make_sequence_protocol
+from repro.datalink.system import make_system
+from repro.ioa.actions import Direction
+from repro.ioa.execution import TraceElidedError, TraceMode
+
+PROTOCOLS = {
+    "abp": make_alternating_bit,
+    "sequence": make_sequence_protocol,
+    "capflood": lambda: make_capacity_flooding(2, 1),
+}
+
+PROTOCOL_NAMES = st.sampled_from(sorted(PROTOCOLS))
+
+
+def statistics(system, stats):
+    """Everything a bulk sweep might read off a finished run."""
+    execution = system.execution
+    return {
+        "submitted": stats.submitted,
+        "delivered": stats.delivered,
+        "steps": stats.steps,
+        "packets_t2r": stats.packets_t2r,
+        "packets_r2t": stats.packets_r2t,
+        "completed": stats.completed,
+        "length": len(execution),
+        "sm": execution.sm(),
+        "rm": execution.rm(),
+        "sp_t2r": execution.sp(Direction.T2R),
+        "sp_r2t": execution.sp(Direction.R2T),
+        "rp_t2r": execution.rp(Direction.T2R),
+        "rp_r2t": execution.rp(Direction.R2T),
+        "headers_t2r": execution.distinct_packets(Direction.T2R),
+        "headers_r2t": execution.distinct_packets(Direction.R2T),
+        "header_count": execution.header_count(),
+        "backlog_t2r": system.chan_t2r.transit_size(),
+        "backlog_r2t": system.chan_r2t.transit_size(),
+    }
+
+
+def run_probabilistic(protocol, q, seed, n_messages, trickle, trace_mode):
+    sender, receiver = PROTOCOLS[protocol]()
+    system = make_system(
+        sender, receiver, q=q, seed=seed, trickle=trickle,
+        trace_mode=trace_mode,
+    )
+    stats = system.run(["m"] * n_messages, max_steps=6_000)
+    return system, stats
+
+
+def run_adversarial(protocol, adversary_cls, seed, n_messages, trace_mode):
+    sender, receiver = PROTOCOLS[protocol]()
+    # A fresh adversary per run: its RNG stream must start identically.
+    system = make_system(
+        sender, receiver, adversary=adversary_cls(seed=seed),
+        trace_mode=trace_mode,
+    )
+    stats = system.run(["m"] * n_messages, max_steps=6_000)
+    return system, stats
+
+
+@given(
+    protocol=PROTOCOL_NAMES,
+    q=st.sampled_from([0.0, 0.2, 0.5]),
+    seed=st.integers(0, 2**31),
+    n_messages=st.integers(1, 6),
+    trickle=st.sampled_from([TricklePolicy.NEVER, TricklePolicy.UNIFORM]),
+)
+@settings(max_examples=60, deadline=None)
+def test_counts_mode_matches_full_over_probabilistic_channels(
+    protocol, q, seed, n_messages, trickle
+):
+    full_sys, full_stats = run_probabilistic(
+        protocol, q, seed, n_messages, trickle, TraceMode.FULL
+    )
+    counts_sys, counts_stats = run_probabilistic(
+        protocol, q, seed, n_messages, trickle, TraceMode.COUNTS
+    )
+    assert statistics(counts_sys, counts_stats) == statistics(
+        full_sys, full_stats
+    )
+    # The elided run allocated no events at all, and says so.
+    assert counts_sys.execution.events == []
+    assert counts_sys.execution.events_elided == len(full_sys.execution)
+
+
+@given(
+    protocol=PROTOCOL_NAMES,
+    adversary_cls=st.sampled_from([FairAdversary, RandomAdversary]),
+    seed=st.integers(0, 2**31),
+    n_messages=st.integers(1, 5),
+)
+@settings(max_examples=40, deadline=None)
+def test_counts_mode_matches_full_under_random_adversaries(
+    protocol, adversary_cls, seed, n_messages
+):
+    full_sys, full_stats = run_adversarial(
+        protocol, adversary_cls, seed, n_messages, TraceMode.FULL
+    )
+    counts_sys, counts_stats = run_adversarial(
+        protocol, adversary_cls, seed, n_messages, TraceMode.COUNTS
+    )
+    assert statistics(counts_sys, counts_stats) == statistics(
+        full_sys, full_stats
+    )
+
+
+@given(seed=st.integers(0, 2**31))
+@settings(max_examples=20, deadline=None)
+def test_counts_mode_refuses_event_views(seed):
+    system, _ = run_probabilistic(
+        "abp", 0.2, seed, 2, TricklePolicy.NEVER, TraceMode.COUNTS
+    )
+    execution = system.execution
+    for view in (
+        execution.actions,
+        execution.sent_messages,
+        execution.received_messages,
+        lambda: execution.prefix(1),
+        lambda: list(execution),
+    ):
+        with pytest.raises(TraceElidedError):
+            view()

@@ -1,6 +1,12 @@
 """Unit: the on-disk JSON result cache."""
 
-from repro.runtime.cache import CACHE_FORMAT, ResultCache, code_version
+from repro.runtime import cache as cache_module
+from repro.runtime.cache import (
+    CACHE_FORMAT,
+    KERNEL_VERSION,
+    ResultCache,
+    code_version,
+)
 from repro.runtime.task import TaskSpec
 
 
@@ -72,3 +78,28 @@ def test_code_version_is_stable_hex():
     assert first == code_version()
     assert len(first) == 64
     int(first, 16)
+
+
+def test_entry_records_kernel_version(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(spec(), {"x": 1})
+    assert cache.get(spec())["kernel_version"] == KERNEL_VERSION
+
+
+def test_kernel_version_bump_invalidates_old_entries(
+    tmp_path, monkeypatch
+):
+    """An entry written before a KERNEL_VERSION bump must not be
+    served after it, even though the code digest is unchanged."""
+    cache = ResultCache(str(tmp_path))
+    cache.put(spec(), {"x": 1})
+    assert cache.get(spec()) is not None
+    old_key = cache.key(spec())
+    monkeypatch.setattr(
+        cache_module, "KERNEL_VERSION", KERNEL_VERSION + ".bumped"
+    )
+    assert cache.key(spec()) != old_key
+    assert cache.get(spec()) is None  # old entry is unreachable
+    # New results are stored and served under the new kernel version.
+    cache.put(spec(), {"x": 2})
+    assert cache.get(spec())["payload"] == {"x": 2}

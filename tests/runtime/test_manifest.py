@@ -1,0 +1,55 @@
+"""Unit: manifest assembly, including metric aggregation."""
+
+from repro.runtime.manifest import build_manifest
+from repro.runtime.task import TaskOutcome, TaskSpec
+
+
+def outcome(shard, metrics, status="ok"):
+    spec = TaskSpec(
+        experiment="probabilistic",
+        shard=shard,
+        params={"shard": shard},
+        fast=True,
+        seed=3,
+        kind="shard",
+    )
+    return TaskOutcome(
+        spec=spec, status=status, payload={}, metrics=metrics
+    )
+
+
+def build(outcomes):
+    return build_manifest(
+        outcomes,
+        names=["probabilistic"],
+        fast=True,
+        seed=3,
+        workers=2,
+        code_version="deadbeef",
+    )
+
+
+def test_totals_aggregate_numeric_metrics():
+    manifest = build(
+        [
+            outcome("q=0.2", {"packets": 100, "events_elided": 40}),
+            outcome("q=0.4", {"packets": 50, "engine_steps": 7}),
+        ]
+    )
+    assert manifest["totals"]["metrics"] == {
+        "packets": 150,
+        "events_elided": 40,
+        "engine_steps": 7,
+    }
+
+
+def test_totals_metrics_skip_non_numeric_values():
+    manifest = build(
+        [outcome("q=0.2", {"packets": 10, "note": "hi", "flag": True})]
+    )
+    assert manifest["totals"]["metrics"] == {"packets": 10}
+
+
+def test_per_task_metrics_survive_verbatim():
+    manifest = build([outcome("q=0.2", {"packets": 10})])
+    assert manifest["tasks"][0]["metrics"] == {"packets": 10}
