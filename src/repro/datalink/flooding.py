@@ -69,9 +69,21 @@ def data_packet(phase: int, message: Hashable) -> Packet:
     return Packet(header=(DATA, phase), body=message)
 
 
+_ACK_PACKETS: Dict[int, Packet] = {}
+
+
 def ack_packet(phase: int) -> Packet:
-    """The phase acknowledgement."""
-    return Packet(header=(ACK, phase))
+    """The phase acknowledgement.
+
+    Interned per phase: packets are frozen values, one ack is queued
+    per acceptance on the exploration/simulation hot path, and sharing
+    the instance lets identity-based memos downstream short-circuit
+    the dataclass hash.
+    """
+    packet = _ACK_PACKETS.get(phase)
+    if packet is None:
+        packet = _ACK_PACKETS[phase] = Packet(header=(ACK, phase))
+    return packet
 
 
 class FloodingSender(SenderStation):
@@ -236,11 +248,20 @@ class FloodingReceiver(ReceiverStation):
         )
 
     def protocol_fields(self) -> Tuple:
-        return (
-            self._awaiting,
-            self._data_threshold,
-            tuple(sorted(self._counts.items(), key=repr)),
-        )
+        counts = self._counts
+        if counts:
+            # Either sort is a canonical form of the dict (equal dicts
+            # give equal tuples); plain tuple comparison is tried first
+            # because this runs once per explored receiver transition,
+            # and repr-keyed sorting is only needed for bodies of
+            # mutually unorderable types.
+            try:
+                items = tuple(sorted(counts.items()))
+            except TypeError:
+                items = tuple(sorted(counts.items(), key=repr))
+        else:
+            items = ()
+        return (self._awaiting, self._data_threshold, items)
 
     def set_protocol_fields(self, fields: Tuple) -> None:
         self._awaiting, self._data_threshold, counts = fields

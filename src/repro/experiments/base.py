@@ -11,10 +11,33 @@ transcript both consume these.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
 from repro.analysis.tables import Table
+
+
+def explore_workers() -> int:
+    """Worker count for state-space explorations, from the environment.
+
+    ``REPRO_EXPLORE_WORKERS`` (or the ``--explore-parallel`` CLI flag,
+    which sets it) selects the sharded exploration engine for the
+    experiments that enumerate station states (E1, E2).  ``0``/unset
+    keeps the serial kernel.  For explorations that complete, results
+    are identical at any worker count, so the setting stays out of
+    experiment parameters and cache keys.  Rows truncated by the visit
+    budget depend on where the budget cuts -- the serial kernel cuts
+    exact-FIFO, the sharded engine at level barriers (deterministic
+    and worker-count-independent, see
+    :mod:`repro.ioa.exploration_parallel`) -- so their reported
+    coverage may differ between engines, as the truncation notes in
+    the transcripts already warn.
+    """
+    try:
+        return max(0, int(os.environ.get("REPRO_EXPLORE_WORKERS", "0")))
+    except ValueError:
+        return 0
 
 
 @dataclass

@@ -26,10 +26,18 @@ from repro.core.boundness import measure_boundness, verify_theorem21
 from repro.datalink.alternating_bit import make_alternating_bit
 from repro.datalink.flooding import make_capacity_flooding
 from repro.datalink.sequence import make_sequence_protocol
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, explore_workers
 
 EXP_ID = "E1"
 TITLE = "Theorem 2.1: measured boundness never exceeds k_t * k_r"
+
+# Exploration visit budget.  Slow mode affords 4x the configurations
+# the pre-parallel engine explored (60k): the interned kernel plus the
+# sharded engine (PR "parallel sharded exploration") cover the larger
+# region in comparable wall-clock time, and a deeper region tightens
+# the truncated k_t/k_r over-approximations.
+FAST_BUDGET = 60_000
+SLOW_BUDGET = 240_000
 
 
 def protocol_rows(fast: bool) -> List[Tuple[str, Callable, int]]:
@@ -78,8 +86,11 @@ def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
             },
             exploration_kwargs={
                 "max_messages": budget,
-                "max_configurations": 60_000,
+                "max_configurations": (
+                    FAST_BUDGET if fast else SLOW_BUDGET
+                ),
             },
+            parallel=explore_workers(),
         )
         report = measure_boundness(
             factory,

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Callable, Dict
 
@@ -136,6 +137,17 @@ def main(argv=None) -> int:
         help="worker processes (default 1 = serial in-process)",
     )
     parser.add_argument(
+        "--explore-parallel",
+        metavar="N",
+        type=int,
+        default=None,
+        help=(
+            "worker shards for state-space explorations (E1/E2); "
+            "completed explorations are identical at any count "
+            "(default: $REPRO_EXPLORE_WORKERS or serial)"
+        ),
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="recompute everything; neither read nor write the cache",
@@ -183,6 +195,13 @@ def main(argv=None) -> int:
         )
     if args.parallel < 1:
         parser.error("--parallel must be >= 1")
+    if args.explore_parallel is not None:
+        if args.explore_parallel < 0:
+            parser.error("--explore-parallel must be >= 0")
+        # The experiments read the worker count from the environment
+        # (see repro.experiments.base.explore_workers), which also
+        # propagates into --parallel worker processes.
+        os.environ["REPRO_EXPLORE_WORKERS"] = str(args.explore_parallel)
 
     cache = (
         None

@@ -16,6 +16,8 @@ of that model that every other layer of the reproduction builds on:
   operator (output-to-input wiring, nesting, fair scheduling).
 * :mod:`repro.ioa.exploration` -- reachable-state enumeration used by
   the Theorem 2.1 boundness analysis.
+* :mod:`repro.ioa.exploration_parallel` -- the sharded, checkpointing
+  exploration engine behind ``explore_station_states(parallel=...)``.
 """
 
 from repro.ioa.actions import (
@@ -31,6 +33,7 @@ from repro.ioa.automaton import IOAutomaton
 from repro.ioa.composition import Composition, Wire
 from repro.ioa.execution import Event, Execution, TraceElidedError, TraceMode
 from repro.ioa.exploration import ExplorationResult, explore_station_states
+from repro.ioa.exploration_parallel import explore_station_states_parallel
 
 __all__ = [
     "Action",
@@ -45,6 +48,7 @@ __all__ = [
     "TraceElidedError",
     "TraceMode",
     "explore_station_states",
+    "explore_station_states_parallel",
     "receive_msg",
     "receive_pkt",
     "send_msg",

@@ -26,8 +26,8 @@ The exploration is exact (not an abstraction) in one common special
 case: protocols whose stations ignore duplicate receipts, such as the
 alternating-bit protocol, behave identically under multisets and sets.
 
-Interned search
----------------
+Interned, packed search
+-----------------------
 
 The frontier can explode combinatorially (the FIFO/CFSM reachability
 literature -- Pachl; Bollig-Finkel-Suresh -- is a catalogue of exactly
@@ -46,14 +46,28 @@ than small integers:
   with equal protocol keys behave identically forever), so each
   distinct ``(state, input)`` pair runs the real automaton exactly
   once;
-* a configuration is the 5-tuple of ints
-  ``(sender_id, receiver_id, t2r_set_id, r2t_set_id, injected)``,
-  itself interned to a single int; the visited set is a set of those
-  ints, and duplicate successors are discarded on the int tuple before
-  any snapshot or canonicalisation work happens.
+* a configuration ``(sender, receiver, t2r set, r2t set, injected)``
+  is **packed into a single integer** -- five 24-bit id fields -- so
+  the visited set is a set of plain ints and duplicate successors are
+  rejected on one int hash;
+* successor generation is **delta-memoised**: because a transition
+  replaces whole fields, the packed difference ``successor - config``
+  depends only on the fields the transition reads.  One dict lookup per
+  move class (environment injection, sender output, deliveries to the
+  receiver, deliveries to the sender) yields a tuple of ready-made
+  integer deltas, and each successor costs one addition plus one set
+  membership test.
 
 ``ExplorationResult.perf`` reports the interning/memo counters and the
-configurations-per-second throughput.
+configurations-per-second throughput.  ``memo_hits``/``memo_misses``
+count the underlying per-transition memo; delta-memo hits bypass even
+that lookup, so hit counts are lower than the number of generated
+successors.
+
+Parallel exploration and checkpoint/resume live in
+:mod:`repro.ioa.exploration_parallel`; the ``parallel=`` /
+``checkpoint_*`` arguments of :func:`explore_station_states` dispatch
+there.
 """
 
 from __future__ import annotations
@@ -65,6 +79,26 @@ from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.ioa.actions import ActionType, Direction, receive_pkt, send_msg
 from repro.ioa.automaton import IOAutomaton
+
+# Packed-configuration layout: five fields of _FIELD_BITS each --
+# sender id, receiver id, t->r set id, r->t set id, injected count.
+# 24 bits per field caps every intern table at ~16.7M entries, far
+# beyond any exploration budget this library runs, and keeps a packed
+# configuration within a few big-int limbs.
+_FIELD_BITS = 24
+_FIELD_MASK = (1 << _FIELD_BITS) - 1
+_S_RID = _FIELD_BITS
+_S_T2R = 2 * _FIELD_BITS
+_S_R2T = 3 * _FIELD_BITS
+_S_INJ = 4 * _FIELD_BITS
+_ONE_INJ = 1 << _S_INJ
+_PAIR_MASK = (1 << (2 * _FIELD_BITS)) - 1
+
+_MISSING = object()
+
+
+class ExplorationCapacityError(RuntimeError):
+    """An intern table outgrew the packed-field id capacity."""
 
 
 @dataclass
@@ -82,8 +116,10 @@ class ExplorationResult:
             before exhausting the abstract state space.
         packet_values: distinct packet values observed per direction.
         perf: interning/memoisation counters and throughput for the
-            run (configs/sec, memo hit/miss counts, table sizes,
-            duplicate successors short-circuited).
+            run.  ``configs_per_sec`` is ``0.0`` only when zero
+            configurations were visited; a measurable run whose elapsed
+            time is below the clock resolution reports ``None``
+            (unmeasurable) instead of a poisoned ``0.0``.
     """
 
     sender_states: Set[Hashable] = field(default_factory=set)
@@ -110,6 +146,21 @@ class ExplorationResult:
         return self.k_t * self.k_r
 
 
+def configs_per_sec(configurations: int, elapsed: float) -> Optional[float]:
+    """Throughput for the perf report.
+
+    ``0.0`` only when truly zero work was done; ``None`` when work was
+    done but the elapsed time is below the clock's resolution (a
+    sub-resolution ``elapsed`` must not collapse a real rate to 0.0 --
+    that poisons benchmark JSON).
+    """
+    if configurations == 0:
+        return 0.0
+    if elapsed <= 0:
+        return None
+    return round(configurations / elapsed, 1)
+
+
 class _InternedSearch:
     """All interning tables and memoised transitions of one exploration.
 
@@ -123,9 +174,11 @@ class _InternedSearch:
 
     __slots__ = (
         "sender", "receiver", "alphabet", "result",
+        "sender_fast", "receiver_fast",
         "sender_ids", "sender_snaps", "sender_keys",
         "receiver_ids", "receiver_snaps", "receiver_keys",
-        "value_ids", "values",
+        "value_ids", "values", "value_id_by_objid", "_value_refs",
+        "pv_t2r", "pv_r2t",
         "set_ids", "set_members", "set_extend",
         "ready_memo", "msg_memo", "out_memo", "sender_rcv_memo",
         "receiver_rcv_memo",
@@ -143,6 +196,44 @@ class _InternedSearch:
         self.receiver = receiver.clone()
         self.alphabet = alphabet
         self.result = result
+        # Direct-hook fast path (same gating idea as the engine's
+        # COUNTS-mode dispatch): when a station class keeps the base
+        # SenderStation/ReceiverStation plumbing, transitions talk to
+        # the protocol hooks (`on_send_msg`, `on_packet`, the output
+        # queues) directly -- no Action objects, and restores assign
+        # `protocol_fields` instead of rebuilding full snapshots.
+        # Any override of the plumbing falls back to the faithful path.
+        # Imported lazily: repro.ioa must not hard-depend on the
+        # higher datalink layer.
+        try:
+            from repro.datalink.stations import (
+                ReceiverStation,
+                SenderStation,
+            )
+        except ImportError:  # pragma: no cover - layering safety net
+            self.sender_fast = False
+            self.receiver_fast = False
+        else:
+            scls = type(self.sender)
+            self.sender_fast = (
+                isinstance(self.sender, SenderStation)
+                and scls.handle_input is SenderStation.handle_input
+                and scls.next_output is SenderStation.next_output
+                and scls.perform_output is SenderStation.perform_output
+                and scls.snapshot is SenderStation.snapshot
+                and scls.restore is SenderStation.restore
+                and scls.protocol_state is SenderStation.protocol_state
+            )
+            rcls = type(self.receiver)
+            self.receiver_fast = (
+                isinstance(self.receiver, ReceiverStation)
+                and rcls.handle_input is ReceiverStation.handle_input
+                and rcls.next_output is ReceiverStation.next_output
+                and rcls.perform_output is ReceiverStation.perform_output
+                and rcls.snapshot is ReceiverStation.snapshot
+                and rcls.restore is ReceiverStation.restore
+                and rcls.protocol_state is ReceiverStation.protocol_state
+            )
         # state id -> representative snapshot / protocol key
         self.sender_ids: Dict[Hashable, int] = {}
         self.sender_snaps: List[Hashable] = []
@@ -153,6 +244,14 @@ class _InternedSearch:
         # packet values and value sets
         self.value_ids: Dict[Hashable, int] = {}
         self.values: List[Hashable] = []
+        # Identity shortcut: protocols that intern their packet objects
+        # (e.g. flooding acks) resolve to a value id on an `id()` hash
+        # instead of the dataclass hash.  `_value_refs` pins every
+        # memoised object so CPython cannot recycle its id.
+        self.value_id_by_objid: Dict[int, int] = {}
+        self._value_refs: List[Hashable] = []
+        self.pv_t2r = result.packet_values[Direction.T2R]
+        self.pv_r2t = result.packet_values[Direction.R2T]
         self.set_ids: Dict[Tuple[int, ...], int] = {(): 0}
         self.set_members: List[Tuple[int, ...]] = [()]
         self.set_extend: Dict[Tuple[int, int], int] = {}
@@ -167,32 +266,85 @@ class _InternedSearch:
         self.dup_skipped = 0
 
     # -- interning ------------------------------------------------------
+    def _guard(self, next_id: int) -> int:
+        if next_id > _FIELD_MASK:
+            raise ExplorationCapacityError(
+                f"intern table outgrew the {_FIELD_BITS}-bit packed id "
+                f"capacity ({next_id} ids)"
+            )
+        return next_id
+
     def intern_sender(self, automaton: IOAutomaton) -> int:
         key = automaton.protocol_state()
         sid = self.sender_ids.get(key)
         if sid is None:
-            sid = len(self.sender_keys)
+            sid = self._guard(len(self.sender_keys))
             self.sender_ids[key] = sid
             self.sender_keys.append(key)
-            self.sender_snaps.append(automaton.snapshot())
+            # In fast mode the protocol-state key itself restores the
+            # station (``(current_packet, fields)``), so no snapshot
+            # is taken.
+            self.sender_snaps.append(
+                None if self.sender_fast else automaton.snapshot()
+            )
+            self.on_new_sender(sid)
+        return sid
+
+    def _intern_sender_key(self, key: Hashable) -> int:
+        """Fast-mode interning of an already-built protocol-state key."""
+        sid = self.sender_ids.get(key)
+        if sid is None:
+            sid = self._guard(len(self.sender_keys))
+            self.sender_ids[key] = sid
+            self.sender_keys.append(key)
+            self.sender_snaps.append(None)
+            self.on_new_sender(sid)
         return sid
 
     def intern_receiver(self, automaton: IOAutomaton) -> int:
         key = automaton.protocol_state()
         rid = self.receiver_ids.get(key)
         if rid is None:
-            rid = len(self.receiver_keys)
+            rid = self._guard(len(self.receiver_keys))
             self.receiver_ids[key] = rid
             self.receiver_keys.append(key)
-            self.receiver_snaps.append(automaton.snapshot())
+            self.receiver_snaps.append(
+                None if self.receiver_fast else automaton.snapshot()
+            )
+            self.on_new_receiver(rid)
         return rid
+
+    def _intern_receiver_key(self, key: Hashable) -> int:
+        rid = self.receiver_ids.get(key)
+        if rid is None:
+            rid = self._guard(len(self.receiver_keys))
+            self.receiver_ids[key] = rid
+            self.receiver_keys.append(key)
+            self.receiver_snaps.append(None)
+            self.on_new_receiver(rid)
+        return rid
+
+    def _load_sender(self, sid: int) -> IOAutomaton:
+        """Put the working sender into interned state ``sid``."""
+        sender = self.sender
+        if self.sender_fast:
+            # The key is (current_packet, protocol_fields); bookkeeping
+            # counters (packets_sent) are excluded from protocol_state
+            # by contract and cannot influence behaviour.
+            current_packet, fields = self.sender_keys[sid]
+            sender.current_packet = current_packet
+            sender.set_protocol_fields(fields)
+        else:
+            sender.restore(self.sender_snaps[sid])
+        return sender
 
     def intern_value(self, value: Hashable) -> int:
         vid = self.value_ids.get(value)
         if vid is None:
-            vid = len(self.values)
+            vid = self._guard(len(self.values))
             self.value_ids[value] = vid
             self.values.append(value)
+            self.on_new_value(vid)
         return vid
 
     def extend_set(self, set_id: int, value_id: int) -> int:
@@ -207,30 +359,61 @@ class _InternedSearch:
             extended = tuple(sorted(members + (value_id,)))
             new_id = self.set_ids.get(extended)
             if new_id is None:
-                new_id = len(self.set_members)
+                new_id = self._guard(len(self.set_members))
                 self.set_ids[extended] = new_id
                 self.set_members.append(extended)
+                self.on_new_set(new_id)
         self.set_extend[(set_id, value_id)] = new_id
         return new_id
+
+    # Hooks for subclasses that maintain parallel per-id tables (the
+    # sharded engine adds content digests); the serial kernel pays one
+    # no-op call per *new* id only.
+    def on_new_sender(self, sid: int) -> None:
+        pass
+
+    def on_new_receiver(self, rid: int) -> None:
+        pass
+
+    def on_new_value(self, vid: int) -> None:
+        pass
+
+    def on_new_set(self, set_id: int) -> None:
+        pass
 
     # -- memoised transitions ------------------------------------------
     def sender_ready(self, sid: int) -> bool:
         ready = self.ready_memo.get(sid)
         if ready is None:
-            self.sender.restore(self.sender_snaps[sid])
+            self._load_sender(sid)
             probe = getattr(self.sender, "ready_for_message", None)
             ready = True if probe is None else bool(probe())
             self.ready_memo[sid] = ready
         return ready
+
+    def inject_targets(self, sid: int) -> Tuple[int, ...]:
+        """Sender successors per alphabet message; empty when not ready."""
+        if not self.sender_ready(sid):
+            return ()
+        return tuple(
+            self.sender_after_msg(sid, index)
+            for index in range(len(self.alphabet))
+        )
 
     def sender_after_msg(self, sid: int, msg_index: int) -> int:
         key = (sid, msg_index)
         nid = self.msg_memo.get(key)
         if nid is None:
             self.memo_misses += 1
-            self.sender.restore(self.sender_snaps[sid])
-            self.sender.handle_input(send_msg(self.alphabet[msg_index]))
-            nid = self.intern_sender(self.sender)
+            sender = self._load_sender(sid)
+            if self.sender_fast:
+                sender.on_send_msg(self.alphabet[msg_index])
+                nid = self._intern_sender_key(
+                    (sender.current_packet, sender.protocol_fields())
+                )
+            else:
+                sender.handle_input(send_msg(self.alphabet[msg_index]))
+                nid = self.intern_sender(sender)
             self.msg_memo[key] = nid
         else:
             self.memo_hits += 1
@@ -242,17 +425,34 @@ class _InternedSearch:
             self.memo_hits += 1
             return self.out_memo[sid]
         self.memo_misses += 1
-        self.sender.restore(self.sender_snaps[sid])
-        output = self.sender.next_output()
-        if output is None or output.type is not ActionType.SEND_PKT:
-            transition = None
+        if self.sender_fast:
+            # The offered packet is the key's current_packet field; a
+            # quiescent sender needs no automaton work at all.
+            packet = self.sender_keys[sid][0]
+            if packet is None:
+                transition = None
+            else:
+                sender = self._load_sender(sid)
+                sender.on_packet_sent(packet)
+                self.result.packet_values[Direction.T2R].add(packet)
+                transition = (
+                    self._intern_sender_key(
+                        (sender.current_packet, sender.protocol_fields())
+                    ),
+                    self.intern_value(packet),
+                )
         else:
-            self.sender.perform_output(output)
-            self.result.packet_values[Direction.T2R].add(output.packet)
-            transition = (
-                self.intern_sender(self.sender),
-                self.intern_value(output.packet),
-            )
+            sender = self._load_sender(sid)
+            output = sender.next_output()
+            if output is None or output.type is not ActionType.SEND_PKT:
+                transition = None
+            else:
+                sender.perform_output(output)
+                self.result.packet_values[Direction.T2R].add(output.packet)
+                transition = (
+                    self.intern_sender(sender),
+                    self.intern_value(output.packet),
+                )
         self.out_memo[sid] = transition
         return transition
 
@@ -261,11 +461,17 @@ class _InternedSearch:
         nid = self.sender_rcv_memo.get(key)
         if nid is None:
             self.memo_misses += 1
-            self.sender.restore(self.sender_snaps[sid])
-            self.sender.handle_input(
-                receive_pkt(Direction.R2T, self.values[value_id])
-            )
-            nid = self.intern_sender(self.sender)
+            sender = self._load_sender(sid)
+            if self.sender_fast:
+                sender.on_packet(self.values[value_id])
+                nid = self._intern_sender_key(
+                    (sender.current_packet, sender.protocol_fields())
+                )
+            else:
+                sender.handle_input(
+                    receive_pkt(Direction.R2T, self.values[value_id])
+                )
+                nid = self.intern_sender(sender)
             self.sender_rcv_memo[key] = nid
         else:
             self.memo_hits += 1
@@ -292,20 +498,115 @@ class _InternedSearch:
             return memo
         self.memo_misses += 1
         receiver = self.receiver
-        receiver.restore(self.receiver_snaps[rid])
-        receiver.handle_input(receive_pkt(Direction.T2R, self.values[value_id]))
         emitted: List[int] = []
-        while True:
-            output = receiver.next_output()
-            if output is None:
-                break
-            receiver.perform_output(output)
-            if output.type is ActionType.SEND_PKT:
-                self.result.packet_values[Direction.R2T].add(output.packet)
-                emitted.append(self.intern_value(output.packet))
-        memo = (self.intern_receiver(receiver), tuple(emitted))
+        if self.receiver_fast:
+            deliveries_key, outgoing_key, fields = self.receiver_keys[rid]
+            deliveries = receiver._deliveries
+            outgoing = receiver._outgoing
+            deliveries.clear()
+            outgoing.clear()
+            if deliveries_key:
+                deliveries.extend(deliveries_key)
+            if outgoing_key:
+                outgoing.extend(outgoing_key)
+            receiver.set_protocol_fields(fields)
+            receiver.on_packet(self.values[value_id])
+            by_objid = self.value_id_by_objid
+            # Drain exactly as the base plumbing would: deliveries take
+            # priority, re-checked after every hook (on_delivered may
+            # queue more output).
+            while True:
+                if deliveries:
+                    receiver.messages_delivered += 1
+                    receiver.on_delivered(deliveries.popleft())
+                elif outgoing:
+                    packet = outgoing.popleft()
+                    vid = by_objid.get(id(packet))
+                    if vid is None:
+                        self.pv_r2t.add(packet)
+                        vid = self.intern_value(packet)
+                        by_objid[id(packet)] = vid
+                        self._value_refs.append(packet)
+                    emitted.append(vid)
+                else:
+                    break
+            # Queues are empty after the flush, so the protocol-state
+            # key is ((), (), fields).
+            memo = (
+                self._intern_receiver_key(((), (), receiver.protocol_fields())),
+                tuple(emitted),
+            )
+        else:
+            receiver.restore(self.receiver_snaps[rid])
+            receiver.handle_input(
+                receive_pkt(Direction.T2R, self.values[value_id])
+            )
+            while True:
+                output = receiver.next_output()
+                if output is None:
+                    break
+                receiver.perform_output(output)
+                if output.type is ActionType.SEND_PKT:
+                    self.result.packet_values[Direction.R2T].add(output.packet)
+                    emitted.append(self.intern_value(output.packet))
+            memo = (self.intern_receiver(receiver), tuple(emitted))
         self.receiver_rcv_memo[key] = memo
         return memo
+
+    # -- combined delta builders ---------------------------------------
+    # A successor differs from its configuration in whole fields, so
+    # the packed difference depends only on the fields a move class
+    # reads.  These builders run once per distinct key and return
+    # plain-int deltas the kernels apply with a single addition.
+
+    def build_inject_deltas(self, sid: int) -> Tuple[int, ...]:
+        """Deltas for environment injections from sender state ``sid``."""
+        return tuple(
+            (nsid - sid) + _ONE_INJ for nsid in self.inject_targets(sid)
+        )
+
+    def build_output_delta(self, sid: int, t2r: int) -> Optional[int]:
+        """Delta for the sender's enabled output, or ``None``."""
+        fired = self.sender_output(sid)
+        if fired is None:
+            return None
+        nsid, vid = fired
+        return (nsid - sid) + (
+            (self.extend_set(t2r, vid) - t2r) << _S_T2R
+        )
+
+    def build_deliver_deltas(
+        self, rid: int, t2r: int, r2t: int
+    ) -> Tuple[int, ...]:
+        """Deltas for delivering each t->r value to the receiver."""
+        deltas = []
+        rcv_get = self.receiver_rcv_memo.get
+        extend_get = self.set_extend.get
+        for vid in self.set_members[t2r]:
+            memo = rcv_get((rid, vid))
+            if memo is None:
+                memo = self.receiver_after_rcv(rid, vid)
+            else:
+                self.memo_hits += 1
+            new_rid, emitted = memo
+            new_r2t = r2t
+            for emitted_id in emitted:
+                extended = extend_get((new_r2t, emitted_id))
+                new_r2t = (
+                    extended if extended is not None
+                    else self.extend_set(new_r2t, emitted_id)
+                )
+            deltas.append(
+                ((new_rid - rid) << _S_RID) + ((new_r2t - r2t) << _S_R2T)
+            )
+        return tuple(deltas)
+
+    def build_ack_deltas(self, sid: int, r2t: int) -> Tuple[int, ...]:
+        """Deltas for delivering each r->t value to the sender."""
+        return tuple(
+            (self.sender_after_rcv(sid, vid) - sid)
+            for vid in self.set_members[r2t]
+        )
 
 
 def explore_station_states(
@@ -314,6 +615,10 @@ def explore_station_states(
     message_alphabet: Iterable[Hashable],
     max_messages: int = 2,
     max_configurations: int = 200_000,
+    parallel: int = 0,
+    checkpoint_every: int = 0,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = True,
 ) -> ExplorationResult:
     """Enumerate station states reachable under an adversarial channel.
 
@@ -328,10 +633,49 @@ def explore_station_states(
             saturate at small values.
         max_configurations: exploration budget; when exceeded the
             result is marked ``truncated``.
+        parallel: ``>= 2`` routes through the sharded level-synchronous
+            engine (:mod:`repro.ioa.exploration_parallel`), which
+            spreads the search across worker processes when more than
+            one CPU is available.  ``0``/``1`` is the serial path.
+        checkpoint_every: snapshot the search every N frontier levels
+            (requires the parallel engine; implies it even for
+            ``parallel <= 1``, which then runs the level-synchronous
+            engine in-process).  ``0`` disables checkpointing.
+        checkpoint_dir: directory for checkpoint files; defaults to
+            ``<result cache dir>/exploration`` when checkpointing is
+            enabled.  Passing a directory enables checkpointing.
+        resume: continue from a matching checkpoint instead of
+            restarting (parallel engine only).
 
     Returns:
         An :class:`ExplorationResult` with the visited station states.
+
+    The serial path truncates at exactly ``max_configurations``
+    visited configurations, in BFS-FIFO order; the parallel engine
+    truncates at frontier-level granularity (see
+    :func:`repro.ioa.exploration_parallel.explore_station_states_parallel`),
+    so truncated parallel results are deterministic for any worker
+    count but can exceed the cap by up to one level.  Non-truncated
+    results are identical on every path.
     """
+    if (parallel and parallel > 1) or checkpoint_every > 0 \
+            or checkpoint_dir is not None:
+        from repro.ioa.exploration_parallel import (
+            explore_station_states_parallel,
+        )
+
+        return explore_station_states_parallel(
+            sender,
+            receiver,
+            message_alphabet,
+            max_messages=max_messages,
+            max_configurations=max_configurations,
+            workers=max(1, int(parallel)),
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+        )
+
     started = time.perf_counter()
     alphabet: List[Hashable] = list(message_alphabet)
     result = ExplorationResult(packet_values={Direction.T2R: set(),
@@ -339,91 +683,133 @@ def explore_station_states(
     search = _InternedSearch(sender, receiver, alphabet, result)
 
     initial = (
-        search.intern_sender(sender),
-        search.intern_receiver(receiver),
-        0,  # empty t->r value set
-        0,  # empty r->t value set
-        0,  # messages injected
+        search.intern_sender(sender)
+        | (search.intern_receiver(receiver) << _S_RID)
+        # empty t->r / r->t value sets (set id 0), zero injected
     )
-    seen: Set[Tuple[int, int, int, int, int]] = {initial}
+    seen: Set[int] = {initial}
     queue: deque = deque([initial])
-    message_indices = range(len(alphabet))
-    sender_keys = search.sender_keys
-    receiver_keys = search.receiver_keys
+
+    # Combined delta memos; see the module docstring.  Keys pack the
+    # fields each move class depends on into one int.
+    inject_memo: Dict[int, Tuple[int, ...]] = {}
+    output_memo: Dict[int, Optional[int]] = {}
+    deliver_memo: Dict[int, Tuple[int, ...]] = {}
+    ack_memo: Dict[int, Tuple[int, ...]] = {}
+
+    visited_sids: Set[int] = set()
+    visited_rids: Set[int] = set()
+    visited = 0
+    dup_skipped = 0
+
+    # Local bindings for the hot loop.
+    mask = _FIELD_MASK
+    seen_add = seen.add
+    queue_append = queue.append
+    queue_popleft = queue.popleft
+    mark_sid = visited_sids.add
+    mark_rid = visited_rids.add
+    inject_get = inject_memo.get
+    output_get = output_memo.get
+    deliver_get = deliver_memo.get
+    ack_get = ack_memo.get
 
     while queue:
-        if result.configurations >= max_configurations:
+        if visited >= max_configurations:
             result.truncated = True
             break
-        config = queue.popleft()
-        sid, rid, t2r, r2t, injected = config
-        result.configurations += 1
-        result.sender_states.add(sender_keys[sid])
-        result.receiver_states.add(receiver_keys[rid])
-
-        successors: List[Tuple[int, int, int, int, int]] = []
+        cfg = queue_popleft()
+        visited += 1
+        sid = cfg & mask
+        rid = (cfg >> _S_RID) & mask
+        t2r = (cfg >> _S_T2R) & mask
+        r2t = (cfg >> _S_R2T) & mask
+        mark_sid(sid)
+        mark_rid(rid)
 
         # 1. Environment injects a new message.  The environment
         # modelled here is the paper's one-outstanding-message regime:
         # it submits only when the sender signals readiness (stations
         # expose this via ``ready_for_message``; automata without the
         # attribute accept submissions at any time).
-        if injected < max_messages and search.sender_ready(sid):
-            for msg_index in message_indices:
-                successors.append((
-                    search.sender_after_msg(sid, msg_index),
-                    rid, t2r, r2t, injected + 1,
-                ))
+        if (cfg >> _S_INJ) < max_messages:
+            deltas = inject_get(sid)
+            if deltas is None:
+                deltas = search.build_inject_deltas(sid)
+                inject_memo[sid] = deltas
+            for delta in deltas:
+                successor = cfg + delta
+                if successor in seen:
+                    dup_skipped += 1
+                else:
+                    seen_add(successor)
+                    queue_append(successor)
 
         # 2. Sender fires its enabled output (a send_pkt^{t->r}).
-        fired = search.sender_output(sid)
-        if fired is not None:
-            new_sid, value_id = fired
-            successors.append((
-                new_sid, rid, search.extend_set(t2r, value_id), r2t, injected,
-            ))
+        key = sid | (t2r << _FIELD_BITS)
+        delta = output_get(key, _MISSING)
+        if delta is _MISSING:
+            delta = search.build_output_delta(sid, t2r)
+            output_memo[key] = delta
+        if delta is not None:
+            successor = cfg + delta
+            if successor in seen:
+                dup_skipped += 1
+            else:
+                seen_add(successor)
+                queue_append(successor)
 
         # 3. Channel delivers some value to the receiver
         #    (set-abstraction: the value stays available afterwards).
         #    The receiver's resulting outputs are flushed atomically,
         #    mirroring the engine's pump discipline.
-        for value_id in search.set_members[t2r]:
-            new_rid, emitted = search.receiver_after_rcv(rid, value_id)
-            new_r2t = r2t
-            for emitted_id in emitted:
-                new_r2t = search.extend_set(new_r2t, emitted_id)
-            successors.append((sid, new_rid, t2r, new_r2t, injected))
+        if t2r:
+            key = rid | (t2r << _FIELD_BITS) | (r2t << (2 * _FIELD_BITS))
+            deltas = deliver_get(key)
+            if deltas is None:
+                deltas = search.build_deliver_deltas(rid, t2r, r2t)
+                deliver_memo[key] = deltas
+            for delta in deltas:
+                successor = cfg + delta
+                if successor in seen:
+                    dup_skipped += 1
+                else:
+                    seen_add(successor)
+                    queue_append(successor)
 
         # 4. Channel delivers some value to the sender.
-        for value_id in search.set_members[r2t]:
-            successors.append((
-                search.sender_after_rcv(sid, value_id),
-                rid, t2r, r2t, injected,
-            ))
+        if r2t:
+            key = sid | (r2t << _FIELD_BITS)
+            deltas = ack_get(key)
+            if deltas is None:
+                deltas = search.build_ack_deltas(sid, r2t)
+                ack_memo[key] = deltas
+            for delta in deltas:
+                successor = cfg + delta
+                if successor in seen:
+                    dup_skipped += 1
+                else:
+                    seen_add(successor)
+                    queue_append(successor)
 
-        for successor in successors:
-            if successor in seen:
-                search.dup_skipped += 1
-            else:
-                seen.add(successor)
-                queue.append(successor)
+    result.configurations = visited
+    sender_keys = search.sender_keys
+    receiver_keys = search.receiver_keys
+    result.sender_states = {sender_keys[sid] for sid in visited_sids}
+    result.receiver_states = {receiver_keys[rid] for rid in visited_rids}
 
-    pairs = set()
     # Exact pair count over every configuration reached (including
-    # still-queued ones): a projection of `seen` onto the station ids,
-    # which intern protocol-state keys one-to-one.
-    for config in seen:
-        pairs.add((config[0], config[1]))
-    result.pair_count = len(pairs)
+    # still-queued ones): a projection of `seen` onto the station id
+    # fields, which intern protocol-state keys one-to-one.
+    result.pair_count = len({cfg & _PAIR_MASK for cfg in seen})
 
     elapsed = time.perf_counter() - started
     result.perf = {
         "elapsed_s": round(elapsed, 6),
-        "configs_per_sec": round(result.configurations / elapsed, 1)
-        if elapsed > 0 else 0.0,
+        "configs_per_sec": configs_per_sec(visited, elapsed),
         "memo_hits": search.memo_hits,
         "memo_misses": search.memo_misses,
-        "duplicate_successors_skipped": search.dup_skipped,
+        "duplicate_successors_skipped": search.dup_skipped + dup_skipped,
         "interned_sender_states": len(search.sender_keys),
         "interned_receiver_states": len(search.receiver_keys),
         "interned_packet_values": len(search.values),

@@ -1,0 +1,226 @@
+"""Persistent sharded worker pool for bulk-synchronous rounds.
+
+:func:`repro.runtime.executor.run_tasks` is built for independent
+one-shot tasks: each submission pickles its whole payload and any
+worker may take it.  Bulk-synchronous-parallel (BSP) algorithms --
+the sharded state-space exploration of
+:mod:`repro.ioa.exploration_parallel` is the motivating one -- need
+the opposite: **stateful** workers that each own a fixed shard of the
+problem, accumulate per-shard state across many short rounds, and
+exchange small deltas at round barriers.  Routing such rounds through
+a fresh ``ProcessPoolExecutor`` submission would re-pickle the shard
+state every round.
+
+:class:`ShardedPool` keeps one dedicated process per shard alive for
+the whole computation:
+
+* each worker is built **in the child** by a picklable
+  ``worker_factory(shard_index, num_shards)`` and then handles
+  requests in arrival order, so all shard state lives (and stays)
+  child-side;
+* the parent drives rounds with :meth:`ShardedPool.request_all` --
+  send every shard its request, then collect every response (a full
+  barrier);
+* worker exceptions carry the remote traceback back to the parent and
+  raise :class:`ShardWorkerError` there; a dead worker raises the same
+  on its next use.
+
+Workers are daemonic: an abandoned pool cannot outlive the parent
+process.  The pool prefers the ``fork`` start method (cheap, and the
+factory may close over already-built in-memory structures) and falls
+back to the platform default where ``fork`` is unavailable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["ShardWorkerError", "ShardedPool"]
+
+_STOP = "__stop__"
+_OK = "ok"
+_ERR = "error"
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker raised, died, or became unreachable.
+
+    Attributes:
+        shard: index of the failing shard.
+        remote_traceback: formatted traceback from the child, when the
+            worker raised (``None`` when it died without reporting).
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        message: str,
+        remote_traceback: Optional[str] = None,
+    ) -> None:
+        super().__init__(f"shard {shard}: {message}")
+        self.shard = shard
+        self.remote_traceback = remote_traceback
+
+
+def _worker_main(conn, worker_factory, shard_index: int,
+                 num_shards: int) -> None:
+    """Child entry point: build the handler, serve requests until stop."""
+    try:
+        handler = worker_factory(shard_index, num_shards)
+    except BaseException as exc:  # noqa: BLE001 - reported to parent
+        conn.send((_ERR, f"{type(exc).__name__}: {exc}",
+                   traceback.format_exc()))
+        conn.close()
+        return
+    conn.send((_OK, None, None))
+    while True:
+        try:
+            request = conn.recv()
+        except EOFError:
+            break
+        if request == _STOP:
+            break
+        try:
+            response = handler(request)
+        except BaseException as exc:  # noqa: BLE001 - reported to parent
+            conn.send((_ERR, f"{type(exc).__name__}: {exc}",
+                       traceback.format_exc()))
+        else:
+            conn.send((_OK, response, None))
+    conn.close()
+
+
+class ShardedPool:
+    """One persistent process per shard, driven in barrier rounds.
+
+    Args:
+        num_shards: number of workers to spawn (``>= 1``).
+        worker_factory: picklable ``(shard_index, num_shards) ->
+            handler`` callable, run in the child once at startup.  The
+            returned handler is called as ``handler(request)`` for
+            every request sent to that shard and its return value is
+            shipped back verbatim.
+        start_method: multiprocessing start method; defaults to
+            ``fork`` when available.
+
+    The constructor blocks until every worker reports a successfully
+    built handler, so factory errors surface immediately.  Use as a
+    context manager or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        worker_factory: Callable[[int, int], Callable[[Any], Any]],
+        start_method: Optional[str] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        ctx = multiprocessing.get_context(start_method)
+        self.num_shards = num_shards
+        self._conns = []
+        self._procs = []
+        self._closed = False
+        try:
+            for shard in range(num_shards):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, worker_factory, shard, num_shards),
+                    daemon=True,
+                    name=f"repro-bsp-shard-{shard}",
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+            for shard in range(num_shards):
+                self._receive(shard)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    def _receive(self, shard: int) -> Any:
+        try:
+            status, payload, remote_tb = self._conns[shard].recv()
+        except (EOFError, OSError) as exc:
+            raise ShardWorkerError(
+                shard, f"worker died without responding ({exc!r})"
+            ) from exc
+        if status == _ERR:
+            raise ShardWorkerError(shard, payload, remote_traceback=remote_tb)
+        return payload
+
+    def request(self, shard: int, payload: Any) -> Any:
+        """Send one request to one shard and wait for its response."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        self._conns[shard].send(payload)
+        return self._receive(shard)
+
+    def request_all(self, payloads: Sequence[Any]) -> List[Any]:
+        """One barrier round: payload ``i`` to shard ``i``, gather all.
+
+        All sends complete before any receive, so shards work the
+        round concurrently; the call returns when every shard has
+        answered.  A shard failure raises after its peers' responses
+        for the round have been drained (best effort), leaving the
+        pipes round-aligned for the caller's error handling.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if len(payloads) != self.num_shards:
+            raise ValueError(
+                f"expected {self.num_shards} payloads, got {len(payloads)}"
+            )
+        for conn, payload in zip(self._conns, payloads):
+            conn.send(payload)
+        responses: List[Any] = []
+        failure: Optional[ShardWorkerError] = None
+        for shard in range(self.num_shards):
+            try:
+                responses.append(self._receive(shard))
+            except ShardWorkerError as exc:
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
+        return responses
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker and reap the processes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(_STOP)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            conn.close()
+
+    def __enter__(self) -> "ShardedPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -32,10 +32,13 @@ CACHE_FORMAT = "repro-cache/1"
 # Version of the simulation kernel's statistics contract.  The code
 # digest below already changes on any edit, but entries produced by a
 # different *kernel generation* (trace elision, batched decisions,
-# interned exploration) must stay invalid even for readers that pin or
-# strip the code digest -- so the generation is salted into every key
-# explicitly.  Bump on any change to what the fast paths count.
-KERNEL_VERSION = "repro-kernel/2"
+# interned exploration, sharded parallel exploration) must stay
+# invalid even for readers that pin or strip the code digest -- so the
+# generation is salted into every key explicitly.  Bump on any change
+# to what the fast paths count.  Exploration checkpoints
+# (:mod:`repro.ioa.exploration_parallel`) salt the same constant into
+# their keys, so a bump invalidates them too.
+KERNEL_VERSION = "repro-kernel/3"
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
