@@ -10,8 +10,6 @@ import json
 import pathlib
 import time
 
-import pytest
-
 from repro.runtime import ResultCache, run_experiments
 
 SWEEP = ["backlog", "hoeffding", "probabilistic"]

@@ -7,18 +7,18 @@ that behaviour is a :class:`ChannelAdversary`: an object the engine
 consults every step with a read view of both channels, returning
 deliver/drop decisions.
 
-Decisions come in two equivalent encodings:
-
-* :class:`Decision` -- a small frozen dataclass, convenient for
-  hand-written scripts and tests;
-* a packed ``(DecisionKind, Direction, copy_id)`` tuple -- what the
-  stock adversaries return on the hot path, so a step that delivers
-  hundreds of copies allocates no per-copy objects.
-
-The engine (:meth:`repro.datalink.system.DataLinkSystem.apply_decisions`)
-accepts both, mixed freely.  Adversaries whose behaviour does not
-depend on the channel state set :attr:`ChannelAdversary.needs_view` to
-``False``; the engine then passes ``None`` instead of a view.
+The **canonical** decision encoding is the packed
+``(DecisionKind, Direction, copy_id)`` tuple: it is what every stock
+adversary returns and what the engine consumes, so a step that
+delivers hundreds of copies allocates no per-copy objects.
+:class:`Decision` -- a small frozen dataclass, convenient for
+hand-written scripts and tests -- remains supported everywhere through
+a compat adapter: the engine
+(:meth:`repro.datalink.system.DataLinkSystem.apply_decisions`) converts
+any non-tuple via :meth:`Decision.packed` on the way in, mixed freely.
+Adversaries whose behaviour does not depend on the channel state set
+:attr:`ChannelAdversary.needs_view` to ``False``; the engine then
+passes ``None`` instead of a view.
 
 The stock adversaries here are the building blocks the theorem drivers
 in :mod:`repro.core` compose, plus fair/random ones for liveness tests:
@@ -357,12 +357,19 @@ class RandomAdversary(ChannelAdversary):
 
 
 class ScriptedAdversary(ChannelAdversary):
-    """Plays back an explicit per-step decision script, then idles."""
+    """Plays back an explicit per-step decision script, then idles.
+
+    Scripts may mix :class:`Decision` objects and packed tuples; they
+    are normalised to the canonical packed form at construction.
+    """
 
     needs_view = False
 
     def __init__(self, script: List[List[AnyDecision]]) -> None:
-        self.script = [list(step) for step in script]
+        self.script: List[List[PackedDecision]] = [
+            [d if type(d) is tuple else d.packed() for d in step]
+            for step in script
+        ]
         self._cursor = 0
 
     def decide(self, view: Optional[AdversaryView]) -> List[AnyDecision]:

@@ -25,9 +25,10 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.channels.adversary import (
+    DELIVER,
     AdversaryView,
+    AnyDecision,
     ChannelAdversary,
-    Decision,
     OptimalAdversary,
 )
 
@@ -66,7 +67,7 @@ class PhasedAdversary(ChannelAdversary):
         self.phases = list(phases)
         self.default = default if default is not None else OptimalAdversary()
 
-    def decide(self, view: AdversaryView) -> List[Decision]:
+    def decide(self, view: AdversaryView) -> List[AnyDecision]:
         for phase in self.phases:
             if phase.active_at(view.step_index):
                 return phase.adversary.decide(view)
@@ -89,7 +90,7 @@ class PartitionAdversary(ChannelAdversary):
         self.blackout = blackout
         self._optimal = OptimalAdversary()
 
-    def decide(self, view: AdversaryView) -> List[Decision]:
+    def decide(self, view: AdversaryView) -> List[AnyDecision]:
         if view.step_index % self.period < self.blackout:
             return []
         return self._optimal.decide(view)
@@ -99,13 +100,13 @@ class ReplayFloodAdversary(ChannelAdversary):
     """Delivers everything, newest copies first: maximal reordering
     pressure while remaining lossless and prompt."""
 
-    def decide(self, view: AdversaryView) -> List[Decision]:
-        decisions: List[Decision] = []
+    def decide(self, view: AdversaryView) -> List[AnyDecision]:
+        decisions: List[AnyDecision] = []
         for direction in view.directions():
             for copy_id in reversed(
                 view.channel(direction).in_transit_ids()
             ):
-                decisions.append(Decision.deliver(direction, copy_id))
+                decisions.append((DELIVER, direction, copy_id))
         return decisions
 
 
@@ -118,12 +119,12 @@ class DuplicateAttemptAdversary(ChannelAdversary):
     Never use outside tests.
     """
 
-    def decide(self, view: AdversaryView) -> List[Decision]:
-        decisions: List[Decision] = []
+    def decide(self, view: AdversaryView) -> List[AnyDecision]:
+        decisions: List[AnyDecision] = []
         for direction in view.directions():
             for copy_id in view.channel(direction).in_transit_ids():
-                decisions.append(Decision.deliver(direction, copy_id))
-                decisions.append(Decision.deliver(direction, copy_id))
+                decisions.append((DELIVER, direction, copy_id))
+                decisions.append((DELIVER, direction, copy_id))
         return decisions
 
 

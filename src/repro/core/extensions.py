@@ -199,6 +199,6 @@ def _quiescent(system: DataLinkSystem) -> bool:
     neither station has an enabled output.
     """
     return (
-        system.sender.next_output() is None
-        and system.receiver.next_output() is None
+        system.sender.offer_packet() is None
+        and not system.receiver.has_pending_output()
     )

@@ -24,13 +24,14 @@ harmless -> linear series) through it and fits the growth rates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, List, Optional, Tuple
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple
 
 from repro.channels.probabilistic import TricklePolicy
 from repro.datalink.stations import ReceiverStation, SenderStation
 from repro.datalink.system import DataLinkSystem, make_system
 from repro.ioa.actions import Direction
 from repro.ioa.execution import TraceMode
+from repro.ioa.sinks import ExecutionSink
 
 
 @dataclass
@@ -82,6 +83,7 @@ def run_probabilistic_delivery(
     trickle: TricklePolicy = TricklePolicy.NEVER,
     packet_budget: Optional[int] = None,
     trace_mode: TraceMode = TraceMode.COUNTS,
+    sinks: Optional[Sequence[ExecutionSink]] = None,
 ) -> ProbabilisticRunResult:
     """Deliver ``n`` (identical) messages over a probabilistic channel.
 
@@ -106,6 +108,10 @@ def run_probabilistic_delivery(
             Pass ``TraceMode.FULL`` to keep the event list, e.g. to
             spec-check the run afterwards; the reported statistics are
             identical either way.
+        sinks: extra :class:`~repro.ioa.sinks.ExecutionSink` objects to
+            attach (e.g. a :class:`~repro.ioa.sinks.MetricsSink` for
+            operational telemetry); observers only, never part of the
+            reported statistics.
 
     Returns:
         The per-message cumulative packet series and final pool size.
@@ -113,7 +119,7 @@ def run_probabilistic_delivery(
     sender, receiver = pair_factory()
     system: DataLinkSystem = make_system(
         sender, receiver, q=q, seed=seed, trickle=trickle,
-        trace_mode=trace_mode,
+        trace_mode=trace_mode, sinks=sinks,
     )
     cumulative: List[int] = []
     steps_used = 0

@@ -29,7 +29,6 @@ from typing import Hashable, Optional, Tuple
 
 from repro.channels.packets import Packet
 from repro.datalink.stations import ReceiverStation, SenderStation
-from repro.ioa.actions import Action, Direction, send_pkt
 
 DATA = "DATA"
 ACK = "ACK"
@@ -87,16 +86,17 @@ class GoBackNSender(SenderStation):
             self._outstanding.popitem(last=False)
         self._base = max(self._base, seq + 1)
 
-    def next_output(self) -> Optional[Action]:
+    # Cycles over the outstanding window rather than offering a single
+    # ``current_packet``, so it overrides the offer/commit dispatch
+    # interface directly.
+    def offer_packet(self) -> Optional[Packet]:
         if not self._outstanding:
             return None
         seqs = list(self._outstanding)
         seq = seqs[self._cursor % len(seqs)]
-        return send_pkt(
-            Direction.T2R, data_packet(seq, self._outstanding[seq])
-        )
+        return data_packet(seq, self._outstanding[seq])
 
-    def perform_output(self, action: Action) -> None:
+    def commit_packet(self, packet: Packet) -> None:
         self.packets_sent += 1
         if self._outstanding:
             self._cursor = (self._cursor + 1) % len(self._outstanding)

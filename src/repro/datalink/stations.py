@@ -37,6 +37,11 @@ from repro.ioa.actions import (
 )
 from repro.ioa.automaton import IOAutomaton
 
+#: Sentinel returned by :meth:`ReceiverStation.pop_delivery` when no
+#: delivery is pending.  A sentinel rather than ``None`` because
+#: ``None`` is a perfectly legal message payload.
+NO_OUTPUT = object()
+
 
 class SenderStation(IOAutomaton):
     """Base class for the transmitting-station automaton ``A^t``.
@@ -84,13 +89,42 @@ class SenderStation(IOAutomaton):
             raise ValueError(f"sender station got unexpected input {action}")
 
     def next_output(self) -> Optional[Action]:
-        if self.current_packet is None:
+        packet = self.offer_packet()
+        if packet is None:
             return None
-        return send_pkt(Direction.T2R, self.current_packet)
+        return send_pkt(Direction.T2R, packet)
 
     def perform_output(self, action: Action) -> None:
+        self.commit_packet(action.packet)
+
+    # ------------------------------------------------------------------
+    # engine dispatch interface
+    # ------------------------------------------------------------------
+    # The engine (DataLinkSystem) talks to stations through these four
+    # methods; next_output/perform_output above are reimplemented on top
+    # of them so the generic IOAutomaton contract (used by composition
+    # and the exploration kernels) stays intact.
+
+    def offer_packet(self) -> Optional[Packet]:
+        """The packet the station would transmit now, or ``None``.
+
+        Offering does not commit: the engine may poll and then decline
+        (e.g. when the burst budget is exhausted).
+        """
+        return self.current_packet
+
+    def commit_packet(self, packet: Packet) -> None:
+        """The engine committed one transmission of ``packet``."""
         self.packets_sent += 1
-        self.on_packet_sent(action.packet)
+        self.on_packet_sent(packet)
+
+    def accept_message(self, message: Hashable) -> None:
+        """A ``send_msg`` input: a message arrived from the higher layer."""
+        self.on_send_msg(message)
+
+    def accept_packet(self, packet: Packet) -> None:
+        """A ``receive_pkt^{r->t}`` input was delivered to the station."""
+        self.on_packet(packet)
 
     # ------------------------------------------------------------------
     # protocol hooks
@@ -188,11 +222,43 @@ class ReceiverStation(IOAutomaton):
 
     def perform_output(self, action: Action) -> None:
         if action.type is ActionType.RECEIVE_MSG:
-            self._deliveries.popleft()
-            self.messages_delivered += 1
-            self.on_delivered(action.message)
+            self.pop_delivery()
         else:
-            self._outgoing.popleft()
+            self.pop_control_packet()
+
+    # ------------------------------------------------------------------
+    # engine dispatch interface
+    # ------------------------------------------------------------------
+    # The engine (DataLinkSystem) talks to stations through these four
+    # methods; next_output/perform_output above are reimplemented on top
+    # of them so the generic IOAutomaton contract stays intact.
+
+    def pop_delivery(self) -> Hashable:
+        """Commit and return the next pending delivery.
+
+        Returns :data:`NO_OUTPUT` when no delivery is pending (``None``
+        may be a legal message payload).
+        """
+        if not self._deliveries:
+            return NO_OUTPUT
+        message = self._deliveries.popleft()
+        self.messages_delivered += 1
+        self.on_delivered(message)
+        return message
+
+    def pop_control_packet(self) -> Optional[Packet]:
+        """Commit and return the next pending control packet, if any."""
+        if not self._outgoing:
+            return None
+        return self._outgoing.popleft()
+
+    def has_pending_output(self) -> bool:
+        """Whether any delivery or control packet is pending."""
+        return bool(self._deliveries or self._outgoing)
+
+    def accept_packet(self, packet: Packet) -> None:
+        """A ``receive_pkt^{t->r}`` input was delivered to the station."""
+        self.on_packet(packet)
 
     # ------------------------------------------------------------------
     # protocol hooks

@@ -12,12 +12,18 @@ own discipline mandates, and the adversary (if any) makes its moves.
 Retransmission timers are modelled by polling frequency, packet delay
 by the adversary withholding copies across steps.
 
-Hot-path notes: the engine records through the execution's fast paths
-(so a :class:`~repro.ioa.execution.TraceMode.COUNTS` system allocates
-no per-event objects), keeps one :class:`AdversaryView` alive for the
-whole run (refreshing its ``step_index`` in place), and accepts the
-adversaries' packed ``(kind, direction, copy_id)`` decision tuples
-alongside :class:`~repro.channels.adversary.Decision` objects.
+There is exactly **one** recording path.  The engine talks to the
+stations through their offer/commit dispatch interface
+(:meth:`~repro.datalink.stations.SenderStation.offer_packet` /
+``commit_packet`` / ``accept_*`` and the receiver's ``pop_*``) and
+announces every event field-wise to the execution's sink stack
+(:mod:`repro.ioa.sinks`); whether those events are materialised,
+merely counted, or also metered is entirely the sinks' business.  The
+engine keeps one :class:`AdversaryView` alive for the whole run
+(refreshing its ``step_index`` in place) and consumes the canonical
+packed ``(kind, direction, copy_id)`` decision tuples, converting
+user-supplied :class:`~repro.channels.adversary.Decision` objects on
+the way in.
 """
 
 from __future__ import annotations
@@ -29,21 +35,16 @@ from repro.channels.adversary import (
     AdversaryView,
     AnyDecision,
     ChannelAdversary,
-    Decision,
     DecisionKind,
 )
 from repro.channels.base import Channel, ChannelOracle
 from repro.channels.nonfifo import NonFifoChannel
 from repro.channels.packets import TransitCopy
 from repro.channels.probabilistic import ProbabilisticChannel, TricklePolicy
-from repro.datalink.stations import ReceiverStation, SenderStation
-from repro.ioa.actions import (
-    ActionType,
-    Direction,
-    receive_pkt,
-    send_msg,
-)
+from repro.datalink.stations import NO_OUTPUT, ReceiverStation, SenderStation
+from repro.ioa.actions import Direction
 from repro.ioa.execution import Execution, TraceMode
+from repro.ioa.sinks import ExecutionSink
 
 
 @dataclass
@@ -90,6 +91,9 @@ class DataLinkSystem:
             checkers and the replay machinery); COUNTS keeps only the
             Definition-2 counters, which is what bulk experiment sweeps
             need, at a fraction of the cost.
+        sinks: extra :class:`~repro.ioa.sinks.ExecutionSink` objects
+            (e.g. a :class:`~repro.ioa.sinks.MetricsSink`) appended to
+            the execution's standard stack.
     """
 
     def __init__(
@@ -101,6 +105,7 @@ class DataLinkSystem:
         adversary: Optional[ChannelAdversary] = None,
         sender_burst: int = 1,
         trace_mode: TraceMode = TraceMode.FULL,
+        sinks: Optional[Sequence[ExecutionSink]] = None,
     ) -> None:
         self.sender = sender
         self.receiver = receiver
@@ -113,7 +118,7 @@ class DataLinkSystem:
         self.adversary = adversary
         self.sender_burst = sender_burst
         self.trace_mode = trace_mode
-        self.execution = Execution(trace_mode=trace_mode)
+        self.execution = Execution(trace_mode=trace_mode, sinks=sinks)
         self._step_index = 0
         # Channels are fixed for the system's lifetime; build the
         # direction map and the adversary's read view once instead of
@@ -123,27 +128,9 @@ class DataLinkSystem:
             Direction.R2T: self.chan_r2t,
         }
         self._adversary_view = AdversaryView(self._channels, 0)
-        # COUNTS-mode fast paths bypass the Action-object plumbing
-        # (next_output/perform_output/handle_input) and talk to the
-        # station hooks directly.  That is only behaviour-preserving
-        # when the station runs the *base-class* plumbing, so each
-        # bypass is gated on the concrete class not overriding it.
-        sender_cls = type(sender)
-        receiver_cls = type(receiver)
-        self._sender_fast_output = (
-            sender_cls.next_output is SenderStation.next_output
-            and sender_cls.perform_output is SenderStation.perform_output
-        )
-        self._receiver_fast_output = (
-            receiver_cls.next_output is ReceiverStation.next_output
-            and receiver_cls.perform_output is ReceiverStation.perform_output
-        )
-        self._sender_fast_input = (
-            sender_cls.handle_input is SenderStation.handle_input
-        )
-        self._receiver_fast_input = (
-            receiver_cls.handle_input is ReceiverStation.handle_input
-        )
+        # Step-boundary telemetry marks are only emitted when some sink
+        # actually listens for them.
+        self._emit_internal = self.execution.wants_internal
         self._attach_oracle()
 
     # ------------------------------------------------------------------
@@ -170,9 +157,8 @@ class DataLinkSystem:
     # ------------------------------------------------------------------
     def submit_message(self, message: Hashable) -> None:
         """Environment action ``send_msg(message)``."""
-        action = send_msg(message)
-        self.execution.record(action)
-        self.sender.handle_input(action)
+        self.execution.record_send_msg(message)
+        self.sender.accept_message(message)
 
     def pump_sender(self, bursts: Optional[int] = None) -> int:
         """Poll the sender up to ``bursts`` times; returns packets sent."""
@@ -181,100 +167,48 @@ class DataLinkSystem:
         chan = self.chan_t2r
         execution = self.execution
         sent = 0
-        if (
-            execution.trace_mode is TraceMode.COUNTS
-            and self._sender_fast_output
-        ):
-            # Inline of the base next_output/perform_output pair with
-            # no Action built: offer current_packet, count, notify.
-            for _ in range(bursts):
-                packet = sender.current_packet
-                if packet is None:
-                    break
-                copy = chan.send(packet, len(execution))
-                execution.record_send_pkt(Direction.T2R, packet, copy.copy_id)
-                sender.packets_sent += 1
-                sender.on_packet_sent(packet)
-                sent += 1
-            return sent
         for _ in range(bursts):
-            action = sender.next_output()
-            if action is None:
+            packet = sender.offer_packet()
+            if packet is None:
                 break
-            copy = chan.send(action.packet, len(execution))
-            execution.record_send_pkt(Direction.T2R, action.packet, copy.copy_id)
-            sender.perform_output(action)
+            copy = chan.send(packet, execution.length)
+            execution.record_send_pkt(Direction.T2R, packet, copy.copy_id)
+            sender.commit_packet(packet)
             sent += 1
         return sent
 
     def pump_receiver(self) -> int:
-        """Flush the receiver's pending outputs; returns their count."""
+        """Flush the receiver's pending outputs; returns their count.
+
+        Deliveries drain first, then control packets -- the base
+        receiver's output discipline.
+        """
         receiver = self.receiver
         chan = self.chan_r2t
         execution = self.execution
         fired = 0
-        if (
-            execution.trace_mode is TraceMode.COUNTS
-            and self._receiver_fast_output
-        ):
-            # Inline of the base next_output/perform_output pair:
-            # deliveries drain first, then control packets, no Action
-            # objects in between.
-            deliveries = receiver._deliveries
-            outgoing = receiver._outgoing
-            while True:
-                if deliveries:
-                    message = deliveries.popleft()
-                    execution.record_receive_msg(message)
-                    receiver.messages_delivered += 1
-                    receiver.on_delivered(message)
-                elif outgoing:
-                    packet = outgoing.popleft()
-                    copy = chan.send(packet, len(execution))
-                    execution.record_send_pkt(
-                        Direction.R2T, packet, copy.copy_id
-                    )
-                else:
-                    return fired
-                fired += 1
-        while True:
-            action = receiver.next_output()
-            if action is None:
-                return fired
-            if action.type is ActionType.RECEIVE_MSG:
-                execution.record(action)
+        # has_pending_output() gates each round, so the common idle
+        # pump costs a single call and a busy round never pops at a
+        # deque it already knows is empty.
+        while receiver.has_pending_output():
+            message = receiver.pop_delivery()
+            if message is not NO_OUTPUT:
+                execution.record_receive_msg(message)
             else:
-                copy = chan.send(action.packet, len(execution))
-                execution.record_send_pkt(
-                    Direction.R2T, action.packet, copy.copy_id
-                )
-            receiver.perform_output(action)
+                packet = receiver.pop_control_packet()
+                copy = chan.send(packet, execution.length)
+                execution.record_send_pkt(Direction.R2T, packet, copy.copy_id)
             fired += 1
+        return fired
 
     def deliver_copy(self, direction: Direction, copy_id: int) -> TransitCopy:
         """Deliver one transit copy to the station at its far end."""
         copy = self._channels[direction].deliver(copy_id)
-        execution = self.execution
-        if execution.trace_mode is TraceMode.COUNTS:
-            if direction is Direction.T2R:
-                if self._receiver_fast_input:
-                    execution.record_receive_pkt(
-                        direction, copy.packet, copy.copy_id
-                    )
-                    self.receiver.on_packet(copy.packet)
-                    return copy
-            elif self._sender_fast_input:
-                execution.record_receive_pkt(
-                    direction, copy.packet, copy.copy_id
-                )
-                self.sender.on_packet(copy.packet)
-                return copy
-        action = receive_pkt(direction, copy.packet, copy.copy_id)
-        execution.record(action)
+        self.execution.record_receive_pkt(direction, copy.packet, copy.copy_id)
         if direction is Direction.T2R:
-            self.receiver.handle_input(action)
+            self.receiver.accept_packet(copy.packet)
         else:
-            self.sender.handle_input(action)
+            self.sender.accept_packet(copy.packet)
         return copy
 
     def drop_copy(self, direction: Direction, copy_id: int) -> TransitCopy:
@@ -288,17 +222,16 @@ class DataLinkSystem:
     def apply_decisions(self, decisions: Iterable[AnyDecision]) -> None:
         """Apply adversary decisions in order.
 
-        Accepts :class:`~repro.channels.adversary.Decision` objects and
-        packed ``(kind, direction, copy_id)`` tuples, mixed freely.
+        The canonical decision form is the packed ``(kind, direction,
+        copy_id)`` tuple; user-supplied
+        :class:`~repro.channels.adversary.Decision` objects are
+        converted on the way in (compat adapter), mixed freely.
         """
         deliver = DecisionKind.DELIVER
         for decision in decisions:
-            if type(decision) is tuple:
-                kind, direction, copy_id = decision
-            else:
-                kind = decision.kind
-                direction = decision.direction
-                copy_id = decision.copy_id
+            if type(decision) is not tuple:
+                decision = decision.packed()
+            kind, direction, copy_id = decision
             if kind is deliver:
                 self.deliver_copy(direction, copy_id)
             else:
@@ -348,6 +281,8 @@ class DataLinkSystem:
                 self.apply_decisions(decisions)
                 self.flush_mandatory()
         self.pump_receiver()
+        if self._emit_internal:
+            self.execution.record_internal("step", self._step_index)
         self._step_index += 1
 
     def run_steps(self, count: int) -> None:
@@ -409,14 +344,17 @@ class DataLinkSystem:
         self,
         adversary: Optional[ChannelAdversary] = None,
         trace_mode: TraceMode = TraceMode.FULL,
+        sinks: Optional[Sequence[ExecutionSink]] = None,
     ) -> "DataLinkSystem":
         """Independent system in the same configuration.
 
         Stations and channel bags are deep-copied; the clone starts a
-        fresh (empty) execution, so counters measured on it cover only
-        what happens after the cut.  Clones default to FULL tracing
-        regardless of the parent's mode -- their consumers (the
-        extension finder, the replay attack) read event lists.
+        fresh (empty) execution with its *own* sink stack, so counters
+        measured on it cover only what happens after the cut.  Clones
+        default to FULL tracing regardless of the parent's mode --
+        their consumers (the extension finder, the replay attack) read
+        event lists.  Parent sinks are never shared with the clone;
+        pass fresh ones via ``sinks=`` to meter it.
         """
         twin = DataLinkSystem(
             sender=self.sender.clone(),  # type: ignore[arg-type]
@@ -426,6 +364,7 @@ class DataLinkSystem:
             adversary=adversary,
             sender_burst=self.sender_burst,
             trace_mode=trace_mode,
+            sinks=sinks,
         )
         return twin
 
@@ -439,6 +378,7 @@ def make_system(
     trickle: TricklePolicy = TricklePolicy.NEVER,
     sender_burst: int = 1,
     trace_mode: TraceMode = TraceMode.FULL,
+    sinks: Optional[Sequence[ExecutionSink]] = None,
 ) -> DataLinkSystem:
     """Convenience constructor for common configurations.
 
@@ -466,4 +406,5 @@ def make_system(
         adversary=adversary,
         sender_burst=sender_burst,
         trace_mode=trace_mode,
+        sinks=sinks,
     )

@@ -26,7 +26,6 @@ from typing import Dict, Hashable, Optional, Tuple
 
 from repro.channels.packets import Packet
 from repro.datalink.stations import ReceiverStation, SenderStation
-from repro.ioa.actions import Action, Direction, send_pkt
 
 DATA = "DATA"
 ACK = "ACK"
@@ -79,21 +78,15 @@ class WindowSender(SenderStation):
 
     # The base class drives transmission through ``current_packet``;
     # a windowed sender instead cycles over its outstanding messages,
-    # so it overrides the output interface directly.
-    def next_output(self) -> Optional[Action]:
-        packet = self._peek()
-        if packet is None:
-            return None
-        return send_pkt(Direction.T2R, packet)
-
-    def _peek(self) -> Optional[Packet]:
+    # so it overrides the offer/commit dispatch interface directly.
+    def offer_packet(self) -> Optional[Packet]:
         if not self._outstanding:
             return None
         seqs = list(self._outstanding)
         seq = seqs[self._cursor % len(seqs)]
         return data_packet(seq, self._outstanding[seq])
 
-    def perform_output(self, action: Action) -> None:
+    def commit_packet(self, packet: Packet) -> None:
         self.packets_sent += 1
         if self._outstanding:
             self._cursor = (self._cursor + 1) % len(self._outstanding)

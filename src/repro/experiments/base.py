@@ -18,22 +18,29 @@ from typing import Any, Dict, List
 from repro.analysis.tables import Table
 
 
-def explore_workers() -> int:
-    """Worker count for state-space explorations, from the environment.
+def explore_workers(override: Any = None) -> int:
+    """Worker count for state-space explorations.
 
-    ``REPRO_EXPLORE_WORKERS`` (or the ``--explore-parallel`` CLI flag,
-    which sets it) selects the sharded exploration engine for the
-    experiments that enumerate station states (E1, E2).  ``0``/unset
-    keeps the serial kernel.  For explorations that complete, results
-    are identical at any worker count, so the setting stays out of
-    experiment parameters and cache keys.  Rows truncated by the visit
-    budget depend on where the budget cuts -- the serial kernel cuts
-    exact-FIFO, the sharded engine at level barriers (deterministic
-    and worker-count-independent, see
+    ``override`` is the explicitly passed ``explore_parallel`` value
+    (threaded down from ``run_experiment``/``run_all``/the CLI); when
+    ``None``, the ``REPRO_EXPLORE_WORKERS`` environment variable is the
+    default.  A positive count selects the sharded exploration engine
+    for the experiments that enumerate station states (E1, E2);
+    ``0``/unset keeps the serial kernel.  For explorations that
+    complete, results are identical at any worker count, so the
+    setting stays out of experiment parameters and cache keys.  Rows
+    truncated by the visit budget depend on where the budget cuts --
+    the serial kernel cuts exact-FIFO, the sharded engine at level
+    barriers (deterministic and worker-count-independent, see
     :mod:`repro.ioa.exploration_parallel`) -- so their reported
     coverage may differ between engines, as the truncation notes in
     the transcripts already warn.
     """
+    if override is not None:
+        try:
+            return max(0, int(override))
+        except (TypeError, ValueError):
+            return 0
     try:
         return max(0, int(os.environ.get("REPRO_EXPLORE_WORKERS", "0")))
     except ValueError:
@@ -51,6 +58,12 @@ class ExperimentResult:
         notes: free-form commentary lines (fits, caveats).
         checks: named boolean shape assertions; all True means the
             paper's qualitative claim reproduced.
+        metrics: flat numeric operational telemetry (engine steps,
+            packet counts/rates, peak copies outstanding ...), typically
+            aggregated from per-run
+            :class:`~repro.ioa.sinks.MetricsSink` snapshots.
+            Observability only -- never part of the shape checks, and
+            omitted from the rendered report.
     """
 
     exp_id: str
@@ -58,6 +71,7 @@ class ExperimentResult:
     tables: List[Table] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
     checks: Dict[str, bool] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -84,13 +98,19 @@ class ExperimentResult:
         Key and list orders are preserved, so two results are
         byte-identical under ``json.dumps`` iff they are equal.
         """
-        return {
+        data: Dict[str, Any] = {
             "exp_id": self.exp_id,
             "title": self.title,
             "tables": [table.to_dict() for table in self.tables],
             "notes": list(self.notes),
             "checks": dict(self.checks),
         }
+        # Emitted only when present, so results without telemetry
+        # serialise byte-identically to the pre-metrics format (cached
+        # result dicts from older runs stay comparable).
+        if self.metrics:
+            data["metrics"] = dict(self.metrics)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ExperimentResult":
@@ -106,4 +126,5 @@ class ExperimentResult:
                 str(name): bool(ok)
                 for name, ok in data.get("checks", {}).items()
             },
+            metrics=dict(data.get("metrics", {})),
         )

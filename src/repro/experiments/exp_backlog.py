@@ -229,12 +229,17 @@ def merge(
     return result
 
 
-def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    fast: bool = False, seed: int = 0, explore_parallel=None
+) -> ExperimentResult:
     """Execute E3: cost-vs-backlog curves and the dichotomy table.
 
     Runs every shard in-process (same decomposition as the parallel
     runtime, so the output is identical either way).
+    ``explore_parallel`` is part of the uniform experiment signature;
+    E3 explores no state spaces, so it is ignored.
     """
+    del explore_parallel
     payloads = [
         run_shard(params, fast, derive_seed(seed, NAME, params["shard"]))
         for params in shards(fast)

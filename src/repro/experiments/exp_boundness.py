@@ -59,8 +59,15 @@ def protocol_rows(fast: bool) -> List[Tuple[str, Callable, int]]:
     return rows
 
 
-def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
-    """Execute E1 and report the per-protocol verdicts."""
+def run(
+    fast: bool = False, seed: int = 0, explore_parallel=None
+) -> ExperimentResult:
+    """Execute E1 and report the per-protocol verdicts.
+
+    ``explore_parallel`` selects the worker count for the state-space
+    explorations (``None`` falls back to ``$REPRO_EXPLORE_WORKERS``,
+    then serial); completed explorations are identical at any count.
+    """
     result = ExperimentResult(exp_id=EXP_ID, title=TITLE)
     table = Table(
         [
@@ -90,7 +97,7 @@ def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
                     FAST_BUDGET if fast else SLOW_BUDGET
                 ),
             },
-            parallel=explore_workers(),
+            parallel=explore_workers(explore_parallel),
         )
         report = measure_boundness(
             factory,

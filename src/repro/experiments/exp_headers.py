@@ -82,8 +82,15 @@ def protocol_rows(
     return rows
 
 
-def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
-    """Execute E2 and report attack outcomes per protocol."""
+def run(
+    fast: bool = False, seed: int = 0, explore_parallel=None
+) -> ExperimentResult:
+    """Execute E2 and report attack outcomes per protocol.
+
+    ``explore_parallel`` selects the worker count for the state-space
+    explorations (``None`` falls back to ``$REPRO_EXPLORE_WORKERS``,
+    then serial); completed explorations are identical at any count.
+    """
     del seed  # the attack is fully deterministic
     result = ExperimentResult(exp_id=EXP_ID, title=TITLE)
     table = Table(
@@ -167,7 +174,7 @@ def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
     # once the injections exceed its K = 2 data phases, so showing the
     # plateau needs a point past K (the caps keep even fast mode cheap).
     budgets = (1, 2, 3)
-    workers = explore_workers()
+    workers = explore_workers(explore_parallel)
     for label, factory, saturates in [
         (
             "capacity-flood(K=2,B=1)",

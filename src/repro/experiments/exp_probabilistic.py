@@ -41,6 +41,7 @@ from repro.core.theorem51 import run_probabilistic_delivery
 from repro.datalink.flooding import make_flooding
 from repro.datalink.sequence import make_sequence_protocol
 from repro.experiments.base import ExperimentResult
+from repro.ioa.sinks import MetricsSink
 from repro.runtime.seeds import derive_seed
 
 EXP_ID = "E4"
@@ -75,16 +76,36 @@ def run_shard(params: Dict[str, Any], fast: bool, seed: int) -> Dict[str, Any]:
     q = float(params["q"])
     n = horizon(q, fast)
     budget = 150_000 if fast else 400_000
+    # One metrics observer per protocol run.  count_steps=False keeps
+    # the COUNTS hot loop free of per-step marks; the step totals come
+    # from the run statistics below instead.
+    flood_metrics = MetricsSink(count_steps=False)
+    naive_metrics = MetricsSink(count_steps=False)
     flood = run_probabilistic_delivery(
         lambda: make_flooding(PHASES),
         q=q,
         n=n,
         seed=seed,
         packet_budget=budget,
+        sinks=[flood_metrics],
     )
     naive = run_probabilistic_delivery(
-        make_sequence_protocol, q=q, n=n, seed=seed
+        make_sequence_protocol, q=q, n=n, seed=seed, sinks=[naive_metrics]
     )
+    metrics: Dict[str, Any] = {
+        "packets": flood.total_packets + naive.total_packets,
+        "engine_steps": flood.steps + naive.steps,
+        # Fast-path kernel observability: both runs execute in
+        # TraceMode.COUNTS, so every action is counted but never
+        # materialised as an Event.
+        "events_elided": flood.events_elided + naive.events_elided,
+    }
+    for snapshot in (flood_metrics.snapshot(), naive_metrics.snapshot()):
+        for key, value in snapshot.items():
+            if key.startswith("peak_"):
+                metrics[key] = max(metrics.get(key, 0), value)
+            else:
+                metrics[key] = metrics.get(key, 0) + value
     return {
         "q": q,
         "flood": {
@@ -97,14 +118,7 @@ def run_shard(params: Dict[str, Any], fast: bool, seed: int) -> Dict[str, Any]:
             "total_packets": naive.total_packets,
             "cumulative_packets": list(naive.cumulative_packets),
         },
-        "metrics": {
-            "packets": flood.total_packets + naive.total_packets,
-            "engine_steps": flood.steps + naive.steps,
-            # Fast-path kernel observability: both runs execute in
-            # TraceMode.COUNTS, so every action is counted but never
-            # materialised as an Event.
-            "events_elided": flood.events_elided + naive.events_elided,
-        },
+        "metrics": metrics,
     }
 
 
@@ -114,6 +128,15 @@ def merge(
     """Fit, compare and check the per-``q`` series."""
     del fast, seed  # the payloads carry everything the report needs
     result = ExperimentResult(exp_id=EXP_ID, title=TITLE)
+
+    # Aggregate the per-shard telemetry (``.get`` keeps cached
+    # pre-metrics payloads loadable).
+    for payload in payloads:
+        for key, value in payload.get("metrics", {}).items():
+            if key.startswith("peak_"):
+                result.metrics[key] = max(result.metrics.get(key, 0), value)
+            else:
+                result.metrics[key] = result.metrics.get(key, 0) + value
 
     series_table = Table(
         ["protocol", "q", "delivered", "total pkts", "model", "base/slope"]
@@ -206,12 +229,17 @@ def merge(
     return result
 
 
-def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
+def run(
+    fast: bool = False, seed: int = 0, explore_parallel: Any = None
+) -> ExperimentResult:
     """Execute E4 and report the growth fits and crossovers.
 
     Runs every shard in-process (same decomposition and derived seeds
     as the parallel runtime, so the output is identical either way).
+    ``explore_parallel`` is part of the uniform experiment signature;
+    E4 explores no state spaces, so it is ignored.
     """
+    del explore_parallel
     payloads = [
         run_shard(params, fast, derive_seed(seed, NAME, params["shard"]))
         for params in shards(fast)

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 from typing import Callable, Dict
 
@@ -58,7 +57,7 @@ SHARDED = {
 }
 
 
-def _validate_kwargs(fast, seed) -> None:
+def _validate_kwargs(fast, seed, explore_parallel=None) -> None:
     if not isinstance(fast, bool):
         raise TypeError(
             f"fast must be a bool, got {type(fast).__name__} ({fast!r})"
@@ -67,13 +66,29 @@ def _validate_kwargs(fast, seed) -> None:
         raise TypeError(
             f"seed must be an int, got {type(seed).__name__} ({seed!r})"
         )
+    if explore_parallel is not None and (
+        isinstance(explore_parallel, bool)
+        or not isinstance(explore_parallel, int)
+        or explore_parallel < 0
+    ):
+        raise TypeError(
+            "explore_parallel must be None or a non-negative int, got "
+            f"{type(explore_parallel).__name__} ({explore_parallel!r})"
+        )
 
 
 def run_experiment(
-    name: str, fast: bool = False, seed: int = 0
+    name: str, fast: bool = False, seed: int = 0, explore_parallel=None
 ) -> ExperimentResult:
-    """Run one registered experiment by name."""
-    _validate_kwargs(fast, seed)
+    """Run one registered experiment by name.
+
+    ``explore_parallel`` is the worker count for state-space
+    explorations (E1/E2); ``None`` defers to the
+    ``REPRO_EXPLORE_WORKERS`` environment variable, then serial.
+    Completed explorations are identical at any count, so the value is
+    deliberately not part of experiment parameters or cache keys.
+    """
+    _validate_kwargs(fast, seed, explore_parallel)
     if name == "all":
         raise ValueError(
             "run_experiment runs a single experiment; use run_all() "
@@ -84,16 +99,23 @@ def run_experiment(
             f"unknown experiment {name!r}; choose from "
             f"{sorted(REGISTRY)}, or 'all' via run_all()"
         )
-    return REGISTRY[name](fast=fast, seed=seed)
+    return REGISTRY[name](
+        fast=fast, seed=seed, explore_parallel=explore_parallel
+    )
 
 
 def run_all(
-    fast: bool = False, seed: int = 0
+    fast: bool = False, seed: int = 0, explore_parallel=None
 ) -> Dict[str, ExperimentResult]:
-    """Run every registered experiment; results keyed by name."""
-    _validate_kwargs(fast, seed)
+    """Run every registered experiment; results keyed by name.
+
+    ``explore_parallel`` as in :func:`run_experiment`.
+    """
+    _validate_kwargs(fast, seed, explore_parallel)
     return {
-        name: REGISTRY[name](fast=fast, seed=seed)
+        name: REGISTRY[name](
+            fast=fast, seed=seed, explore_parallel=explore_parallel
+        )
         for name in sorted(REGISTRY)
     }
 
@@ -195,13 +217,8 @@ def main(argv=None) -> int:
         )
     if args.parallel < 1:
         parser.error("--parallel must be >= 1")
-    if args.explore_parallel is not None:
-        if args.explore_parallel < 0:
-            parser.error("--explore-parallel must be >= 0")
-        # The experiments read the worker count from the environment
-        # (see repro.experiments.base.explore_workers), which also
-        # propagates into --parallel worker processes.
-        os.environ["REPRO_EXPLORE_WORKERS"] = str(args.explore_parallel)
+    if args.explore_parallel is not None and args.explore_parallel < 0:
+        parser.error("--explore-parallel must be >= 0")
 
     cache = (
         None
@@ -218,6 +235,7 @@ def main(argv=None) -> int:
             cache=cache,
             timeout=args.timeout,
             reporter=reporter,
+            explore_parallel=args.explore_parallel,
         )
     except TaskFailure as failure:
         print(f"error: {failure}", file=sys.stderr)

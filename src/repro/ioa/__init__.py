@@ -12,6 +12,9 @@ of that model that every other layer of the reproduction builds on:
 * :mod:`repro.ioa.execution` -- recorded executions (Definition 1 of the
   paper) with the counting functions of Definition 2 and the packet
   correspondence needed to check (PL1)/(DL1).
+* :mod:`repro.ioa.sinks` -- the observer-sink pipeline behind
+  ``Execution``: the counters, the trace materialiser, operational
+  telemetry, and the ``ExecutionSink`` protocol for custom observers.
 * :mod:`repro.ioa.composition` -- the generic [LT87] composition
   operator (output-to-input wiring, nesting, fair scheduling).
 * :mod:`repro.ioa.exploration` -- reachable-state enumeration used by
@@ -34,17 +37,27 @@ from repro.ioa.composition import Composition, Wire
 from repro.ioa.execution import Event, Execution, TraceElidedError, TraceMode
 from repro.ioa.exploration import ExplorationResult, explore_station_states
 from repro.ioa.exploration_parallel import explore_station_states_parallel
+from repro.ioa.sinks import (
+    CountsSink,
+    ExecutionSink,
+    FullTraceSink,
+    MetricsSink,
+)
 
 __all__ = [
     "Action",
     "ActionType",
     "Composition",
+    "CountsSink",
     "Wire",
     "Direction",
     "Event",
     "Execution",
+    "ExecutionSink",
     "ExplorationResult",
+    "FullTraceSink",
     "IOAutomaton",
+    "MetricsSink",
     "TraceElidedError",
     "TraceMode",
     "explore_station_states",

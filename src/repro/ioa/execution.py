@@ -1,44 +1,39 @@
 """Recorded executions (Definitions 1-4 of the paper).
 
 An *execution* is a sequence of data-link-layer protocol actions
-(Definition 1).  This module stores executions as immutable-ish event
-lists and implements the counting functions of Definition 2:
+(Definition 1).  This module stores executions behind a small front:
+every recorded action is announced once to a stack of observer sinks
+(:mod:`repro.ioa.sinks`), and the views below read whichever sink can
+answer them:
 
-* ``sm(alpha)`` / ``rm(alpha)`` -- number of ``send_msg`` /
-  ``receive_msg`` actions;
-* ``sp^{d}(alpha)`` / ``rp^{d}(alpha)`` -- number of ``send_pkt`` /
-  ``receive_pkt`` actions in direction ``d``.
-
-It also tracks the *packet correspondence* between ``send_pkt`` and
-``receive_pkt`` events through transit-copy ids, which is the data the
-(PL1) and (DL1) checkers in :mod:`repro.datalink.spec` consume, and
-offers multiset views of packet traffic that the lower-bound
-adversaries in :mod:`repro.core` use to decide when a replay is
-possible.
+* the counting functions of Definition 2 -- ``sm``/``rm``/``sp^d``/
+  ``rp^d`` -- and the distinct-packet sets (the paper's header count)
+  come from the always-present :class:`~repro.ioa.sinks.CountsSink`,
+  incrementally maintained and O(1) to read in every mode;
+* event-level views (the action sequence, message payloads, the
+  packet correspondence the (PL1)/(DL1) checkers consume, the receipt
+  sequences the replay adversaries study) come from a
+  :class:`~repro.ioa.sinks.FullTraceSink`, when one is attached.
 
 Trace modes
 -----------
 
-Bulk experiment sweeps (the Monte-Carlo runs behind Theorem 5.1, the
-boundness sampling behind Theorem 2.1) only ever consume the
-Definition-2 counters and the in-transit channel state; materialising a
-:class:`Event` per action is pure overhead there.  An execution
-therefore runs in one of two :class:`TraceMode` s:
+:class:`TraceMode` survives as a constructor shim over the sink
+stack:
 
-* ``TraceMode.FULL`` (default) -- every action is materialised as an
-  :class:`Event`; all views below are available.  Spec checking
-  (:mod:`repro.datalink.spec`) and the replay attack
-  (:mod:`repro.core.replay`) require this mode.
-* ``TraceMode.COUNTS`` -- only the Definition-2 counters, the distinct
-  packet-value sets (the paper's header count) and the length are
-  maintained; no ``Event`` objects are allocated.  Views that need the
-  event list raise :class:`TraceElidedError`.
+* ``TraceMode.FULL`` (default) -- stack ``[CountsSink,
+  FullTraceSink]``: every action is also materialised as an
+  :class:`Event`.  Spec checking (:mod:`repro.datalink.spec`) and the
+  replay attack (:mod:`repro.core.replay`) require this mode.
+* ``TraceMode.COUNTS`` -- stack ``[CountsSink]``: no ``Event`` or
+  ``Action`` objects are allocated; event-level views raise
+  :class:`TraceElidedError` naming the view and the active stack.
 
-The counters are maintained *incrementally in both modes*, so
-``sm``/``rm``/``sp``/``rp``/``header_count`` are O(1) regardless of the
-trace mode, and a COUNTS-mode run reports exactly the same statistics
-as a FULL-mode run of the same system (a property the trace-mode tests
-enforce).
+Either way, extra sinks (e.g. a
+:class:`~repro.ioa.sinks.MetricsSink`) can be appended via the
+``sinks=`` argument; they observe exactly the same event stream.  A
+COUNTS-mode run reports exactly the same statistics as a FULL-mode
+run of the same system (a property the trace-mode tests enforce).
 """
 
 from __future__ import annotations
@@ -46,26 +41,29 @@ from __future__ import annotations
 import enum
 from collections import Counter
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Iterator, List, Optional
-
-from repro.ioa.actions import (
-    Action,
-    ActionType,
-    Direction,
-    receive_msg,
-    receive_pkt,
-    send_pkt,
+from typing import (
+    Callable,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
 )
+
+from repro.ioa.actions import Action, ActionType, Direction
+from repro.ioa.sinks import CountsSink, ExecutionSink, FullTraceSink
 
 
 class TraceMode(enum.Enum):
-    """How much of an execution is materialised.
+    """Constructor shim: which standard sinks an execution starts with.
 
-    FULL: every action becomes an :class:`Event` (the default; needed
-        by the spec checkers, the replay attack and anything that walks
-        ``events``).
-    COUNTS: only the Definition-2 counters and packet-value sets are
-        kept; per-event allocation is skipped entirely.
+    FULL: ``[CountsSink, FullTraceSink]`` -- every action becomes an
+        :class:`Event` (the default; needed by the spec checkers, the
+        replay attack and anything that walks ``events``).
+    COUNTS: ``[CountsSink]`` -- only the Definition-2 counters and
+        packet-value sets are kept; per-event allocation is skipped
+        entirely.
     """
 
     FULL = "full"
@@ -73,11 +71,12 @@ class TraceMode(enum.Enum):
 
 
 class TraceElidedError(RuntimeError):
-    """An event-level view was requested from a COUNTS-mode execution.
+    """An event-level view was requested but no trace sink is attached.
 
     Seeing this means a consumer that needs full traces (spec checker,
     replay, extension finder) was handed a counters-only execution;
     construct the system with ``trace_mode=TraceMode.FULL`` instead.
+    The message names the requested view and the active sink stack.
     """
 
 
@@ -97,161 +96,242 @@ class Event:
         return f"[{self.index}] {self.action}"
 
 
+def _fan2(methods):
+    """Two-argument fan-out over a tuple of bound sink methods."""
+
+    def dispatch(a, b):
+        for method in methods:
+            method(a, b)
+
+    return dispatch
+
+
+def _fan4(methods):
+    """Four-argument fan-out over a tuple of bound sink methods."""
+
+    def dispatch(a, b, c, d):
+        for method in methods:
+            method(a, b, c, d)
+
+    return dispatch
+
+
 class Execution:
     """A recorded execution of the composed data link system.
 
     The engine appends events as they happen; analysis code treats the
     execution as read-only.  ``Execution`` deliberately knows nothing
     about protocols: it is the shared language between the engine, the
-    specification checkers and the adversaries.
+    specification checkers and the adversaries.  It owns nothing but
+    the event counter -- all recorded state lives in the sinks.
 
     Args:
-        events: initial events (FULL mode only); counters are rebuilt
-            from them.
-        trace_mode: see :class:`TraceMode`.
+        events: initial events (requires a trace sink, i.e. FULL
+            mode); counters are rebuilt from them.
+        trace_mode: which standard sinks to start with; see
+            :class:`TraceMode`.
+        sinks: extra :class:`~repro.ioa.sinks.ExecutionSink` objects
+            appended after the standard stack, in order.
+
+    Attributes:
+        length: number of recorded events (``len(execution)``); a plain
+            slot rather than a property so the engine's hot loops can
+            read the next event index without a call.
     """
 
     __slots__ = (
-        "events",
         "trace_mode",
-        "_length",
-        "_elided",
-        "_sm",
-        "_rm",
-        "_sp_t2r",
-        "_sp_r2t",
-        "_rp_t2r",
-        "_rp_r2t",
-        "_distinct_t2r",
-        "_distinct_r2t",
-        "_last_sent_t2r",
-        "_last_sent_r2t",
+        "_sinks",
+        "_counts",
+        "_trace",
+        "length",
+        "_on_action",
+        "_on_send_pkt",
+        "_on_receive_pkt",
+        "_on_send_msg",
+        "_on_receive_msg",
+        "_on_internal",
+        "wants_internal",
     )
+
+    # Dispatchers over the sinks after the fused counts sink; ``None``
+    # when that tail is empty (the common COUNTS-only case).
+    _on_send_pkt: Optional[Callable[..., None]]
+    _on_receive_pkt: Optional[Callable[..., None]]
+    _on_send_msg: Optional[Callable[..., None]]
+    _on_receive_msg: Optional[Callable[..., None]]
+    _on_action: Callable[..., None]
+    _on_internal: Callable[..., None]
+    length: int
+    wants_internal: bool
 
     def __init__(
         self,
         events: Optional[List[Event]] = None,
         trace_mode: TraceMode = TraceMode.FULL,
+        sinks: Optional[Sequence[ExecutionSink]] = None,
     ) -> None:
         if events and trace_mode is TraceMode.COUNTS:
             raise ValueError("cannot seed a COUNTS-mode execution with events")
-        self.events: List[Event] = []
         self.trace_mode = trace_mode
-        self._length = 0
-        self._elided = 0
-        self._sm = 0
-        self._rm = 0
-        # Per-direction counters live in scalar slots rather than an
-        # enum-keyed dict: the hot paths bump them tens of thousands of
-        # times per run and an attribute store beats a dict item store
-        # with an Enum.__hash__ behind it.
-        self._sp_t2r = 0
-        self._sp_r2t = 0
-        self._rp_t2r = 0
-        self._rp_r2t = 0
-        self._distinct_t2r: set = set()
-        self._distinct_r2t: set = set()
-        # Identity memo for the distinct-value sets: stations re-offer
-        # the *same* Packet object across retransmissions, so an `is`
-        # check skips the hash-and-probe for the typical send run.
-        self._last_sent_t2r: object = None
-        self._last_sent_r2t: object = None
+        self._counts = CountsSink()
+        self._trace: Optional[FullTraceSink] = None
+        stack: List[ExecutionSink] = [self._counts]
+        if trace_mode is TraceMode.FULL:
+            self._trace = FullTraceSink()
+            stack.append(self._trace)
+        if sinks:
+            stack.extend(sinks)
+        self._sinks = tuple(stack)
+        self.length = 0
+        self._bind_dispatch()
         if events:
             for event in events:
                 self.record(event.action)
 
+    def _bind_dispatch(self) -> None:
+        """Precompute the per-event dispatchers.
+
+        The counts sink is always first in the stack and its updates
+        are *fused* into the typed recorders below (so a plain COUNTS
+        execution records an event in a single call, exactly matching
+        the standalone :class:`~repro.ioa.sinks.CountsSink` semantics
+        -- the sink tests pin the equivalence).  The dispatchers bound
+        here therefore cover only the sinks *after* it: ``None`` when
+        there are none, the one bound method when there is one, a
+        fixed-arity fan-out closure otherwise.  ``record`` (the generic
+        ``Action`` entry point) is off the hot path and dispatches over
+        the full stack, counts included.
+        """
+        sinks = self._sinks
+        self._on_action = _fan2(tuple(s.on_action for s in sinks))
+        rest = sinks[1:]
+        if not rest:
+            self._on_send_pkt = None
+            self._on_receive_pkt = None
+            self._on_send_msg = None
+            self._on_receive_msg = None
+        elif len(rest) == 1:
+            only = rest[0]
+            self._on_send_pkt = only.on_send_pkt
+            self._on_receive_pkt = only.on_receive_pkt
+            self._on_send_msg = only.on_send_msg
+            self._on_receive_msg = only.on_receive_msg
+        else:
+            self._on_send_pkt = _fan4(tuple(s.on_send_pkt for s in rest))
+            self._on_receive_pkt = _fan4(
+                tuple(s.on_receive_pkt for s in rest)
+            )
+            self._on_send_msg = _fan2(tuple(s.on_send_msg for s in rest))
+            self._on_receive_msg = _fan2(
+                tuple(s.on_receive_msg for s in rest)
+            )
+        internal = tuple(s.on_internal for s in sinks if s.wants_internal)
+        self.wants_internal = bool(internal)
+        if len(internal) == 1:
+            self._on_internal = internal[0]
+        else:
+            self._on_internal = _fan2(internal)
+
+    # ------------------------------------------------------------------
+    # the sink stack
+    # ------------------------------------------------------------------
+    @property
+    def sinks(self) -> tuple:
+        """The attached sinks, in dispatch order."""
+        return self._sinks
+
+    @property
+    def events(self) -> List[Event]:
+        """The materialised event list (empty when no trace sink)."""
+        trace = self._trace
+        return trace.events if trace is not None else []
+
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
-    def _count(self, action: Action) -> None:
-        kind = action.type
-        if kind is ActionType.SEND_PKT:
-            if action.direction is Direction.T2R:
-                self._sp_t2r += 1
-                self._distinct_t2r.add(action.packet)
-            else:
-                self._sp_r2t += 1
-                self._distinct_r2t.add(action.packet)
-        elif kind is ActionType.RECEIVE_PKT:
-            if action.direction is Direction.T2R:
-                self._rp_t2r += 1
-            else:
-                self._rp_r2t += 1
-        elif kind is ActionType.SEND_MSG:
-            self._sm += 1
-        else:
-            self._rm += 1
-
     def record(self, action: Action) -> Optional[Event]:
-        """Append ``action`` as the next event and return the event.
+        """Append ``action`` as the next event.
 
-        In COUNTS mode only the counters are updated and ``None`` is
-        returned (no ``Event`` is allocated).
+        Returns the materialised :class:`Event` when a trace sink is
+        attached, else ``None``.
         """
-        self._count(action)
-        index = self._length
-        self._length = index + 1
-        if self.trace_mode is TraceMode.COUNTS:
-            self._elided += 1
-            return None
-        event = Event(index, action)
-        self.events.append(event)
-        return event
+        index = self.length
+        self.length = index + 1
+        self._on_action(action, index)
+        trace = self._trace
+        return trace.events[-1] if trace is not None else None
 
     def record_send_pkt(
         self, direction: Direction, packet: Hashable, copy_id: Optional[int]
     ) -> None:
-        """Fast path for ``send_pkt`` events on the engine's hot loop.
+        """Engine hot-path recorder for ``send_pkt`` events.
 
         Equivalent to ``record(send_pkt(direction, packet, copy_id))``
-        but skips building the :class:`~repro.ioa.actions.Action` (and
-        the :class:`Event`) entirely in COUNTS mode.
+        but hands the fields straight to the sink stack, so no
+        :class:`~repro.ioa.actions.Action` is built unless a sink
+        builds one.  The counts sink's update is fused inline (see
+        :meth:`_bind_dispatch`).
         """
+        index = self.length
+        self.length = index + 1
+        counts = self._counts
         if direction is Direction.T2R:
-            self._sp_t2r += 1
-            if packet is not self._last_sent_t2r:
-                self._distinct_t2r.add(packet)
-                self._last_sent_t2r = packet
+            counts.sp_t2r += 1
+            if packet is not counts._last_sent_t2r:
+                counts.distinct_t2r.add(packet)
+                counts._last_sent_t2r = packet
         else:
-            self._sp_r2t += 1
-            if packet is not self._last_sent_r2t:
-                self._distinct_r2t.add(packet)
-                self._last_sent_r2t = packet
-        index = self._length
-        self._length = index + 1
-        if self.trace_mode is TraceMode.COUNTS:
-            self._elided += 1
-            return
-        self.events.append(Event(index, send_pkt(direction, packet, copy_id)))
+            counts.sp_r2t += 1
+            if packet is not counts._last_sent_r2t:
+                counts.distinct_r2t.add(packet)
+                counts._last_sent_r2t = packet
+        rest = self._on_send_pkt
+        if rest is not None:
+            rest(direction, packet, copy_id, index)
 
     def record_receive_pkt(
         self, direction: Direction, packet: Hashable, copy_id: Optional[int]
     ) -> None:
-        """Fast path for ``receive_pkt`` events; see
+        """Hot-path recorder for ``receive_pkt``; see
         :meth:`record_send_pkt`."""
+        index = self.length
+        self.length = index + 1
+        counts = self._counts
         if direction is Direction.T2R:
-            self._rp_t2r += 1
+            counts.rp_t2r += 1
         else:
-            self._rp_r2t += 1
-        index = self._length
-        self._length = index + 1
-        if self.trace_mode is TraceMode.COUNTS:
-            self._elided += 1
-            return
-        self.events.append(
-            Event(index, receive_pkt(direction, packet, copy_id))
-        )
+            counts.rp_r2t += 1
+        rest = self._on_receive_pkt
+        if rest is not None:
+            rest(direction, packet, copy_id, index)
+
+    def record_send_msg(self, message: Hashable) -> None:
+        """Hot-path recorder for ``send_msg``; see
+        :meth:`record_send_pkt`."""
+        index = self.length
+        self.length = index + 1
+        self._counts.sm += 1
+        rest = self._on_send_msg
+        if rest is not None:
+            rest(message, index)
 
     def record_receive_msg(self, message: Hashable) -> None:
-        """Fast path for ``receive_msg`` events; see
+        """Hot-path recorder for ``receive_msg``; see
         :meth:`record_send_pkt`."""
-        self._rm += 1
-        index = self._length
-        self._length = index + 1
-        if self.trace_mode is TraceMode.COUNTS:
-            self._elided += 1
-            return
-        self.events.append(Event(index, receive_msg(message)))
+        index = self.length
+        self.length = index + 1
+        self._counts.rm += 1
+        rest = self._on_receive_msg
+        if rest is not None:
+            rest(message, index)
+
+    def record_internal(self, tag: str, payload=None) -> None:
+        """Out-of-band telemetry: forwarded to interested sinks only,
+        consumes no event index.  Callers should guard on
+        :attr:`wants_internal`."""
+        if self.wants_internal:
+            self._on_internal(tag, payload)
 
     def extend(self, actions: Iterable[Action]) -> None:
         """Append several actions in order."""
@@ -260,83 +340,90 @@ class Execution:
 
     @property
     def events_elided(self) -> int:
-        """Events skipped (never allocated) under COUNTS mode."""
-        return self._elided
+        """Events skipped (never allocated) for lack of a trace sink."""
+        return 0 if self._trace is not None else self.length
 
     # ------------------------------------------------------------------
     # basic structure
     # ------------------------------------------------------------------
-    def _require_events(self, what: str) -> None:
-        if self.trace_mode is TraceMode.COUNTS:
+    def _require_events(self, what: str) -> List[Event]:
+        trace = self._trace
+        if trace is None:
+            stack = ", ".join(type(s).__name__ for s in self._sinks)
             raise TraceElidedError(
-                f"{what} needs the event list, but this execution runs "
-                "in COUNTS mode (events are elided); use "
-                "trace_mode=TraceMode.FULL"
+                f"{what} needs materialised events, but this execution's "
+                f"sink stack [{stack}] contains no FullTraceSink, so the "
+                f"{self.length} recorded events were elided.  Construct "
+                "the system with trace_mode=TraceMode.FULL to keep them."
             )
+        return trace.events
 
     def __len__(self) -> int:
-        return self._length
+        return self.length
 
     def __iter__(self) -> Iterator[Event]:
-        self._require_events("iteration")
-        return iter(self.events)
+        return iter(self._require_events("iteration"))
 
     def __getitem__(self, index: int) -> Event:
-        self._require_events("indexing")
-        return self.events[index]
+        return self._require_events("indexing")[index]
 
     def actions(self) -> List[Action]:
         """The bare action sequence."""
-        self._require_events("actions()")
-        return [event.action for event in self.events]
+        return [event.action for event in self._require_events("actions()")]
 
     def prefix(self, length: int) -> "Execution":
         """The execution consisting of the first ``length`` events."""
-        self._require_events("prefix()")
-        return Execution(list(self.events[:length]))
+        return Execution(list(self._require_events("prefix()")[:length]))
 
     def suffix_actions(self, start: int) -> List[Action]:
         """Actions of events with ``index >= start``."""
-        self._require_events("suffix_actions()")
-        return [event.action for event in self.events if event.index >= start]
+        return [
+            event.action
+            for event in self._require_events("suffix_actions()")
+            if event.index >= start
+        ]
 
     # ------------------------------------------------------------------
     # Definition 2: counting functions (O(1); maintained incrementally)
     # ------------------------------------------------------------------
     def sm(self) -> int:
         """Number of ``send_msg`` actions."""
-        return self._sm
+        return self._counts.sm
 
     def rm(self) -> int:
         """Number of ``receive_msg`` actions."""
-        return self._rm
+        return self._counts.rm
 
     def sp(self, direction: Direction) -> int:
         """Number of ``send_pkt`` actions in ``direction``."""
-        return self._sp_t2r if direction is Direction.T2R else self._sp_r2t
+        counts = self._counts
+        return (
+            counts.sp_t2r if direction is Direction.T2R else counts.sp_r2t
+        )
 
     def rp(self, direction: Direction) -> int:
         """Number of ``receive_pkt`` actions in ``direction``."""
-        return self._rp_t2r if direction is Direction.T2R else self._rp_r2t
+        counts = self._counts
+        return (
+            counts.rp_t2r if direction is Direction.T2R else counts.rp_r2t
+        )
 
     # ------------------------------------------------------------------
     # message views
     # ------------------------------------------------------------------
     def sent_messages(self) -> List[Hashable]:
         """Payloads of ``send_msg`` actions, in order."""
-        self._require_events("sent_messages()")
         return [
             event.action.message
-            for event in self.events
+            for event in self._require_events("sent_messages()")
             if event.action.type is ActionType.SEND_MSG
         ]
 
     def received_messages(self) -> List[Hashable]:
         """Payloads of ``receive_msg`` actions, in order."""
-        self._require_events("received_messages()")
         return [
             event.action.message
-            for event in self.events
+            for event in self._require_events("received_messages()")
             if event.action.type is ActionType.RECEIVE_MSG
         ]
 
@@ -347,10 +434,9 @@ class Execution:
         self, action_type: ActionType, direction: Direction
     ) -> List[Event]:
         """All packet events of the given kind and direction, in order."""
-        self._require_events("packet_events()")
         return [
             event
-            for event in self.events
+            for event in self._require_events("packet_events()")
             if event.action.type is action_type
             and event.action.direction is direction
         ]
@@ -389,14 +475,15 @@ class Execution:
         The paper measures header usage as the number of distinct
         packets ``|P|`` sent in valid executions (Section 2.3,
         "Headers").  When ``direction`` is ``None`` both channels are
-        counted together.  Available in every trace mode (the sets are
-        maintained incrementally).
+        counted together.  Available in every trace mode (the counts
+        sink maintains the sets incrementally).
         """
+        counts = self._counts
         if direction is Direction.T2R:
-            return set(self._distinct_t2r)
+            return set(counts.distinct_t2r)
         if direction is Direction.R2T:
-            return set(self._distinct_r2t)
-        return self._distinct_t2r | self._distinct_r2t
+            return set(counts.distinct_r2t)
+        return counts.distinct_t2r | counts.distinct_r2t
 
     def header_count(self, direction: Optional[Direction] = None) -> int:
         """``len(distinct_packets(direction))``."""
@@ -426,10 +513,12 @@ class Execution:
         return mapping
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        if self.trace_mode is TraceMode.COUNTS:
+        if self._trace is None:
+            counts = self._counts
             return (
-                f"<Execution COUNTS: {self._length} actions, "
-                f"sm={self._sm} rm={self._rm} "
-                f"sp=({self._sp_t2r}, {self._sp_r2t})>"
+                f"<Execution [{', '.join(type(s).__name__ for s in self._sinks)}]: "
+                f"{self.length} actions, "
+                f"sm={counts.sm} rm={counts.rm} "
+                f"sp=({counts.sp_t2r}, {counts.sp_r2t})>"
             )
-        return "\n".join(str(event) for event in self.events)
+        return "\n".join(str(event) for event in self._trace.events)

@@ -220,6 +220,10 @@ class _InternedSearch:
                 and scls.handle_input is SenderStation.handle_input
                 and scls.next_output is SenderStation.next_output
                 and scls.perform_output is SenderStation.perform_output
+                and scls.offer_packet is SenderStation.offer_packet
+                and scls.commit_packet is SenderStation.commit_packet
+                and scls.accept_message is SenderStation.accept_message
+                and scls.accept_packet is SenderStation.accept_packet
                 and scls.snapshot is SenderStation.snapshot
                 and scls.restore is SenderStation.restore
                 and scls.protocol_state is SenderStation.protocol_state
@@ -230,6 +234,9 @@ class _InternedSearch:
                 and rcls.handle_input is ReceiverStation.handle_input
                 and rcls.next_output is ReceiverStation.next_output
                 and rcls.perform_output is ReceiverStation.perform_output
+                and rcls.pop_delivery is ReceiverStation.pop_delivery
+                and rcls.pop_control_packet is ReceiverStation.pop_control_packet
+                and rcls.accept_packet is ReceiverStation.accept_packet
                 and rcls.snapshot is ReceiverStation.snapshot
                 and rcls.restore is ReceiverStation.restore
                 and rcls.protocol_state is ReceiverStation.protocol_state

@@ -16,6 +16,7 @@ cache.  Shard seeds come from
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -151,6 +152,7 @@ def run_experiments(
     timeout: Optional[float] = None,
     retries: int = 1,
     reporter=None,
+    explore_parallel: Optional[int] = None,
 ) -> RunReport:
     """Run experiments through the task runtime; returns a report.
 
@@ -164,11 +166,28 @@ def run_experiments(
         timeout: per-task wall-clock limit (pool mode).
         retries: extra attempts per task on worker failure.
         reporter: progress sink (see :mod:`repro.runtime.progress`).
+        explore_parallel: worker shards for the state-space
+            explorations inside E1/E2 (``None`` = the
+            ``REPRO_EXPLORE_WORKERS`` environment default, then
+            serial).  Bound onto the task runner, never into task
+            specs, so it stays out of cache keys -- completed
+            explorations are identical at any count.
 
     Raises:
         TaskFailure: a task failed after all retries; no partial
             results are returned.
     """
+    runner = None
+    if explore_parallel is not None:
+        # Bind the worker count onto the task body; ``None`` keeps the
+        # executor's default runner (worker.execute falls back to the
+        # environment itself).
+        from repro.runtime.worker import execute
+
+        runner = functools.partial(
+            execute, explore_parallel=explore_parallel
+        )
+
     specs = plan_tasks(names, fast=fast, seed=seed)
     outcomes = run_tasks(
         specs,
@@ -177,6 +196,7 @@ def run_experiments(
         timeout=timeout,
         retries=retries,
         reporter=reporter,
+        runner=runner,
     )
     failed = [o for o in outcomes if o.status == STATUS_FAILED]
     if failed:

@@ -23,8 +23,17 @@ from typing import Any, Dict
 from repro.runtime.task import KIND_SHARD, KIND_WHOLE
 
 
-def execute(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
-    """Run one task; returns ``{"payload": ..., "wall_time": ...}``."""
+def execute(
+    spec_dict: Dict[str, Any], explore_parallel: Any = None
+) -> Dict[str, Any]:
+    """Run one task; returns ``{"payload": ..., "wall_time": ...}``.
+
+    ``explore_parallel`` is execution configuration, not task identity:
+    it is bound onto this function (``functools.partial``) by the
+    engine rather than carried in the spec dict, so it never reaches
+    cache keys.  Shard tasks ignore it -- no sharded experiment
+    explores state spaces.
+    """
     from repro.experiments.runner import REGISTRY, SHARDED
 
     name = spec_dict["experiment"]
@@ -41,7 +50,9 @@ def execute(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
         run = REGISTRY.get(name)
         if run is None:
             raise KeyError(f"unknown experiment {name!r}")
-        payload = run(fast=fast, seed=seed).to_dict()
+        payload = run(
+            fast=fast, seed=seed, explore_parallel=explore_parallel
+        ).to_dict()
     else:
         raise ValueError(f"unknown task kind {kind!r}")
     if not isinstance(payload, dict):

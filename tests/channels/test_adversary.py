@@ -12,7 +12,6 @@ from repro.channels.adversary import (
     RandomAdversary,
     ScriptedAdversary,
 )
-from repro.channels.base import Channel
 from repro.channels.nonfifo import NonFifoChannel
 from repro.channels.packets import Packet
 from repro.ioa.actions import Direction
@@ -202,8 +201,10 @@ class TestScripted:
         script = [[], [Decision.deliver(Direction.T2R, copy.copy_id)]]
         adversary = ScriptedAdversary(script)
         assert adversary.decide(view) == []
+        # Decision objects are normalised to the canonical packed form
+        # at construction.
         assert adversary.decide(view) == [
-            Decision.deliver(Direction.T2R, copy.copy_id)
+            Decision.deliver(Direction.T2R, copy.copy_id).packed()
         ]
         assert adversary.decide(view) == []
 

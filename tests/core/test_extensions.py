@@ -80,7 +80,6 @@ class TestCosts:
     def test_flooding_cost_tracks_planted_backlog(self):
         """More stale copies of the awaited phase -> longer extension."""
         from repro.core.pumping import ReservePool, pump_message
-        from repro.datalink.flooding import data_packet
 
         def cost_with_hoard(hoard: int) -> int:
             system = make_system(*make_flooding(2))

@@ -17,7 +17,6 @@ from repro.channels.adversary import (
 from repro.datalink.flooding import (
     FloodingReceiver,
     FloodingSender,
-    ack_packet,
     data_packet,
     make_capacity_flooding,
     make_flooding,

@@ -1,0 +1,366 @@
+"""The observer-sink pipeline behind Execution.
+
+Pins down the contracts the refactor introduced:
+
+* the fused counts path inside ``Execution`` is *exactly* equivalent
+  to a standalone :class:`CountsSink` fed the same stream (the front
+  duplicates the bump logic for speed, so this equivalence is load-
+  bearing);
+* custom sinks see every event, in attachment order, with the right
+  indices, through both the typed recorders and the generic
+  ``record``;
+* :class:`MetricsSink` telemetry and its ``count_steps``/``clock``
+  opt-ins;
+* ``TraceElidedError`` names the requested view and the active sink
+  stack.
+"""
+
+import pytest
+
+from repro.channels.packets import Packet
+from repro.ioa.actions import (
+    Direction,
+    receive_msg,
+    receive_pkt,
+    send_msg,
+    send_pkt,
+)
+from repro.ioa.execution import (
+    Event,
+    Execution,
+    TraceElidedError,
+    TraceMode,
+)
+from repro.ioa.sinks import (
+    CountsSink,
+    ExecutionSink,
+    FullTraceSink,
+    MetricsSink,
+)
+
+P1 = Packet("h1", "a")
+P2 = Packet("h2")
+P3 = Packet("h1", "a")  # equal by value to P1, distinct object
+
+
+def drive(execution: Execution) -> None:
+    """A small but representative stream through the typed recorders.
+
+    Re-sends the *same object* (the retransmission pattern the counts
+    sink's identity memo optimises) and an *equal but distinct* object
+    (which must still be deduplicated by value).
+    """
+    execution.record_send_msg("m1")
+    execution.record_send_pkt(Direction.T2R, P1, 0)
+    execution.record_send_pkt(Direction.T2R, P1, 1)  # same object again
+    execution.record_send_pkt(Direction.T2R, P3, 2)  # equal by value
+    execution.record_receive_pkt(Direction.T2R, P1, 0)
+    execution.record_send_pkt(Direction.R2T, P2, 3)
+    execution.record_receive_pkt(Direction.R2T, P2, 3)
+    execution.record_receive_msg("m1")
+    execution.record_send_msg("m2")
+
+
+def drive_sink(sink: ExecutionSink) -> None:
+    """The same stream, delivered straight to one sink."""
+    sink.on_send_msg("m1", 0)
+    sink.on_send_pkt(Direction.T2R, P1, 0, 1)
+    sink.on_send_pkt(Direction.T2R, P1, 1, 2)
+    sink.on_send_pkt(Direction.T2R, P3, 2, 3)
+    sink.on_receive_pkt(Direction.T2R, P1, 0, 4)
+    sink.on_send_pkt(Direction.R2T, P2, 3, 5)
+    sink.on_receive_pkt(Direction.R2T, P2, 3, 6)
+    sink.on_receive_msg("m1", 7)
+    sink.on_send_msg("m2", 8)
+
+
+class RecordingSink(ExecutionSink):
+    """Collects every typed hook invocation as a tuple."""
+
+    def __init__(self, name="sink"):
+        self.name = name
+        self.calls = []
+
+    def on_send_msg(self, message, index):
+        self.calls.append(("send_msg", message, index))
+
+    def on_receive_msg(self, message, index):
+        self.calls.append(("receive_msg", message, index))
+
+    def on_send_pkt(self, direction, packet, copy_id, index):
+        self.calls.append(("send_pkt", direction, packet, copy_id, index))
+
+    def on_receive_pkt(self, direction, packet, copy_id, index):
+        self.calls.append(("receive_pkt", direction, packet, copy_id, index))
+
+
+class StepCounter(ExecutionSink):
+    """A sink that opts into the out-of-band marks."""
+
+    wants_internal = True
+
+    def __init__(self):
+        self.marks = []
+
+    def on_internal(self, tag, payload=None):
+        self.marks.append((tag, payload))
+
+
+def counts_state(sink: CountsSink) -> dict:
+    return {
+        "sm": sink.sm,
+        "rm": sink.rm,
+        "sp_t2r": sink.sp_t2r,
+        "sp_r2t": sink.sp_r2t,
+        "rp_t2r": sink.rp_t2r,
+        "rp_r2t": sink.rp_r2t,
+        "distinct_t2r": set(sink.distinct_t2r),
+        "distinct_r2t": set(sink.distinct_r2t),
+    }
+
+
+EXPECTED_COUNTS = {
+    "sm": 2,
+    "rm": 1,
+    "sp_t2r": 3,
+    "sp_r2t": 1,
+    "rp_t2r": 1,
+    "rp_r2t": 1,
+    # P3 == P1 by value, so only one distinct forward value exists.
+    "distinct_t2r": {P1},
+    "distinct_r2t": {P2},
+}
+
+
+class TestCountsFusion:
+    """The front's inlined counter bumps == the standalone CountsSink."""
+
+    def test_standalone_sink_matches_expected(self):
+        sink = CountsSink()
+        drive_sink(sink)
+        assert counts_state(sink) == EXPECTED_COUNTS
+
+    @pytest.mark.parametrize("mode", [TraceMode.COUNTS, TraceMode.FULL])
+    def test_fused_front_matches_standalone(self, mode):
+        standalone = CountsSink()
+        drive_sink(standalone)
+        execution = Execution(trace_mode=mode)
+        drive(execution)
+        fused = execution.sinks[0]
+        assert isinstance(fused, CountsSink)
+        assert counts_state(fused) == counts_state(standalone)
+
+    def test_fusion_survives_extra_sinks(self):
+        """Extra sinks change dispatch binding but not the counters."""
+        execution = Execution(
+            trace_mode=TraceMode.COUNTS,
+            sinks=[RecordingSink(), RecordingSink()],
+        )
+        drive(execution)
+        assert counts_state(execution.sinks[0]) == EXPECTED_COUNTS
+
+    def test_generic_record_matches_typed_recorders(self):
+        """record(action) must not double-count the fused sink."""
+        typed = Execution(trace_mode=TraceMode.FULL)
+        drive(typed)
+        generic = Execution(trace_mode=TraceMode.FULL)
+        generic.record(send_msg("m1"))
+        generic.record(send_pkt(Direction.T2R, P1, 0))
+        generic.record(send_pkt(Direction.T2R, P1, 1))
+        generic.record(send_pkt(Direction.T2R, P3, 2))
+        generic.record(receive_pkt(Direction.T2R, P1, 0))
+        generic.record(send_pkt(Direction.R2T, P2, 3))
+        generic.record(receive_pkt(Direction.R2T, P2, 3))
+        generic.record(receive_msg("m1"))
+        generic.record(send_msg("m2"))
+        assert counts_state(generic.sinks[0]) == counts_state(
+            typed.sinks[0]
+        )
+        assert generic.actions() == typed.actions()
+
+    def test_definition2_views_delegate_to_counts(self):
+        execution = Execution(trace_mode=TraceMode.COUNTS)
+        drive(execution)
+        assert execution.sm() == 2
+        assert execution.rm() == 1
+        assert execution.sp(Direction.T2R) == 3
+        assert execution.sp(Direction.R2T) == 1
+        assert execution.rp(Direction.T2R) == 1
+        assert execution.rp(Direction.R2T) == 1
+        assert execution.distinct_packets(Direction.T2R) == {P1}
+        assert execution.header_count() == 2
+        assert execution.length == 9 == len(execution)
+
+
+class TestCustomSinkDispatch:
+    def test_typed_recorders_reach_custom_sink_with_indices(self):
+        sink = RecordingSink()
+        execution = Execution(trace_mode=TraceMode.COUNTS, sinks=[sink])
+        drive(execution)
+        assert sink.calls == [
+            ("send_msg", "m1", 0),
+            ("send_pkt", Direction.T2R, P1, 0, 1),
+            ("send_pkt", Direction.T2R, P1, 1, 2),
+            ("send_pkt", Direction.T2R, P3, 2, 3),
+            ("receive_pkt", Direction.T2R, P1, 0, 4),
+            ("send_pkt", Direction.R2T, P2, 3, 5),
+            ("receive_pkt", Direction.R2T, P2, 3, 6),
+            ("receive_msg", "m1", 7),
+            ("send_msg", "m2", 8),
+        ]
+
+    def test_stack_order_counts_trace_then_extras(self):
+        first, second = RecordingSink("first"), RecordingSink("second")
+        execution = Execution(
+            trace_mode=TraceMode.FULL, sinks=[first, second]
+        )
+        kinds = [type(s) for s in execution.sinks[:2]]
+        assert kinds == [CountsSink, FullTraceSink]
+        assert list(execution.sinks[2:]) == [first, second]
+        drive(execution)
+        assert first.calls == second.calls
+        assert len(first.calls) == 9
+
+    def test_generic_record_reaches_custom_sinks_too(self):
+        sink = RecordingSink()
+        execution = Execution(trace_mode=TraceMode.FULL, sinks=[sink])
+        action = send_msg("hello")
+        event = execution.record(action)
+        assert isinstance(event, Event)
+        assert event.action is action  # trace preserves identity
+        assert sink.calls == [("send_msg", "hello", 0)]
+
+    def test_internal_marks_only_reach_interested_sinks(self):
+        plain = RecordingSink()
+        stepper = StepCounter()
+        execution = Execution(
+            trace_mode=TraceMode.COUNTS, sinks=[plain, stepper]
+        )
+        assert execution.wants_internal
+        execution.record_internal("step", 0)
+        execution.record_internal("step", 1)
+        assert stepper.marks == [("step", 0), ("step", 1)]
+        assert plain.calls == []
+
+    def test_no_interested_sink_means_no_marks_wanted(self):
+        execution = Execution(
+            trace_mode=TraceMode.COUNTS, sinks=[RecordingSink()]
+        )
+        assert not execution.wants_internal
+        execution.record_internal("step", 0)  # harmless no-op
+
+    def test_counts_mode_rejects_seed_events(self):
+        with pytest.raises(ValueError):
+            Execution(
+                events=[Event(0, send_msg("m"))],
+                trace_mode=TraceMode.COUNTS,
+            )
+
+
+class TestMetricsSink:
+    def test_packet_and_message_telemetry(self):
+        sink = MetricsSink(count_steps=False)
+        execution = Execution(trace_mode=TraceMode.COUNTS, sinks=[sink])
+        drive(execution)
+        snapshot = sink.snapshot()
+        assert snapshot["pkt_sent_t2r"] == 3
+        assert snapshot["pkt_sent_r2t"] == 1
+        assert snapshot["pkt_received_t2r"] == 1
+        assert snapshot["pkt_received_r2t"] == 1
+        assert snapshot["messages_sent"] == 2
+        assert snapshot["messages_delivered"] == 1
+        # Three sends before the first receive: peak outstanding is 3.
+        assert snapshot["peak_outstanding_t2r"] == 3
+        assert snapshot["peak_outstanding_r2t"] == 1
+        assert snapshot["engine_steps"] == 0
+        assert "pkt_rate_t2r" not in snapshot
+        assert "step_time_total_s" not in snapshot
+
+    def test_step_counting_via_internal_marks(self):
+        sink = MetricsSink()
+        assert sink.wants_internal
+        execution = Execution(trace_mode=TraceMode.COUNTS, sinks=[sink])
+        execution.record_send_pkt(Direction.T2R, P1, 0)
+        for step in range(4):
+            execution.record_internal("step", step)
+        execution.record_internal("other-tag")  # ignored
+        snapshot = sink.snapshot()
+        assert snapshot["engine_steps"] == 4
+        assert snapshot["pkt_rate_t2r"] == 0.25
+
+    def test_count_steps_false_declines_marks(self):
+        sink = MetricsSink(count_steps=False)
+        assert not sink.wants_internal
+        sink.on_internal("step", 0)  # even if delivered: counted...
+        assert sink.steps == 1  # ...but the sink never *asks* for them
+
+    def test_timed_sink_measures_step_gaps(self):
+        ticks = iter([1.0, 1.5, 3.5])
+        sink = MetricsSink(clock=lambda: next(ticks))
+        for step in range(3):
+            sink.on_internal("step", step)
+        snapshot = sink.snapshot()
+        assert snapshot["engine_steps"] == 3
+        assert snapshot["step_time_total_s"] == pytest.approx(2.5)
+        assert snapshot["step_time_max_s"] == pytest.approx(2.0)
+        assert snapshot["step_time_mean_s"] == pytest.approx(1.25)
+
+    def test_timed_classmethod_uses_wallclock(self):
+        sink = MetricsSink.timed()
+        assert sink.wants_internal
+        sink.on_internal("step")
+        sink.on_internal("step")
+        assert sink.snapshot()["step_time_total_s"] >= 0.0
+
+
+class TestTraceElidedMessages:
+    """Satellite: the error must name the view and the sink stack."""
+
+    def test_message_names_view_and_stack(self):
+        execution = Execution(trace_mode=TraceMode.COUNTS)
+        drive(execution)
+        with pytest.raises(TraceElidedError) as excinfo:
+            execution.actions()
+        message = str(excinfo.value)
+        assert "actions()" in message
+        assert "[CountsSink]" in message
+        assert "9 recorded events" in message
+        assert "TraceMode.FULL" in message
+
+    def test_message_lists_every_attached_sink(self):
+        execution = Execution(
+            trace_mode=TraceMode.COUNTS,
+            sinks=[MetricsSink(count_steps=False)],
+        )
+        with pytest.raises(TraceElidedError) as excinfo:
+            execution.sent_messages()
+        message = str(excinfo.value)
+        assert "sent_messages()" in message
+        assert "[CountsSink, MetricsSink]" in message
+
+    @pytest.mark.parametrize(
+        "view, call",
+        [
+            ("iteration", lambda e: list(e)),
+            ("indexing", lambda e: e[0]),
+            ("prefix()", lambda e: e.prefix(1)),
+            ("suffix_actions()", lambda e: e.suffix_actions(0)),
+            ("received_messages()", lambda e: e.received_messages()),
+            ("packet_events()", lambda e: e.packet_events(None, None)),
+        ],
+    )
+    def test_each_view_names_itself(self, view, call):
+        execution = Execution(trace_mode=TraceMode.COUNTS)
+        drive(execution)
+        with pytest.raises(TraceElidedError, match=r".*"):
+            call(execution)
+        try:
+            call(execution)
+        except TraceElidedError as error:
+            assert view in str(error)
+
+    def test_full_mode_never_raises(self):
+        execution = Execution(trace_mode=TraceMode.FULL)
+        drive(execution)
+        assert execution.events_elided == 0
+        assert len(execution.actions()) == 9

@@ -9,8 +9,6 @@ expired first.  Hypothesis sweeps (modulus, lifetime, adversary seed)
 across the safe region.
 """
 
-import random
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
