@@ -3,4 +3,46 @@
 Each experiment benchmark regenerates its result table and prints it,
 so a ``pytest benchmarks/ --benchmark-only -s`` run doubles as the
 EXPERIMENTS.md transcript generator.
+
+``write_bench_blob`` is the one way a bench suite commits its
+before/after comparison: it validates the blob against the unified
+schema (:mod:`repro.experiments.bench_report` -- required keys
+``bench``/``baseline_commit``/``before_s``/``after_s``/``speedup_x``),
+echoes it to the terminal, and writes ``BENCH_<name>.json`` at the
+repo root.  A suite that drifts from the schema fails its own emit
+test instead of silently committing an unreadable blob.
 """
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.bench_report import validate_bench
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture
+def write_bench_blob(capsys):
+    """Validate + print + commit one BENCH_*.json blob."""
+
+    def write(filename: str, blob: dict) -> pathlib.Path:
+        assert filename.startswith("BENCH_") and filename.endswith(".json"), (
+            f"bench blobs are committed as BENCH_<name>.json, got {filename!r}"
+        )
+        errors = validate_bench(blob)
+        assert not errors, (
+            f"{filename} violates the BENCH schema: " + "; ".join(errors)
+        )
+        path = REPO_ROOT / filename
+        with capsys.disabled():
+            print()
+            print(json.dumps(blob, sort_keys=True))
+        path.write_text(
+            json.dumps(blob, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    return write

@@ -19,7 +19,6 @@ sharded engine), measured on the same container class as CI.
 writes the comparison to ``BENCH_explore.json``.
 """
 
-import json
 import pathlib
 import time
 
@@ -128,7 +127,7 @@ def test_bench_capflood32_workers4(benchmark):
     assert "engine" in exploration.perf
 
 
-def test_emit_timings_blob(capsys):
+def test_emit_timings_blob(write_bench_blob):
     """Before/after comparison, committed as BENCH_explore.json."""
     after = {
         name: round(best_of(fn), 4) for name, fn in WORKLOADS.items()
@@ -138,21 +137,23 @@ def test_emit_timings_blob(capsys):
         for name in WORKLOADS
     }
     engine = capflood32(workers=4).perf["engine"]
+    # Aggregate trend: each measured workload weighted against its own
+    # baseline (several configurations share one baseline run).
+    aggregate = round(
+        sum(BEFORE[BASELINE_OF[name]] for name in after)
+        / max(sum(after.values()), 1e-9),
+        2,
+    )
     blob = {
         "bench": "sharded-exploration",
         "baseline_commit": "ca8fa6e",
         "before_s": BEFORE,
         "after_s": after,
-        "speedup_vs_baseline": speedups,
+        "speedup_x": aggregate,
+        "speedup_x_by_workload": speedups,
         "engine_capflood32_workers4": engine,
     }
-    with capsys.disabled():
-        print()
-        print(json.dumps(blob, sort_keys=True))
-    BLOB_PATH.write_text(
-        json.dumps(blob, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
+    write_bench_blob(BLOB_PATH.name, blob)
     for name, floor in MIN_SPEEDUP.items():
         assert speedups[name] >= floor, (
             f"{name}: speedup {speedups[name]} fell below {floor}"

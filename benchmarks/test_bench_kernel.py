@@ -18,7 +18,6 @@ the pre-kernel tree (see docs/PERFORMANCE.md for the exact provenance);
 the before/after comparison to ``BENCH_kernel.json``.
 """
 
-import json
 import pathlib
 import time
 
@@ -135,7 +134,7 @@ def test_bench_channel_sampling(benchmark):
     benchmark.pedantic(channel_sampling_fair, rounds=1, iterations=1)
 
 
-def test_emit_timings_blob(capsys):
+def test_emit_timings_blob(write_bench_blob):
     """Before/after comparison, committed as BENCH_kernel.json."""
     after = {
         name: round(best_of(fn), 4) for name, fn in WORKLOADS.items()
@@ -150,19 +149,16 @@ def test_emit_timings_blob(capsys):
         "baseline_commit": "9167b09",
         "before_s": BEFORE,
         "after_s": after,
-        "speedup": speedups,
+        "speedup_x": round(
+            sum(BEFORE.values()) / max(sum(after.values()), 1e-9), 2
+        ),
+        "speedup_x_by_workload": speedups,
         "exploration_perf": {
             key: (round(value, 2) if isinstance(value, float) else value)
             for key, value in exploration.perf.items()
         },
     }
-    with capsys.disabled():
-        print()
-        print(json.dumps(blob, sort_keys=True))
-    BLOB_PATH.write_text(
-        json.dumps(blob, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
+    write_bench_blob(BLOB_PATH.name, blob)
     for name, floor in MIN_SPEEDUP.items():
         assert speedups[name] >= floor, (
             f"{name}: speedup {speedups[name]} fell below {floor}"

@@ -15,7 +15,11 @@ pin down what that unification costs:
 * ``counts_sweep_metered_s`` -- the same COUNTS sweep with a
   :class:`~repro.ioa.sinks.MetricsSink` *and* a no-op custom sink
   attached: the price of observing, reported as a ratio over the bare
-  sweep (``sink_stack_overhead_x``).
+  *interpreted* sweep (``sink_stack_overhead_x``).  Extra sinks pin
+  the interpreted engine, so the ratio is taken against
+  ``counts_sweep_interp_s`` -- comparing against the compiled batch
+  path would conflate the sink cost with the engine gap, which is
+  benched separately in ``test_bench_compile.py``.
 
 ``BEFORE`` holds the timings of the identical workloads measured on
 the pre-refactor tree (the PR 2 fast path; the metered workload has no
@@ -26,7 +30,6 @@ are far looser than the measured ratios because shared CI runners are
 noisy; the committed blob records the real numbers.
 """
 
-import json
 import pathlib
 import time
 
@@ -77,10 +80,10 @@ class _NullSink(ExecutionSink):
         pass
 
 
-def _sweep(extra_sinks=None):
+def _sweep(extra_sinks=None, engine="auto"):
     results = []
     for q, n in SWEEP_GRID:
-        kwargs = {}
+        kwargs = {"engine": engine}
         if extra_sinks is not None:
             kwargs["sinks"] = extra_sinks()
         results.append(
@@ -100,6 +103,10 @@ def _sweep(extra_sinks=None):
 
 def e4_counts_sweep():
     return _sweep()
+
+
+def counts_sweep_interp():
+    return _sweep(engine="interpreted")
 
 
 def counts_sweep_metered():
@@ -123,6 +130,7 @@ def full_spec_checked():
 
 WORKLOADS = {
     "e4_counts_sweep_s": e4_counts_sweep,
+    "counts_sweep_interp_s": counts_sweep_interp,
     "full_spec_checked_s": full_spec_checked,
     "counts_sweep_metered_s": counts_sweep_metered,
 }
@@ -159,7 +167,7 @@ def test_metered_sweep_counts_match_bare():
         assert lhs.steps == rhs.steps
 
 
-def test_emit_timings_blob(capsys):
+def test_emit_timings_blob(write_bench_blob):
     """Before/after comparison, committed as BENCH_pipeline.json."""
     after = {
         name: round(best_of(fn), 4) for name, fn in WORKLOADS.items()
@@ -167,26 +175,32 @@ def test_emit_timings_blob(capsys):
     ratios = {
         name: round(after[name] / BEFORE[name], 3) for name in BEFORE
     }
+    # Sinks pin the interpreted engine, so the overhead ratio is taken
+    # against the bare interpreted sweep (same engine on both sides).
     overhead = round(
         after["counts_sweep_metered_s"]
-        / max(after["e4_counts_sweep_s"], 1e-9),
+        / max(after["counts_sweep_interp_s"], 1e-9),
         3,
     )
+    # This suite guards a bounded-overhead refactor, so the honest
+    # aggregate speedup sits near (possibly below) 1.0.
     blob = {
         "bench": "sink-pipeline",
         "baseline_commit": "9a20642",
         "before_s": BEFORE,
         "after_s": after,
-        "slowdown_x": ratios,
+        "speedup_x": round(
+            sum(BEFORE.values())
+            / max(sum(after[name] for name in BEFORE), 1e-9),
+            3,
+        ),
+        "speedup_x_by_workload": {
+            name: round(BEFORE[name] / max(after[name], 1e-9), 3)
+            for name in BEFORE
+        },
         "sink_stack_overhead_x": overhead,
     }
-    with capsys.disabled():
-        print()
-        print(json.dumps(blob, sort_keys=True))
-    BLOB_PATH.write_text(
-        json.dumps(blob, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
+    write_bench_blob(BLOB_PATH.name, blob)
     for name, ceiling in MAX_SLOWDOWN.items():
         assert ratios[name] <= ceiling, (
             f"{name}: slowdown {ratios[name]} exceeded {ceiling}"

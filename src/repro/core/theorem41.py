@@ -91,6 +91,7 @@ def plant_backlog(
     max_steps_per_message: int = 50_000,
     discovery_messages: int = 8,
     trace_mode: TraceMode = TraceMode.FULL,
+    engine: str = "auto",
 ) -> Tuple[DataLinkSystem, ReservePool, int]:
     """Build a valid execution with ~``backlog`` packets in transit.
 
@@ -108,7 +109,34 @@ def plant_backlog(
     Returns:
         ``(system, pool, messages_spent)`` -- the live system in a
         valid configuration with the backlog planted.
+
+    ``engine="auto"`` (default) runs the batched compiled pumping
+    engine (:mod:`repro.core.trials`) when only counters are being
+    recorded -- it executes the same two phases in value-id space and
+    materialises an indistinguishable final configuration --
+    and falls back to the interpreted construction for FULL traces;
+    ``"interpreted"`` forces the fallback, ``"batch"`` insists and
+    raises when unsupported.
     """
+    if engine not in ("auto", "batch", "interpreted"):
+        raise ValueError(
+            f"engine must be 'auto', 'batch' or 'interpreted', got {engine!r}"
+        )
+    if engine != "interpreted" and trace_mode is TraceMode.COUNTS:
+        from repro.core.trials import plant_backlog_batch
+
+        return plant_backlog_batch(
+            pair_factory,
+            backlog,
+            message=message,
+            max_messages=max_messages,
+            max_steps_per_message=max_steps_per_message,
+            discovery_messages=discovery_messages,
+        )
+    if engine == "batch":
+        raise ValueError(
+            "the batch pumping engine requires trace_mode=TraceMode.COUNTS"
+        )
     sender, receiver = pair_factory()
     system = make_system(sender, receiver, trace_mode=trace_mode)
     pool = ReservePool()
@@ -170,12 +198,14 @@ def probe_backlog_cost(
     message: Hashable = "m",
     max_messages: int = 4096,
     max_steps: int = 200_000,
+    engine: str = "auto",
 ) -> BacklogProbe:
     """Measure the packet cost of the next message at a backlog level.
 
     Only counters and channel state are consumed, so the pumping runs
     in ``TraceMode.COUNTS`` (the extension itself is measured on a
-    FULL-mode clone either way).
+    FULL-mode clone either way); under the default ``engine="auto"``
+    that selects the batched compiled pumping path.
     """
     system, pool, spent = plant_backlog(
         pair_factory,
@@ -184,6 +214,7 @@ def probe_backlog_cost(
         max_messages=max_messages,
         max_steps_per_message=max_steps,
         trace_mode=TraceMode.COUNTS,
+        engine=engine,
     )
     return _probe(system, spent, message, max_steps)
 
@@ -215,13 +246,15 @@ def run_dichotomy(
     message: Hashable = "m",
     max_messages: int = 4096,
     max_steps: int = 200_000,
+    engine: str = "auto",
 ) -> BacklogDichotomy:
     """Execute the Theorem 4.1 case split at one backlog level.
 
-    Plant the backlog, then: if the delivering extension costs more
-    than ``floor(l/k)``, the ``P_f`` bound is violated here (first horn
-    of the dichotomy); otherwise attempt the replay forgery, which the
-    proof shows must succeed (second horn).
+    Plant the backlog (via the batched compiled pumping path under the
+    default ``engine="auto"``), then: if the delivering extension costs
+    more than ``floor(l/k)``, the ``P_f`` bound is violated here (first
+    horn of the dichotomy); otherwise attempt the replay forgery, which
+    the proof shows must succeed (second horn).
     """
     system, pool, spent = plant_backlog(
         pair_factory,
@@ -230,6 +263,7 @@ def run_dichotomy(
         max_messages=max_messages,
         max_steps_per_message=max_steps,
         trace_mode=TraceMode.COUNTS,
+        engine=engine,
     )
     probe = _probe(system, spent, message, max_steps)
     exceeded = (

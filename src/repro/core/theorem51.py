@@ -84,6 +84,7 @@ def run_probabilistic_delivery(
     packet_budget: Optional[int] = None,
     trace_mode: TraceMode = TraceMode.COUNTS,
     sinks: Optional[Sequence[ExecutionSink]] = None,
+    engine: str = "auto",
 ) -> ProbabilisticRunResult:
     """Deliver ``n`` (identical) messages over a probabilistic channel.
 
@@ -112,10 +113,41 @@ def run_probabilistic_delivery(
             attach (e.g. a :class:`~repro.ioa.sinks.MetricsSink` for
             operational telemetry); observers only, never part of the
             reported statistics.
+        engine: ``"auto"`` (default) runs the batched compiled engine
+            (:mod:`repro.core.trials`) whenever the configuration is
+            within its exactness envelope and falls back to the
+            interpreted engine otherwise; ``"interpreted"`` forces the
+            fallback; ``"batch"`` insists on the batch path and raises
+            when the configuration is unsupported.  Both engines
+            produce bit-identical results for the same seed.
 
     Returns:
         The per-message cumulative packet series and final pool size.
     """
+    if engine not in ("auto", "batch", "interpreted"):
+        raise ValueError(
+            f"engine must be 'auto', 'batch' or 'interpreted', got {engine!r}"
+        )
+    if engine != "interpreted":
+        from repro.core import trials
+
+        if trials.probabilistic_batch_supported(trickle, trace_mode, sinks):
+            return trials.run_probabilistic_batch(
+                pair_factory,
+                q=q,
+                n=n,
+                seed=seed,
+                message=message,
+                max_steps=max_steps,
+                packet_budget=packet_budget,
+                sinks=sinks,
+            )
+        if engine == "batch":
+            raise ValueError(
+                "the batch engine requires TricklePolicy.NEVER, "
+                "TraceMode.COUNTS and only fresh step-mark-declining "
+                "MetricsSink observers"
+            )
     sender, receiver = pair_factory()
     system: DataLinkSystem = make_system(
         sender, receiver, q=q, seed=seed, trickle=trickle,

@@ -1,0 +1,188 @@
+"""Unified schema and trend report for the committed BENCH_*.json blobs.
+
+Every benchmark suite under ``benchmarks/`` that records a before/after
+comparison commits it as a ``BENCH_<name>.json`` blob at the repo root.
+Historically their key sets drifted (``slowdown_x`` vs ``speedup_x``,
+missing baselines); this module is the single definition of the schema,
+shared by
+
+* the writer fixture in ``benchmarks/conftest.py`` (blobs are validated
+  at write time, so a drifting emitter fails its own bench run);
+* the schema test over every committed blob
+  (``tests/integration/test_bench_schema.py``);
+* ``python -m repro.experiments bench-report``, which renders the
+  aggregate trend table.
+
+Schema -- required keys (extra, bench-specific keys are welcome):
+
+``bench``
+    Non-empty name of the benchmark suite.
+``baseline_commit``
+    Commit whose tree produced the *before* timings.
+``before_s`` / ``after_s``
+    Wall seconds: either one positive number, or a non-empty mapping of
+    workload name to positive seconds (multi-workload suites).
+``speedup_x``
+    The suite's aggregate before/after ratio, one positive number
+    (values below 1.0 are honest slowdowns, e.g. a bounded-overhead
+    refactor).  Per-workload ratios belong in an extra key such as
+    ``speedup_x_by_workload``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+BENCH_REQUIRED_KEYS = (
+    "bench",
+    "baseline_commit",
+    "before_s",
+    "after_s",
+    "speedup_x",
+)
+
+BENCH_GLOB = "BENCH_*.json"
+
+
+def _is_positive_number(value: Any) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and value > 0
+    )
+
+
+def _check_seconds(doc: Dict[str, Any], key: str, errors: List[str]) -> None:
+    value = doc[key]
+    if _is_positive_number(value):
+        return
+    if isinstance(value, dict):
+        if not value:
+            errors.append(f"{key}: workload mapping is empty")
+            return
+        for workload, seconds in value.items():
+            if not isinstance(workload, str) or not workload:
+                errors.append(f"{key}: non-string workload name {workload!r}")
+            if not _is_positive_number(seconds):
+                errors.append(
+                    f"{key}[{workload!r}]: expected positive seconds, "
+                    f"got {seconds!r}"
+                )
+        return
+    errors.append(
+        f"{key}: expected positive seconds or a workload mapping, "
+        f"got {value!r}"
+    )
+
+
+def validate_bench(doc: Any) -> List[str]:
+    """Validate one BENCH blob; returns a list of problems (empty = ok)."""
+    if not isinstance(doc, dict):
+        return [f"expected a JSON object, got {type(doc).__name__}"]
+    errors: List[str] = []
+    for key in BENCH_REQUIRED_KEYS:
+        if key not in doc:
+            errors.append(f"missing required key {key!r}")
+    if errors:
+        return errors
+    for key in ("bench", "baseline_commit"):
+        if not isinstance(doc[key], str) or not doc[key]:
+            errors.append(f"{key}: expected a non-empty string, "
+                          f"got {doc[key]!r}")
+    _check_seconds(doc, "before_s", errors)
+    _check_seconds(doc, "after_s", errors)
+    if not _is_positive_number(doc["speedup_x"]):
+        errors.append(
+            f"speedup_x: expected one positive number, "
+            f"got {doc['speedup_x']!r}"
+        )
+    return errors
+
+
+def total_seconds(value: Any) -> float:
+    """Aggregate seconds of a ``before_s``/``after_s`` entry."""
+    if isinstance(value, dict):
+        return float(sum(value.values()))
+    return float(value)
+
+
+def repo_root() -> pathlib.Path:
+    """The repository root (where the BENCH blobs are committed)."""
+    return pathlib.Path(__file__).resolve().parents[3]
+
+
+def load_bench_files(
+    root: Optional[pathlib.Path] = None,
+) -> List[Tuple[pathlib.Path, Any]]:
+    """All BENCH blobs under ``root``, sorted by file name.
+
+    Unparseable files are returned with the raw decode error string in
+    place of the document so callers can report them as invalid rather
+    than crash.
+    """
+    root = root if root is not None else repo_root()
+    entries: List[Tuple[pathlib.Path, Any]] = []
+    for path in sorted(root.glob(BENCH_GLOB)):
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            doc = f"unreadable: {exc}"
+        entries.append((path, doc))
+    return entries
+
+
+def render_report(entries: Sequence[Tuple[pathlib.Path, Any]]) -> str:
+    """The aggregate trend table over validated BENCH blobs.
+
+    One row per blob: suite name, baseline commit, total before/after
+    wall seconds and the recorded aggregate speedup.  Invalid blobs get
+    an error row -- the report never hides a drifting file.
+    """
+    header = ("bench", "baseline", "before_s", "after_s", "speedup_x")
+    rows: List[Tuple[str, ...]] = []
+    problems: List[str] = []
+    for path, doc in entries:
+        errors = validate_bench(doc)
+        if errors:
+            problems.append(f"{path.name}: " + "; ".join(errors))
+            continue
+        rows.append(
+            (
+                doc["bench"],
+                doc["baseline_commit"],
+                f"{total_seconds(doc['before_s']):.4f}",
+                f"{total_seconds(doc['after_s']):.4f}",
+                f"{doc['speedup_x']:.2f}",
+            )
+        )
+    if not rows and not problems:
+        return "no BENCH_*.json files found"
+    widths = [
+        max(len(header[col]), *(len(row[col]) for row in rows))
+        if rows
+        else len(header[col])
+        for col in range(len(header))
+    ]
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            for i, cell in enumerate(cells)
+        ).rstrip()
+
+    lines = [fmt(header), fmt(tuple("-" * w for w in widths))]
+    lines.extend(fmt(row) for row in rows)
+    for problem in problems:
+        lines.append(f"INVALID  {problem}")
+    return "\n".join(lines)
+
+
+def main(root: Optional[pathlib.Path] = None) -> int:
+    """Print the trend table; exit 1 when any blob is missing/invalid."""
+    entries = load_bench_files(root)
+    print(render_report(entries))
+    if not entries:
+        return 1
+    return 0 if all(not validate_bench(doc) for _, doc in entries) else 1

@@ -11,8 +11,13 @@ or one::
 Execution goes through the :mod:`repro.runtime` engine: experiments
 decompose into seed-sharded tasks that run serially or across a
 process pool (``--parallel N``), with results cached on disk under
-``.repro-cache/`` (``--no-cache`` to disable) and a structured run
-manifest available via ``--json PATH``.
+``$REPRO_CACHE_DIR`` when set, else ``.repro-cache/`` (override with
+``--cache-dir DIR``, disable with ``--no-cache``), and a structured
+run manifest available via ``--json PATH``.
+
+``python -m repro.experiments bench-report`` prints the aggregate
+benchmark trend table from the committed ``BENCH_*.json`` files
+instead of running experiments.
 
 The transcript printed here is what EXPERIMENTS.md records.
 """
@@ -141,7 +146,10 @@ def main(argv=None) -> int:
         "experiment",
         nargs="?",
         default="all",
-        help=f"one of {sorted(REGISTRY)} or 'all' (default)",
+        help=(
+            f"one of {sorted(REGISTRY)}, 'all' (default), or "
+            "'bench-report' to print the BENCH_*.json trend table"
+        ),
     )
     parser.add_argument(
         "--fast",
@@ -208,6 +216,11 @@ def main(argv=None) -> int:
         help="also write the transcript as markdown to FILE",
     )
     args = parser.parse_args(argv)
+
+    if args.experiment == "bench-report":
+        from repro.experiments import bench_report
+
+        return bench_report.main()
 
     names = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
     if any(name not in REGISTRY for name in names):

@@ -203,44 +203,16 @@ class _InternedSearch:
         # queues) directly -- no Action objects, and restores assign
         # `protocol_fields` instead of rebuilding full snapshots.
         # Any override of the plumbing falls back to the faithful path.
-        # Imported lazily: repro.ioa must not hard-depend on the
-        # higher datalink layer.
-        try:
-            from repro.datalink.stations import (
-                ReceiverStation,
-                SenderStation,
-            )
-        except ImportError:  # pragma: no cover - layering safety net
-            self.sender_fast = False
-            self.receiver_fast = False
-        else:
-            scls = type(self.sender)
-            self.sender_fast = (
-                isinstance(self.sender, SenderStation)
-                and scls.handle_input is SenderStation.handle_input
-                and scls.next_output is SenderStation.next_output
-                and scls.perform_output is SenderStation.perform_output
-                and scls.offer_packet is SenderStation.offer_packet
-                and scls.commit_packet is SenderStation.commit_packet
-                and scls.accept_message is SenderStation.accept_message
-                and scls.accept_packet is SenderStation.accept_packet
-                and scls.snapshot is SenderStation.snapshot
-                and scls.restore is SenderStation.restore
-                and scls.protocol_state is SenderStation.protocol_state
-            )
-            rcls = type(self.receiver)
-            self.receiver_fast = (
-                isinstance(self.receiver, ReceiverStation)
-                and rcls.handle_input is ReceiverStation.handle_input
-                and rcls.next_output is ReceiverStation.next_output
-                and rcls.perform_output is ReceiverStation.perform_output
-                and rcls.pop_delivery is ReceiverStation.pop_delivery
-                and rcls.pop_control_packet is ReceiverStation.pop_control_packet
-                and rcls.accept_packet is ReceiverStation.accept_packet
-                and rcls.snapshot is ReceiverStation.snapshot
-                and rcls.restore is ReceiverStation.restore
-                and rcls.protocol_state is ReceiverStation.protocol_state
-            )
+        # The predicates are shared with the table compiler
+        # (repro.ioa.compile) -- one definition of "stock plumbing" for
+        # every kernel that relies on it.
+        from repro.ioa.compile import (
+            stock_receiver_plumbing,
+            stock_sender_plumbing,
+        )
+
+        self.sender_fast = stock_sender_plumbing(type(self.sender))
+        self.receiver_fast = stock_receiver_plumbing(type(self.receiver))
         # state id -> representative snapshot / protocol key
         self.sender_ids: Dict[Hashable, int] = {}
         self.sender_snaps: List[Hashable] = []

@@ -24,6 +24,7 @@ import tempfile
 import time
 from typing import Any, Dict, Optional
 
+from repro.ioa.compile import COMPILE_VERSION
 from repro.runtime.task import TaskSpec
 
 # Bump to invalidate every existing cache entry on format changes.
@@ -39,6 +40,12 @@ CACHE_FORMAT = "repro-cache/1"
 # (:mod:`repro.ioa.exploration_parallel`) salt the same constant into
 # their keys, so a bump invalidates them too.
 KERNEL_VERSION = "repro-kernel/3"
+
+# The table-compilation/batched-trial generation
+# (:data:`repro.ioa.compile.COMPILE_VERSION`) is salted in alongside
+# the kernel generation and for the same reason: results produced by a
+# different compiled-path generation must never be served, even to
+# readers that pin or strip the code digest.
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -92,6 +99,7 @@ class ResultCache:
             [
                 CACHE_FORMAT,
                 KERNEL_VERSION,
+                COMPILE_VERSION,
                 code_version(),
                 spec.experiment,
                 spec.shard,
@@ -135,6 +143,7 @@ class ResultCache:
         entry = {
             "format": CACHE_FORMAT,
             "kernel_version": KERNEL_VERSION,
+            "compile_version": COMPILE_VERSION,
             "code_version": code_version(),
             "spec": spec.to_dict(),
             "payload": payload,

@@ -1,0 +1,119 @@
+"""Stock adversaries allocate zero :class:`Decision` objects per step.
+
+The engine's canonical decision form is the packed ``(kind, direction,
+copy_id)`` tuple; the :class:`Decision` dataclass survives only as a
+user-facing convenience, converted through the compat adapters
+(:meth:`DataLinkSystem.apply_decisions` and the
+:class:`ScriptedAdversary` constructor).  A stock adversary that
+quietly reverts to constructing ``Decision`` objects re-introduces a
+per-copy allocation on the hottest loop in the engine, so these tests
+run real workloads under a counting wrapper on ``Decision.__init__``
+and assert the count stays at zero.
+"""
+
+import pytest
+
+from repro.channels.adversary import (
+    DELIVER,
+    Decision,
+    DelayAllAdversary,
+    FairAdversary,
+    HoldValuesAdversary,
+    OptimalAdversary,
+    OptimalFromNowAdversary,
+    RandomAdversary,
+    ScriptedAdversary,
+)
+from repro.datalink.sequence import make_sequence_protocol
+from repro.datalink.system import make_system
+from repro.ioa.actions import Direction
+
+
+@pytest.fixture
+def decision_allocations(monkeypatch):
+    """Count every ``Decision`` constructed while the fixture is live."""
+    counter = {"count": 0}
+    original = Decision.__init__
+
+    def counting_init(self, *args, **kwargs):
+        counter["count"] += 1
+        original(self, *args, **kwargs)
+
+    monkeypatch.setattr(Decision, "__init__", counting_init)
+    return counter
+
+
+STOCK_ADVERSARIES = {
+    "optimal": lambda: OptimalAdversary(),
+    "optimal_from_now": lambda: OptimalFromNowAdversary({}),
+    "delay_all": lambda: DelayAllAdversary(),
+    "hold_values": lambda: HoldValuesAdversary(
+        Direction.T2R, held=lambda packet: False
+    ),
+    "fair": lambda: FairAdversary(seed=3, p_deliver=0.4, max_delay=8),
+    "random": lambda: RandomAdversary(seed=3, p_deliver=0.4, p_drop=0.1),
+    "scripted": lambda: ScriptedAdversary([[], [], []]),
+}
+
+
+@pytest.mark.parametrize("name", sorted(STOCK_ADVERSARIES))
+def test_stock_adversary_allocates_no_decisions(name, decision_allocations):
+    sender, receiver = make_sequence_protocol()
+    system = make_system(
+        sender, receiver, adversary=STOCK_ADVERSARIES[name]()
+    )
+    system.run(["m"] * 10, max_steps=2_000)
+    assert decision_allocations["count"] == 0, (
+        f"{name} adversary constructed Decision objects on the hot path"
+    )
+
+
+def test_stock_adversaries_emit_packed_tuples(decision_allocations):
+    """Every decision reaching the engine is already a packed tuple."""
+    sender, receiver = make_sequence_protocol()
+    system = make_system(sender, receiver, adversary=OptimalAdversary())
+    seen = []
+    original = system.apply_decisions
+
+    def spying(decisions):
+        decisions = list(decisions)
+        seen.extend(decisions)
+        original(decisions)
+
+    system.apply_decisions = spying
+    system.run(["m"] * 5, max_steps=1_000)
+    assert seen, "the run never produced a decision"
+    assert all(type(decision) is tuple for decision in seen)
+    assert decision_allocations["count"] == 0
+
+
+def test_scripted_adversary_normalises_at_construction(decision_allocations):
+    """Decision objects are legal in scripts (compat) but are packed
+    once at construction -- playback allocates nothing."""
+    scripted = ScriptedAdversary(
+        [[Decision.deliver(Direction.T2R, 0)], [(DELIVER, Direction.R2T, 1)]]
+    )
+    assert decision_allocations["count"] == 1  # the script literal only
+    assert scripted.script == [
+        [(DELIVER, Direction.T2R, 0)],
+        [(DELIVER, Direction.R2T, 1)],
+    ]
+    before_playback = decision_allocations["count"]
+    for _ in range(3):
+        for decision in scripted.decide(None):
+            assert type(decision) is tuple
+    assert decision_allocations["count"] == before_playback
+
+
+def test_apply_decisions_accepts_decision_objects():
+    """The compat adapter still takes Decision objects on the way in."""
+    sender, receiver = make_sequence_protocol()
+    system = make_system(sender, receiver, adversary=DelayAllAdversary())
+    system.submit_message("m")
+    while system.sender.offer_packet() is not None and (
+        system.chan_t2r.transit_size() < 2
+    ):
+        system.step()
+    copy_id = min(system.chan_t2r.in_transit_ids())
+    system.apply_decisions([Decision.deliver(Direction.T2R, copy_id)])
+    assert copy_id not in system.chan_t2r.in_transit_ids()

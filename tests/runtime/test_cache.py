@@ -1,5 +1,6 @@
 """Unit: the on-disk JSON result cache."""
 
+from repro.ioa.compile import COMPILE_VERSION
 from repro.runtime import cache as cache_module
 from repro.runtime.cache import (
     CACHE_FORMAT,
@@ -101,5 +102,30 @@ def test_kernel_version_bump_invalidates_old_entries(
     assert cache.key(spec()) != old_key
     assert cache.get(spec()) is None  # old entry is unreachable
     # New results are stored and served under the new kernel version.
+    cache.put(spec(), {"x": 2})
+    assert cache.get(spec())["payload"] == {"x": 2}
+
+
+def test_entry_records_compile_version(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(spec(), {"x": 1})
+    assert cache.get(spec())["compile_version"] == COMPILE_VERSION
+
+
+def test_compile_version_bump_invalidates_old_entries(
+    tmp_path, monkeypatch
+):
+    """An entry written before a COMPILE_VERSION bump must not be
+    served after it: results computed by a different table-compiler /
+    batched-trial generation are stale even if no source changed."""
+    cache = ResultCache(str(tmp_path))
+    cache.put(spec(), {"x": 1})
+    assert cache.get(spec()) is not None
+    old_key = cache.key(spec())
+    monkeypatch.setattr(
+        cache_module, "COMPILE_VERSION", COMPILE_VERSION + ".bumped"
+    )
+    assert cache.key(spec()) != old_key
+    assert cache.get(spec()) is None  # old entry is unreachable
     cache.put(spec(), {"x": 2})
     assert cache.get(spec())["payload"] == {"x": 2}
