@@ -1,0 +1,245 @@
+"""Disk-backed visited set and level logs for the checker.
+
+A completed search only ever *queries* its visited set -- membership
+tests against an append-only population -- so the set does not have to
+live in RAM.  :class:`DiskVisitedStore` keeps a small in-RAM buffer and
+spills it, sorted, into immutable **run files** of fixed-width records;
+membership is a binary search per run (the classic sorted-string-table
+layout, without compaction: runs stay small enough that a handful of
+binary searches beat maintaining a merge).
+
+Records are the shard-local **packed configuration integers** (six
+24-bit fields, see :mod:`repro.checker.engine`), stored as fixed-width
+big-endian byte strings.  Packed configurations are exact identities --
+two distinct abstract configurations never pack to the same int within
+a shard -- so disk-backed membership is bit-identical to the RAM
+``set`` it replaces: same dedup decisions, same verdicts, same
+counterexamples.  (The per-shard files are "sorted-digest membership
+shards" in the sharded-BFS sense: each shard persists only the
+partition of the space its content digest routes to it.)
+
+:class:`LevelLog` is the append-only level-file side: one file per BFS
+level recording the configurations adopted into the frontier at that
+level, written at the same level barriers the checkpoint machinery
+uses.  It is an audit/debug artifact -- re-readable after the run --
+not a queue: the in-flight frontier itself stays in RAM (one BFS level,
+the working set a level-synchronous search cannot avoid touching
+anyway).
+
+Both live under ``.repro-cache/checker/store/<key>/shard-<i>/`` and are
+wiped on construction: a store directory is a scratch materialisation
+of one search, not a cache.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from bisect import bisect_left
+from typing import Iterable, Iterator, List, Set
+
+__all__ = ["DiskVisitedStore", "LevelLog", "RECORD_BYTES"]
+
+#: Fixed record width.  Six 24-bit fields = 144 bits; 19 bytes would
+#: do, but 24 keeps the width a round multiple of 8 and leaves slack
+#: for future fields.
+RECORD_BYTES = 24
+
+_RECORD_CAP = 1 << (8 * RECORD_BYTES)
+
+
+class _SortedRun(object):
+    """One immutable sorted run file, searched via binary search.
+
+    The file's bytes are loaded lazily and kept as one ``bytes`` blob;
+    a run of the default spill size is ~1.5 MiB.  Lookups slice one
+    record per probe -- no parsing, no deserialisation.
+    """
+
+    __slots__ = ("path", "count", "_blob")
+
+    def __init__(self, path: str, count: int) -> None:
+        self.path = path
+        self.count = count
+        self._blob: bytes = b""
+        self._load()
+
+    def _load(self) -> None:
+        with open(self.path, "rb") as handle:
+            self._blob = handle.read()
+        if len(self._blob) != self.count * RECORD_BYTES:
+            raise IOError(
+                f"run file {self.path} holds {len(self._blob)} bytes, "
+                f"expected {self.count * RECORD_BYTES}"
+            )
+
+    def __contains__(self, record: bytes) -> bool:
+        blob = self._blob
+        lo, hi = 0, self.count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            start = mid * RECORD_BYTES
+            probe = blob[start:start + RECORD_BYTES]
+            if probe < record:
+                lo = mid + 1
+            elif probe > record:
+                hi = mid
+            else:
+                return True
+        return False
+
+    def __iter__(self) -> Iterator[bytes]:
+        blob = self._blob
+        for start in range(0, len(blob), RECORD_BYTES):
+            yield blob[start:start + RECORD_BYTES]
+
+
+class DiskVisitedStore(object):
+    """A set of packed configuration ints with bounded RAM residency.
+
+    Drop-in for the shard's ``seen: Set[int]`` (supports ``in``,
+    ``add``, ``len``, iteration).  Additions land in a RAM buffer;
+    when the buffer reaches ``spill_threshold`` entries it is sorted
+    and appended to the directory as an immutable run file.  Lookup
+    order: buffer first (recent configurations are the likeliest
+    repeats), then runs newest-to-oldest.
+
+    Args:
+        directory: per-shard scratch directory; **wiped** and recreated
+            by the constructor.
+        spill_threshold: buffer size, in configurations, that triggers
+            a spill to disk.
+    """
+
+    def __init__(self, directory: str,
+                 spill_threshold: int = 65_536) -> None:
+        if spill_threshold < 1:
+            raise ValueError("spill_threshold must be >= 1")
+        self.directory = directory
+        self.spill_threshold = spill_threshold
+        shutil.rmtree(directory, ignore_errors=True)
+        os.makedirs(directory, exist_ok=True)
+        self._buffer: Set[int] = set()
+        self._runs: List[_SortedRun] = []
+        self._count = 0
+
+    # -- set protocol --------------------------------------------------
+    def __contains__(self, cfg: int) -> bool:
+        if cfg in self._buffer:
+            return True
+        if not self._runs:
+            return False
+        record = cfg.to_bytes(RECORD_BYTES, "big")
+        for run in reversed(self._runs):
+            if record in run:
+                return True
+        return False
+
+    def add(self, cfg: int) -> None:
+        """Insert ``cfg``; the caller guarantees it is not present
+        (the shard kernels always test membership first)."""
+        if cfg >= _RECORD_CAP:
+            raise ValueError(
+                f"configuration {cfg:#x} exceeds the {RECORD_BYTES}-byte "
+                "record width"
+            )
+        self._buffer.add(cfg)
+        self._count += 1
+        if len(self._buffer) >= self.spill_threshold:
+            self._spill()
+
+    def update(self, cfgs: Iterable[int]) -> None:
+        for cfg in cfgs:
+            if cfg not in self:
+                self.add(cfg)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[int]:
+        for run in self._runs:
+            for record in run:
+                yield int.from_bytes(record, "big")
+        yield from self._buffer
+
+    # -- spilling ------------------------------------------------------
+    def _spill(self) -> None:
+        if not self._buffer:
+            return
+        records = sorted(
+            cfg.to_bytes(RECORD_BYTES, "big") for cfg in self._buffer
+        )
+        path = os.path.join(
+            self.directory, f"run-{len(self._runs):06d}.bin"
+        )
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            handle.write(b"".join(records))
+        os.replace(tmp_path, path)
+        self._runs.append(_SortedRun(path, len(records)))
+        self._buffer = set()
+
+    def flush(self) -> None:
+        """Force the RAM buffer onto disk (used before stats snapshots
+        that want an accurate residency picture; never required for
+        correctness)."""
+        self._spill()
+
+    def stats(self) -> dict:
+        return {
+            "backend": "disk",
+            "directory": self.directory,
+            "configurations": self._count,
+            "runs": len(self._runs),
+            "buffered": len(self._buffer),
+            "spill_threshold": self.spill_threshold,
+            "bytes_on_disk": sum(
+                run.count * RECORD_BYTES for run in self._runs
+            ),
+        }
+
+
+class LevelLog(object):
+    """Append-only per-level record of adopted frontiers.
+
+    ``append(level, cfgs)`` writes ``level-<n>.bin`` (fixed-width
+    records, same layout as the visited store); ``read(level)`` hands
+    the configurations back.  One file per level keeps the log
+    append-only even across checkpoint resume: re-adopting a restored
+    frontier rewrites that level's file identically instead of
+    double-appending to a single log.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        shutil.rmtree(directory, ignore_errors=True)
+        os.makedirs(directory, exist_ok=True)
+        self.levels_written = 0
+
+    def _path(self, level: int) -> str:
+        return os.path.join(self.directory, f"level-{level:06d}.bin")
+
+    def append(self, level: int, cfgs: Iterable[int]) -> None:
+        path = self._path(level)
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            handle.write(b"".join(
+                cfg.to_bytes(RECORD_BYTES, "big") for cfg in cfgs
+            ))
+        os.replace(tmp_path, path)
+        self.levels_written += 1
+
+    def read(self, level: int) -> List[int]:
+        with open(self._path(level), "rb") as handle:
+            blob = handle.read()
+        return [
+            int.from_bytes(blob[start:start + RECORD_BYTES], "big")
+            for start in range(0, len(blob), RECORD_BYTES)
+        ]
+
+    def levels(self) -> List[int]:
+        out = []
+        for name in os.listdir(self.directory):
+            if name.startswith("level-") and name.endswith(".bin"):
+                out.append(int(name[len("level-"):-len(".bin")]))
+        return sorted(out)

@@ -127,6 +127,14 @@ def run_all(
 
 def main(argv=None) -> int:
     """CLI entry point.  Returns a process exit code."""
+    # Subcommand dispatch happens on the raw argv, before argparse:
+    # `check` owns its whole flag namespace (see repro.checker.cli).
+    raw = list(sys.argv[1:]) if argv is None else list(argv)
+    if raw and raw[0] == "check":
+        from repro.checker.cli import main as check_main
+
+        return check_main(raw[1:])
+
     from repro.runtime import (
         ResultCache,
         TaskFailure,
@@ -147,8 +155,10 @@ def main(argv=None) -> int:
         nargs="?",
         default="all",
         help=(
-            f"one of {sorted(REGISTRY)}, 'all' (default), or "
-            "'bench-report' to print the BENCH_*.json trend table"
+            f"one of {sorted(REGISTRY)}, 'all' (default), "
+            "'bench-report' to print the BENCH_*.json trend table, or "
+            "'check' to run the bounded model checker "
+            "(see 'check --help')"
         ),
     )
     parser.add_argument(

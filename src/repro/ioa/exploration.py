@@ -98,7 +98,33 @@ _MISSING = object()
 
 
 class ExplorationCapacityError(RuntimeError):
-    """An intern table outgrew the packed-field id capacity."""
+    """An intern table outgrew the packed-field id capacity.
+
+    The error carries how far the search got before overflowing, so
+    callers can report partial progress instead of discarding it:
+
+    Attributes:
+        partial: a truncated :class:`ExplorationResult` covering the
+            work completed before the overflow (``None`` when the
+            raising engine could not assemble one).
+        levels_completed: BFS levels fully expanded (level-synchronous
+            engines only; the serial FIFO kernel reports ``None``).
+        configurations_seen: configurations visited before the
+            overflow.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        partial: Optional["ExplorationResult"] = None,
+        levels_completed: Optional[int] = None,
+        configurations_seen: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.partial = partial
+        self.levels_completed = levels_completed
+        self.configurations_seen = configurations_seen
 
 
 @dataclass
@@ -693,30 +719,70 @@ def explore_station_states(
     deliver_get = deliver_memo.get
     ack_get = ack_memo.get
 
-    while queue:
-        if visited >= max_configurations:
-            result.truncated = True
-            break
-        cfg = queue_popleft()
-        visited += 1
-        sid = cfg & mask
-        rid = (cfg >> _S_RID) & mask
-        t2r = (cfg >> _S_T2R) & mask
-        r2t = (cfg >> _S_R2T) & mask
-        mark_sid(sid)
-        mark_rid(rid)
+    def finalise() -> None:
+        result.configurations = visited
+        sender_keys = search.sender_keys
+        receiver_keys = search.receiver_keys
+        result.sender_states = {sender_keys[sid] for sid in visited_sids}
+        result.receiver_states = {
+            receiver_keys[rid] for rid in visited_rids
+        }
+        # Exact pair count over every configuration reached (including
+        # still-queued ones): a projection of `seen` onto the station
+        # id fields, which intern protocol-state keys one-to-one.
+        result.pair_count = len({cfg & _PAIR_MASK for cfg in seen})
+        elapsed = time.perf_counter() - started
+        result.perf = {
+            "elapsed_s": round(elapsed, 6),
+            "configs_per_sec": configs_per_sec(visited, elapsed),
+            "memo_hits": search.memo_hits,
+            "memo_misses": search.memo_misses,
+            "duplicate_successors_skipped": search.dup_skipped + dup_skipped,
+            "interned_sender_states": len(search.sender_keys),
+            "interned_receiver_states": len(search.receiver_keys),
+            "interned_packet_values": len(search.values),
+            "interned_value_sets": len(search.set_members),
+        }
 
-        # 1. Environment injects a new message.  The environment
-        # modelled here is the paper's one-outstanding-message regime:
-        # it submits only when the sender signals readiness (stations
-        # expose this via ``ready_for_message``; automata without the
-        # attribute accept submissions at any time).
-        if (cfg >> _S_INJ) < max_messages:
-            deltas = inject_get(sid)
-            if deltas is None:
-                deltas = search.build_inject_deltas(sid)
-                inject_memo[sid] = deltas
-            for delta in deltas:
+    try:
+        while queue:
+            if visited >= max_configurations:
+                result.truncated = True
+                break
+            cfg = queue_popleft()
+            visited += 1
+            sid = cfg & mask
+            rid = (cfg >> _S_RID) & mask
+            t2r = (cfg >> _S_T2R) & mask
+            r2t = (cfg >> _S_R2T) & mask
+            mark_sid(sid)
+            mark_rid(rid)
+
+            # 1. Environment injects a new message.  The environment
+            # modelled here is the paper's one-outstanding-message
+            # regime: it submits only when the sender signals readiness
+            # (stations expose this via ``ready_for_message``; automata
+            # without the attribute accept submissions at any time).
+            if (cfg >> _S_INJ) < max_messages:
+                deltas = inject_get(sid)
+                if deltas is None:
+                    deltas = search.build_inject_deltas(sid)
+                    inject_memo[sid] = deltas
+                for delta in deltas:
+                    successor = cfg + delta
+                    if successor in seen:
+                        dup_skipped += 1
+                    else:
+                        seen_add(successor)
+                        queue_append(successor)
+
+            # 2. Sender fires its enabled output (a send_pkt^{t->r}).
+            key = sid | (t2r << _FIELD_BITS)
+            delta = output_get(key, _MISSING)
+            if delta is _MISSING:
+                delta = search.build_output_delta(sid, t2r)
+                output_memo[key] = delta
+            if delta is not None:
                 successor = cfg + delta
                 if successor in seen:
                     dup_skipped += 1
@@ -724,74 +790,50 @@ def explore_station_states(
                     seen_add(successor)
                     queue_append(successor)
 
-        # 2. Sender fires its enabled output (a send_pkt^{t->r}).
-        key = sid | (t2r << _FIELD_BITS)
-        delta = output_get(key, _MISSING)
-        if delta is _MISSING:
-            delta = search.build_output_delta(sid, t2r)
-            output_memo[key] = delta
-        if delta is not None:
-            successor = cfg + delta
-            if successor in seen:
-                dup_skipped += 1
-            else:
-                seen_add(successor)
-                queue_append(successor)
+            # 3. Channel delivers some value to the receiver
+            #    (set-abstraction: the value stays available
+            #    afterwards).  The receiver's resulting outputs are
+            #    flushed atomically, mirroring the engine's pump
+            #    discipline.
+            if t2r:
+                key = (
+                    rid | (t2r << _FIELD_BITS)
+                    | (r2t << (2 * _FIELD_BITS))
+                )
+                deltas = deliver_get(key)
+                if deltas is None:
+                    deltas = search.build_deliver_deltas(rid, t2r, r2t)
+                    deliver_memo[key] = deltas
+                for delta in deltas:
+                    successor = cfg + delta
+                    if successor in seen:
+                        dup_skipped += 1
+                    else:
+                        seen_add(successor)
+                        queue_append(successor)
 
-        # 3. Channel delivers some value to the receiver
-        #    (set-abstraction: the value stays available afterwards).
-        #    The receiver's resulting outputs are flushed atomically,
-        #    mirroring the engine's pump discipline.
-        if t2r:
-            key = rid | (t2r << _FIELD_BITS) | (r2t << (2 * _FIELD_BITS))
-            deltas = deliver_get(key)
-            if deltas is None:
-                deltas = search.build_deliver_deltas(rid, t2r, r2t)
-                deliver_memo[key] = deltas
-            for delta in deltas:
-                successor = cfg + delta
-                if successor in seen:
-                    dup_skipped += 1
-                else:
-                    seen_add(successor)
-                    queue_append(successor)
+            # 4. Channel delivers some value to the sender.
+            if r2t:
+                key = sid | (r2t << _FIELD_BITS)
+                deltas = ack_get(key)
+                if deltas is None:
+                    deltas = search.build_ack_deltas(sid, r2t)
+                    ack_memo[key] = deltas
+                for delta in deltas:
+                    successor = cfg + delta
+                    if successor in seen:
+                        dup_skipped += 1
+                    else:
+                        seen_add(successor)
+                        queue_append(successor)
+    except ExplorationCapacityError as exc:
+        # Don't discard the work done so far: finalise what was visited
+        # into a truncated partial result and attach it to the error.
+        result.truncated = True
+        finalise()
+        exc.partial = result
+        exc.configurations_seen = visited
+        raise
 
-        # 4. Channel delivers some value to the sender.
-        if r2t:
-            key = sid | (r2t << _FIELD_BITS)
-            deltas = ack_get(key)
-            if deltas is None:
-                deltas = search.build_ack_deltas(sid, r2t)
-                ack_memo[key] = deltas
-            for delta in deltas:
-                successor = cfg + delta
-                if successor in seen:
-                    dup_skipped += 1
-                else:
-                    seen_add(successor)
-                    queue_append(successor)
-
-    result.configurations = visited
-    sender_keys = search.sender_keys
-    receiver_keys = search.receiver_keys
-    result.sender_states = {sender_keys[sid] for sid in visited_sids}
-    result.receiver_states = {receiver_keys[rid] for rid in visited_rids}
-
-    # Exact pair count over every configuration reached (including
-    # still-queued ones): a projection of `seen` onto the station id
-    # fields, which intern protocol-state keys one-to-one.
-    result.pair_count = len({cfg & _PAIR_MASK for cfg in seen})
-
-    elapsed = time.perf_counter() - started
-    result.perf = {
-        "elapsed_s": round(elapsed, 6),
-        "configs_per_sec": configs_per_sec(visited, elapsed),
-        "memo_hits": search.memo_hits,
-        "memo_misses": search.memo_misses,
-        "duplicate_successors_skipped": search.dup_skipped + dup_skipped,
-        "interned_sender_states": len(search.sender_keys),
-        "interned_receiver_states": len(search.receiver_keys),
-        "interned_packet_values": len(search.values),
-        "interned_value_sets": len(search.set_members),
-    }
+    finalise()
     return result

@@ -71,6 +71,7 @@ from __future__ import annotations
 
 import functools
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
@@ -88,6 +89,7 @@ from repro.ioa.exploration import (
     _S_R2T,
     _S_RID,
     _S_T2R,
+    ExplorationCapacityError,
     ExplorationResult,
     _InternedSearch,
     configs_per_sec,
@@ -100,9 +102,23 @@ __all__ = [
     "explore_station_states_parallel",
 ]
 
-CHECKPOINT_FORMAT = "repro-exploration-checkpoint/1"
+CHECKPOINT_FORMAT = "repro-exploration-checkpoint/2"
 
 _DIGEST_MOD = 1 << 64
+
+logger = logging.getLogger(__name__)
+
+# Checkpoint container: MAGIC + 8-byte big-endian payload length +
+# 16-byte blake2b digest of the payload + the pickled payload.  The
+# header lets a reader distinguish a torn/corrupted file (partial
+# write, disk damage) from a well-formed checkpoint it merely cannot
+# use -- the former is logged and treated as a cold start.
+_CKPT_MAGIC = b"RXCK1\n"
+_CKPT_LEN_BYTES = 8
+_CKPT_DIGEST_BYTES = 16
+_CKPT_HEADER_BYTES = (
+    len(_CKPT_MAGIC) + _CKPT_LEN_BYTES + _CKPT_DIGEST_BYTES
+)
 
 
 # ----------------------------------------------------------------------
@@ -728,13 +744,24 @@ def _default_checkpoint_dir() -> str:
 
 
 def _save_checkpoint(path: str, payload: Dict[str, Any]) -> None:
-    """Atomic write: a reader never sees a torn checkpoint."""
+    """Atomic write: a reader never sees a torn checkpoint.
+
+    The file is the self-validating container described at
+    ``_CKPT_MAGIC``; ``os.replace`` makes the swap atomic and the
+    length/digest header makes any partial or damaged file detectable
+    on read.
+    """
     directory = os.path.dirname(path)
     os.makedirs(directory, exist_ok=True)
+    blob = pickle.dumps(payload, protocol=4)
+    digest = hashlib.blake2b(blob, digest_size=_CKPT_DIGEST_BYTES).digest()
     fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as handle:
-            pickle.dump(payload, handle, protocol=4)
+            handle.write(_CKPT_MAGIC)
+            handle.write(len(blob).to_bytes(_CKPT_LEN_BYTES, "big"))
+            handle.write(digest)
+            handle.write(blob)
         os.replace(tmp_path, path)
     except BaseException:
         try:
@@ -744,17 +771,72 @@ def _save_checkpoint(path: str, payload: Dict[str, Any]) -> None:
         raise
 
 
-def _load_checkpoint(path: str, key: str,
-                     num_shards: int) -> Optional[Dict[str, Any]]:
+def _read_checkpoint_blob(path: str) -> Optional[bytes]:
+    """Read and validate a checkpoint container.
+
+    Returns the pickled payload bytes, or ``None`` -- with a logged
+    warning -- when the file is unreadable, torn or corrupt.  Callers
+    treat ``None`` as a cold start.
+    """
     try:
         with open(path, "rb") as handle:
-            payload = pickle.load(handle)
-    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-            ImportError, IndexError):
+            raw = handle.read()
+    except OSError as exc:
+        logger.warning("checkpoint %s unreadable (%s); cold start",
+                       path, exc)
         return None
+    if len(raw) < _CKPT_HEADER_BYTES:
+        logger.warning(
+            "checkpoint %s truncated (%d bytes, header needs %d); "
+            "cold start", path, len(raw), _CKPT_HEADER_BYTES,
+        )
+        return None
+    if not raw.startswith(_CKPT_MAGIC):
+        logger.warning(
+            "checkpoint %s has no container header (old format or "
+            "foreign file); cold start", path,
+        )
+        return None
+    offset = len(_CKPT_MAGIC)
+    length = int.from_bytes(raw[offset:offset + _CKPT_LEN_BYTES], "big")
+    offset += _CKPT_LEN_BYTES
+    digest = raw[offset:offset + _CKPT_DIGEST_BYTES]
+    blob = raw[_CKPT_HEADER_BYTES:]
+    if len(blob) != length:
+        logger.warning(
+            "checkpoint %s truncated (%d payload bytes, header claims "
+            "%d); cold start", path, len(blob), length,
+        )
+        return None
+    actual = hashlib.blake2b(blob, digest_size=_CKPT_DIGEST_BYTES).digest()
+    if actual != digest:
+        logger.warning(
+            "checkpoint %s failed its content digest (corrupt); "
+            "cold start", path,
+        )
+        return None
+    return blob
+
+
+def _load_checkpoint(path: str, key: str, num_shards: int,
+                     fmt: str = CHECKPOINT_FORMAT
+                     ) -> Optional[Dict[str, Any]]:
+    blob = _read_checkpoint_blob(path)
+    if blob is None:
+        return None
+    try:
+        payload = pickle.loads(blob)
+    except (pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError, ValueError) as exc:
+        logger.warning("checkpoint %s failed to unpickle (%s); cold start",
+                       path, exc)
+        return None
+    # A digest-valid file that simply belongs to a different search
+    # (format bump, other parameters, other shard count) is not
+    # corruption; skip it silently, as before.
     if not isinstance(payload, dict):
         return None
-    if payload.get("format") != CHECKPOINT_FORMAT:
+    if payload.get("format") != fmt:
         return None
     if payload.get("key") != key:
         return None
@@ -886,6 +968,8 @@ def explore_station_states_parallel(
             return [shard.handle(payloads[0])]
 
     checkpoints_written = 0
+    level = 0
+    visited_total = 0
     try:
         if state is not None:
             request_all([
@@ -995,6 +1079,48 @@ def explore_station_states_parallel(
 
         if not pool_done:
             finishes = request_all([("finish",)] * num_shards)
+    except Exception as exc:
+        from repro.runtime.bsp import ShardWorkerError
+
+        # An intern-table overflow must not discard the search's
+        # progress.  BSP workers survive handler exceptions (the error
+        # is reported, the worker keeps serving), so the shards can
+        # still be asked to finish; the merged partial result rides on
+        # the re-raised error.
+        if isinstance(exc, ExplorationCapacityError):
+            message = str(exc)
+        elif isinstance(exc, ShardWorkerError) \
+                and "ExplorationCapacityError" in str(exc):
+            message = str(exc)
+        else:
+            raise
+        partial: Optional[ExplorationResult] = None
+        configurations = visited_total
+        try:
+            partial_finishes = request_all([("finish",)] * num_shards)
+        except Exception:
+            partial_finishes = None
+        if partial_finishes is not None:
+            partial = ExplorationResult(
+                packet_values={Direction.T2R: set(), Direction.R2T: set()}
+            )
+            partial_pairs: Set[Tuple] = set()
+            for finish in partial_finishes:
+                partial.sender_states |= finish["sender_states"]
+                partial.receiver_states |= finish["receiver_states"]
+                partial_pairs |= finish["pairs"]
+                for direction, values in finish["packet_values"].items():
+                    partial.packet_values[direction] |= values
+            partial.pair_count = len(partial_pairs)
+            configurations = sum(f["visited"] for f in partial_finishes)
+            partial.configurations = configurations
+            partial.truncated = True
+        raise ExplorationCapacityError(
+            message,
+            partial=partial,
+            levels_completed=level,
+            configurations_seen=configurations,
+        ) from exc
     finally:
         if pool is not None:
             pool.close()

@@ -1,0 +1,60 @@
+"""Purpose-built stations for checker tests.
+
+The stock broken protocols (:mod:`repro.datalink.broken`) violate the
+*behavioural* specs; ``type-ok`` needs something worse -- an automaton
+that leaks values outside the model's vocabulary onto a channel.  The
+pair here does exactly that: :class:`LeakySender` transmits the raw
+message payload instead of wrapping it in a
+:class:`~repro.channels.packets.Packet`, and :class:`TolerantReceiver`
+accepts whatever arrives without touching packet attributes (so the
+search itself does not crash before the property can flag the
+configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+from repro.datalink.stations import ReceiverStation, SenderStation
+
+
+class LeakySender(SenderStation):
+    """Transmits the raw message payload -- no packet, no header."""
+
+    name = "leaky.A^t"
+
+    def ready_for_message(self) -> bool:
+        return self.current_packet is None
+
+    def on_send_msg(self, message: Hashable) -> None:
+        # Deliberate type violation: a bare string is not a Packet.
+        self.current_packet = message  # type: ignore[assignment]
+
+    def on_packet(self, packet) -> None:
+        self.current_packet = None
+
+    def protocol_fields(self) -> Tuple:
+        return ()
+
+    def set_protocol_fields(self, fields: Tuple) -> None:
+        del fields
+
+
+class TolerantReceiver(ReceiverStation):
+    """Echoes every arriving value back; never inspects it."""
+
+    name = "tolerant.A^r"
+
+    def on_packet(self, packet) -> None:
+        self.queue_packet(packet)
+
+    def protocol_fields(self) -> Tuple:
+        return ()
+
+    def set_protocol_fields(self, fields: Tuple) -> None:
+        del fields
+
+
+def make_leaky_pair():
+    """A (sender, receiver) pair that violates ``type-ok``."""
+    return LeakySender(), TolerantReceiver()

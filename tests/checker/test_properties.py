@@ -1,0 +1,124 @@
+"""Unit tests: the checker's property layer.
+
+Covers the spec-string parser, the stock property registry, and the
+semantics of each stock predicate via direct ``check_protocol`` runs
+on purpose-built station pairs (see ``station_zoo``).
+"""
+
+import pytest
+
+from repro.checker.properties import (
+    Dl1ForgeryProperty,
+    HeaderBoundProperty,
+    Property,
+    STOCK_PROPERTIES,
+    TypeOkProperty,
+    make_property,
+)
+
+
+class TestMakeProperty:
+    def test_stock_names_resolve(self):
+        assert isinstance(make_property("type-ok"), TypeOkProperty)
+        assert isinstance(make_property("dl1-forgery"), Dl1ForgeryProperty)
+        assert isinstance(make_property("header-bound"), HeaderBoundProperty)
+
+    def test_header_bound_parameter(self):
+        prop = make_property("header-bound=7")
+        assert prop.bound == 7
+        assert prop.spec() == "header-bound=7"
+
+    def test_spec_roundtrips(self):
+        for spec in ("type-ok", "dl1-forgery", "header-bound=3"):
+            assert make_property(spec).spec() == spec
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown property"):
+            make_property("no-such-property")
+
+    def test_non_integer_parameter(self):
+        with pytest.raises(ValueError, match="must be an integer"):
+            make_property("header-bound=two")
+
+    def test_parameter_on_parameterless_property(self):
+        with pytest.raises(ValueError, match="takes no parameter"):
+            make_property("type-ok=3")
+
+    def test_header_bound_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            HeaderBoundProperty(0)
+
+
+class TestRegistry:
+    def test_registry_names_match_classes(self):
+        for name, factory in STOCK_PROPERTIES.items():
+            assert factory.name == name
+
+    def test_kinds(self):
+        assert TypeOkProperty.kind == "invariant"
+        assert HeaderBoundProperty.kind == "invariant"
+        assert Dl1ForgeryProperty.kind == "reachability"
+        assert Dl1ForgeryProperty.needs_delivered is True
+        assert TypeOkProperty.needs_delivered is False
+
+    def test_describe_is_one_line(self):
+        for factory in STOCK_PROPERTIES.values():
+            description = factory().describe()
+            assert description
+            assert "\n" not in description
+
+
+class TestEvaluateFallback:
+    """A property can opt out of packed-int scanning entirely."""
+
+    def test_custom_evaluate_property(self):
+        from repro.checker import check_protocol
+        from repro.datalink.sequence import make_sequence_protocol
+
+        class NoSecondInjection(Property):
+            name = "no-second-injection"
+
+            def evaluate(self, view):
+                return view.injected >= 2
+
+        sender, receiver = make_sequence_protocol()
+        result = check_protocol(
+            sender, receiver, ["a"], NoSecondInjection(), max_messages=2
+        )
+        assert result.violated
+        # The view exposes the decoded configuration, so the hit is a
+        # configuration with two injections along its path.
+        assert result.counterexample is not None
+        kinds = [
+            step.label[0]
+            for step in result.counterexample.steps
+            if step.label is not None
+        ]
+        assert kinds.count("inject") == 2
+
+    def test_view_decodes_channels(self):
+        from repro.channels.packets import Packet
+        from repro.checker import check_protocol
+        from repro.datalink.sequence import make_sequence_protocol
+
+        seen = []
+
+        class Spy(Property):
+            name = "spy"
+
+            def evaluate(self, view):
+                seen.append(view)
+                return False
+
+        sender, receiver = make_sequence_protocol()
+        result = check_protocol(
+            sender, receiver, ["a"], Spy(), max_messages=1
+        )
+        assert result.holds
+        assert any(view.t2r_values for view in seen)
+        for view in seen:
+            assert all(isinstance(p, Packet) for p in view.t2r_values)
+            assert all(isinstance(p, Packet) for p in view.r2t_values)
+            assert 0 <= view.injected <= 1
+            # delivered is not tracked unless the property asks.
+            assert view.delivered is None

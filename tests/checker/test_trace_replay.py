@@ -1,0 +1,124 @@
+"""Unit tests: counterexample fingerprints and the concrete replay.
+
+The replay bridges the set-abstraction's duplicate-delivery gap with
+*honest* retransmissions (see :mod:`repro.checker.trace`); these tests
+pin both the bridge and its refusal to fake events it cannot justify.
+"""
+
+import copy
+
+from repro.checker import check_protocol
+from repro.checker.trace import (
+    Counterexample,
+    TraceStep,
+    replay_counterexample,
+)
+from repro.datalink.broken import EagerReceiver
+from repro.datalink.sequence import SequenceSender, make_sequence_protocol
+
+
+def forgery_counterexample():
+    sender, receiver = SequenceSender(), EagerReceiver()
+    result = check_protocol(sender, receiver, ["m"], "dl1-forgery",
+                            replay=False)
+    assert result.violated
+    return result.counterexample
+
+
+class TestFingerprint:
+    def test_stable_across_deep_copies(self):
+        cex = forgery_counterexample()
+        clone = copy.deepcopy(cex)
+        assert clone.fingerprint() == cex.fingerprint()
+
+    def test_insensitive_to_replay_state(self):
+        # The fingerprint hashes the abstract path only; replaying
+        # (which fills execution/spec_report/notes) must not change it.
+        cex = forgery_counterexample()
+        before = cex.fingerprint()
+        replay_counterexample(cex, SequenceSender(), EagerReceiver(),
+                              delivered_cap=3)
+        assert cex.fingerprint() == before
+
+    def test_sensitive_to_the_path(self):
+        cex = forgery_counterexample()
+        shorter = Counterexample(steps=list(cex.steps[:-1]),
+                                 target_digest=cex.target_digest)
+        assert shorter.fingerprint() != cex.fingerprint()
+
+    def test_describe_lists_every_step(self):
+        cex = forgery_counterexample()
+        text = cex.describe()
+        assert "(initial configuration)" in text
+        assert len(text.splitlines()) == len(cex.steps)
+
+
+class TestReplay:
+    def test_duplicate_delivery_uses_honest_retransmission(self):
+        cex = forgery_counterexample()
+        replay_counterexample(cex, SequenceSender(), EagerReceiver(),
+                              delivered_cap=3)
+        assert cex.concrete
+        assert any("retransmitted" in note for note in cex.notes)
+        # Every delivered copy is backed by a genuine send_pkt, so the
+        # DL1 violation the spec checker reports is the protocol's own
+        # bug, not an artifact of the reconstruction.
+        assert cex.spec_report is not None
+        assert not cex.spec_report.ok
+        assert cex.spec_report.by_property("DL1")
+
+    def test_replay_does_not_touch_the_given_stations(self):
+        cex = forgery_counterexample()
+        sender, receiver = SequenceSender(), EagerReceiver()
+        before = (sender.snapshot(), receiver.snapshot())
+        replay_counterexample(cex, sender, receiver, delivered_cap=3)
+        assert (sender.snapshot(), receiver.snapshot()) == before
+
+    def test_unbridgeable_gap_reports_not_concrete(self):
+        # A path demanding an output the sender never offers cannot be
+        # replayed; the replay must say so instead of faking the event.
+        cex = forgery_counterexample()
+        from repro.datalink.sequence import data_packet
+
+        bogus = data_packet(99, "zzz")
+        steps = list(cex.steps[:1]) + [
+            TraceStep(label=("output", bogus), portable=cex.steps[-1].portable)
+        ]
+        broken = Counterexample(steps=steps, target_digest=0)
+        replay_counterexample(broken, SequenceSender(), EagerReceiver())
+        assert broken.concrete is False
+        assert any("expects output" in note for note in broken.notes)
+
+    def test_final_state_mismatch_detected(self):
+        # Truncating the path leaves the replayed system short of the
+        # recorded hit configuration; _verify_final must notice.
+        cex = forgery_counterexample()
+        truncated = Counterexample(
+            steps=list(cex.steps[:-1]) + [cex.steps[-1]],
+            target_digest=cex.target_digest,
+        )
+        # Same steps still replay fine...
+        replay_counterexample(truncated, SequenceSender(), EagerReceiver(),
+                              delivered_cap=3)
+        assert truncated.concrete
+        # ...but dropping a deliver step breaks the final-state match.
+        missing = Counterexample(
+            steps=list(cex.steps[:-2]) + [cex.steps[-1]],
+            target_digest=cex.target_digest,
+        )
+        replay_counterexample(missing, SequenceSender(), EagerReceiver(),
+                              delivered_cap=3)
+        assert missing.concrete is False
+        assert missing.notes
+
+    def test_holds_path_replay_on_correct_protocol(self):
+        # Sanity: a correct protocol's reachable configuration replays
+        # with no spec violations at all.
+        sender, receiver = make_sequence_protocol()
+        result = check_protocol(sender, receiver, ["m"], "header-bound=2",
+                                max_messages=3)
+        assert result.violated  # sequence outgrows any fixed bound
+        cex = result.counterexample
+        assert cex.concrete
+        assert cex.spec_report is not None
+        assert cex.spec_report.ok  # bounded-header is not a behaviour bug

@@ -19,6 +19,7 @@ from repro.experiments.bench_report import (
 )
 
 EXPECTED_BENCHES = {
+    "BENCH_checker.json",
     "BENCH_compile.json",
     "BENCH_explore.json",
     "BENCH_kernel.json",

@@ -110,11 +110,14 @@ def all_subclasses(base):
             if sub not in found:
                 found.add(sub)
                 frontier.append(sub)
-    return found
+    # Only library stations belong in the matrix; test-local fixtures
+    # (e.g. the checker suite's deliberately ill-typed stations) are
+    # exempt from the kernel-equivalence obligation.
+    return {cls for cls in found if cls.__module__.startswith("repro.")}
 
 
 def test_every_station_class_is_covered():
-    """A new station class must be added to the equivalence matrix."""
+    """A new library station class must join the equivalence matrix."""
     assert all_subclasses(SenderStation) == EXPECTED_SENDERS
     assert all_subclasses(ReceiverStation) == EXPECTED_RECEIVERS
     covered_senders = set()
