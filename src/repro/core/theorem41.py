@@ -116,11 +116,22 @@ def plant_backlog(
     materialises an indistinguishable final configuration --
     and falls back to the interpreted construction for FULL traces;
     ``"interpreted"`` forces the fallback, ``"batch"`` insists and
-    raises when unsupported.
+    raises when unsupported.  ``"vector"`` is recognised but always
+    refused: pumping must hand back a *live* ``DataLinkSystem`` per
+    trial, and the struct-of-arrays engine keeps no per-trial system
+    to return (the experiment layer maps ``vector`` down to ``auto``
+    here).
     """
-    if engine not in ("auto", "batch", "interpreted"):
+    if engine not in ("auto", "vector", "batch", "interpreted"):
         raise ValueError(
-            f"engine must be 'auto', 'batch' or 'interpreted', got {engine!r}"
+            "engine must be 'auto', 'vector', 'batch' or 'interpreted', "
+            f"got {engine!r}"
+        )
+    if engine == "vector":
+        raise ValueError(
+            "the vector engine cannot plant backlogs: Theorem 4.1 "
+            "pumping materialises a live system per trial; use "
+            "engine='auto' (the batched pumping engine)"
         )
     if engine != "interpreted" and trace_mode is TraceMode.COUNTS:
         from repro.core.trials import plant_backlog_batch

@@ -118,16 +118,37 @@ def run_probabilistic_delivery(
             within its exactness envelope and falls back to the
             interpreted engine otherwise; ``"interpreted"`` forces the
             fallback; ``"batch"`` insists on the batch path and raises
-            when the configuration is unsupported.  Both engines
-            produce bit-identical results for the same seed.
+            when the configuration is unsupported; ``"vector"``
+            insists on the struct-of-arrays engine
+            (:mod:`repro.core.vectrials`, built for whole trial grids
+            -- a single run pays its setup without amortizing it) and
+            raises when that gate refuses.  All engines produce
+            bit-identical results for the same seed.
 
     Returns:
         The per-message cumulative packet series and final pool size.
     """
-    if engine not in ("auto", "batch", "interpreted"):
+    if engine not in ("auto", "vector", "batch", "interpreted"):
         raise ValueError(
-            f"engine must be 'auto', 'batch' or 'interpreted', got {engine!r}"
+            "engine must be 'auto', 'vector', 'batch' or 'interpreted', "
+            f"got {engine!r}"
         )
+    if engine == "vector":
+        from repro.core import vectrials
+
+        reason = vectrials.vector_unsupported_reason(
+            pair_factory, trickle=trickle, trace_mode=trace_mode, sinks=sinks
+        )
+        if reason is not None:
+            raise ValueError(f"the vector engine cannot run this: {reason}")
+        return vectrials.run_probabilistic_vector(
+            pair_factory,
+            [dict(q=q, n=n, seed=seed)],
+            message=message,
+            max_steps=max_steps,
+            packet_budget=packet_budget,
+            sinks=sinks,
+        )[0]
     if engine != "interpreted":
         from repro.core import trials
 

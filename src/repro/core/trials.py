@@ -66,7 +66,9 @@ class _TrialChannel:
     bag would.
     """
 
-    __slots__ = ("q", "_rand", "due", "value_counts", "size", "sent_total")
+    __slots__ = (
+        "q", "_rand", "due", "_spare", "value_counts", "size", "sent_total"
+    )
 
     def __init__(self, q: float, rng: random.Random) -> None:
         if not 0.0 <= q < 1.0:
@@ -74,6 +76,7 @@ class _TrialChannel:
         self.q = q
         self._rand = rng.random
         self.due: List[int] = []
+        self._spare: List[int] = []
         self.value_counts: dict = {}
         self.size = 0
         self.sent_total = 0
@@ -87,9 +90,17 @@ class _TrialChannel:
             self.due.append(vid)
 
     def take_due(self) -> List[int]:
+        """Drain the due queue without allocating: the empty case
+        returns the (empty) live list untouched, the non-empty case
+        swaps in the cleared scratch list.  The returned list is
+        only valid until the next call -- every caller drains it
+        immediately."""
         due = self.due
         if due:
-            self.due = []
+            spare = self._spare
+            spare.clear()
+            self.due = spare
+            self._spare = due
         return due
 
     def deliver(self, vid: int) -> None:
@@ -400,6 +411,7 @@ def run_probabilistic_batch(
 def run_probabilistic_trials(
     pair_factory: Callable[[], Tuple],
     trials: Sequence[dict],
+    engine: str = "auto",
     **common,
 ):
     """Run a shard of trials over one compiled pair.
@@ -407,9 +419,50 @@ def run_probabilistic_trials(
     ``trials`` is a sequence of per-trial keyword dicts (``q``/``n``/
     ``seed``/...), each merged over ``common``; the pair is compiled
     once and its tables are shared by every trial.
+
+    ``engine`` picks the tier: ``"auto"`` (default) runs the
+    struct-of-arrays vector engine (:mod:`repro.core.vectrials`) when
+    its gate accepts the grid and the grid is large enough to amortize
+    batch setup (``VECTOR_MIN_TRIALS``), the batch engine otherwise;
+    ``"vector"`` / ``"batch"`` insist on one tier (``"vector"``
+    raising when the gate refuses); ``"interpreted"`` runs every trial
+    through the interpreted reference engine.  All tiers are
+    bit-identical trial for trial.
     """
-    engine = ProbabilisticTrialEngine(pair_factory)
-    return [engine.run(**{**common, **trial}) for trial in trials]
+    if engine not in ("auto", "vector", "batch", "interpreted"):
+        raise ValueError(
+            "engine must be 'auto', 'vector', 'batch' or 'interpreted', "
+            f"got {engine!r}"
+        )
+    if engine == "interpreted":
+        from repro.core.theorem51 import run_probabilistic_delivery
+
+        return [
+            run_probabilistic_delivery(
+                pair_factory, engine="interpreted", **{**common, **trial}
+            )
+            for trial in trials
+        ]
+    if engine in ("auto", "vector"):
+        from repro.core import vectrials
+
+        reason = vectrials.vector_trials_unsupported_reason(
+            pair_factory, trials, common
+        )
+        if engine == "vector":
+            if reason is not None:
+                raise ValueError(
+                    f"the vector engine cannot run this grid: {reason}"
+                )
+            return vectrials.run_probabilistic_vector(
+                pair_factory, trials, **common
+            )
+        if reason is None and len(trials) >= vectrials.VECTOR_MIN_TRIALS:
+            return vectrials.run_probabilistic_vector(
+                pair_factory, trials, **common
+            )
+    batch_engine = ProbabilisticTrialEngine(pair_factory)
+    return [batch_engine.run(**{**common, **trial}) for trial in trials]
 
 
 class _PumpBag:

@@ -48,6 +48,9 @@ EXP_ID = "E3"
 NAME = "backlog"
 TITLE = "Theorem 4.1: cost per message grows as backlog/k (tight)"
 
+#: ``run_shard`` accepts the runner's ``--engine`` selection.
+ENGINE_AWARE = True
+
 SEQUENCE_BACKLOG = 32
 
 
@@ -91,15 +94,25 @@ def _probe_dict(probe) -> Dict[str, Any]:
     }
 
 
-def run_shard(params: Dict[str, Any], fast: bool, seed: int) -> Dict[str, Any]:
+def run_shard(
+    params: Dict[str, Any], fast: bool, seed: int, engine: str = "auto"
+) -> Dict[str, Any]:
     """Execute one curve sweep, dichotomy level or escape probe."""
     del seed  # deterministic
+    # Theorem 4.1 pumping always materialises a live system per trial,
+    # which the struct-of-arrays engine never holds, so an explicit
+    # ``--engine vector`` degrades to the batched pumping path here
+    # (``plant_backlog(engine="vector")`` would refuse outright).
+    if engine == "vector":
+        engine = "auto"
     kind = params["kind"]
     if kind == "curve":
         phases = int(params["phases"])
         probes = [
             _probe_dict(
-                probe_backlog_cost(lambda: make_flooding(phases), backlog)
+                probe_backlog_cost(
+                    lambda: make_flooding(phases), backlog, engine=engine
+                )
             )
             for backlog in backlog_levels(fast)
         ]
@@ -108,6 +121,7 @@ def run_shard(params: Dict[str, Any], fast: bool, seed: int) -> Dict[str, Any]:
             "phases": phases,
             "probes": probes,
             "metrics": {
+                "engine": engine,
                 "packets": sum(p["extension_packets"] for p in probes),
             },
         }
@@ -118,7 +132,7 @@ def run_shard(params: Dict[str, Any], fast: bool, seed: int) -> Dict[str, Any]:
             ("abp", make_alternating_bit),
             ("flood", lambda: make_flooding(3)),
         ):
-            outcome = run_dichotomy(factory, level)
+            outcome = run_dichotomy(factory, level, engine=engine)
             rows[label] = {
                 "probe": _probe_dict(outcome.probe),
                 "exceeded_bound": outcome.exceeded_bound,
@@ -127,7 +141,9 @@ def run_shard(params: Dict[str, Any], fast: bool, seed: int) -> Dict[str, Any]:
             }
         return {"kind": kind, "level": level, **rows}
     if kind == "sequence":
-        probe = probe_backlog_cost(make_sequence_protocol, SEQUENCE_BACKLOG)
+        probe = probe_backlog_cost(
+            make_sequence_protocol, SEQUENCE_BACKLOG, engine=engine
+        )
         return {"kind": kind, "probe": _probe_dict(probe)}
     raise ValueError(f"unknown backlog shard kind {kind!r}")
 

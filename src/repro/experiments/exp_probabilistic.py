@@ -48,7 +48,25 @@ EXP_ID = "E4"
 NAME = "probabilistic"
 TITLE = "Theorem 5.1: exponential blowup over a probabilistic channel"
 
+#: ``run_shard`` accepts the runner's ``--engine`` selection.
+ENGINE_AWARE = True
+
 PHASES = 3
+
+
+def _resolved(engine: str, pair_factory) -> str:
+    """The engine this shard actually runs a protocol under.
+
+    ``"vector"`` degrades to ``"auto"`` for pairs the vector gate
+    refuses (oracle-mode flooding, a numpy-less environment): an
+    explicit ``--engine vector`` means "vectorize wherever exact",
+    not "fail the sweep on the protocol that cannot be".
+    """
+    if engine != "vector":
+        return engine
+    from repro.core.vectrials import vector_unsupported_reason
+
+    return "auto" if vector_unsupported_reason(pair_factory) else "vector"
 
 
 def error_probabilities(fast: bool) -> List[float]:
@@ -71,28 +89,42 @@ def shards(fast: bool) -> List[Dict[str, Any]]:
     return [{"shard": f"q={q}", "q": q} for q in error_probabilities(fast)]
 
 
-def run_shard(params: Dict[str, Any], fast: bool, seed: int) -> Dict[str, Any]:
+def run_shard(
+    params: Dict[str, Any], fast: bool, seed: int, engine: str = "auto"
+) -> Dict[str, Any]:
     """Run both protocols at one ``q``; returns the raw series."""
     q = float(params["q"])
     n = horizon(q, fast)
     budget = 150_000 if fast else 400_000
+    flood_factory = lambda: make_flooding(PHASES)  # noqa: E731
+    flood_engine = _resolved(engine, flood_factory)
+    naive_engine = _resolved(engine, make_sequence_protocol)
     # One metrics observer per protocol run.  count_steps=False keeps
     # the COUNTS hot loop free of per-step marks; the step totals come
     # from the run statistics below instead.
     flood_metrics = MetricsSink(count_steps=False)
     naive_metrics = MetricsSink(count_steps=False)
     flood = run_probabilistic_delivery(
-        lambda: make_flooding(PHASES),
+        flood_factory,
         q=q,
         n=n,
         seed=seed,
         packet_budget=budget,
         sinks=[flood_metrics],
+        engine=flood_engine,
     )
     naive = run_probabilistic_delivery(
-        make_sequence_protocol, q=q, n=n, seed=seed, sinks=[naive_metrics]
+        make_sequence_protocol,
+        q=q,
+        n=n,
+        seed=seed,
+        sinks=[naive_metrics],
+        engine=naive_engine,
     )
     metrics: Dict[str, Any] = {
+        # What actually ran (engines are bit-identical; this is
+        # observability, not identity -- it stays out of cache keys).
+        "engine": f"flood={flood_engine},naive={naive_engine}",
         "packets": flood.total_packets + naive.total_packets,
         "engine_steps": flood.steps + naive.steps,
         # Fast-path kernel observability: both runs execute in
@@ -130,10 +162,14 @@ def merge(
     result = ExperimentResult(exp_id=EXP_ID, title=TITLE)
 
     # Aggregate the per-shard telemetry (``.get`` keeps cached
-    # pre-metrics payloads loadable).
+    # pre-metrics payloads loadable).  String-valued metrics (the
+    # resolved engine) are annotations: carried through when uniform,
+    # never summed.
     for payload in payloads:
         for key, value in payload.get("metrics", {}).items():
-            if key.startswith("peak_"):
+            if isinstance(value, str):
+                result.metrics[key] = value
+            elif key.startswith("peak_"):
                 result.metrics[key] = max(result.metrics.get(key, 0), value)
             else:
                 result.metrics[key] = result.metrics.get(key, 0) + value

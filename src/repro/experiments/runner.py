@@ -188,6 +188,18 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--engine",
+        choices=("auto", "vector", "batch", "interpreted"),
+        default="auto",
+        help=(
+            "trial engine for the probabilistic experiments (E3/E4): "
+            "'vector' = struct-of-arrays numpy engine where exact, "
+            "'batch' = compiled per-trial engine, 'interpreted' = pure "
+            "reference loop; all three are bit-identical, so this "
+            "changes speed only (default: auto)"
+        ),
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="recompute everything; neither read nor write the cache",
@@ -259,6 +271,7 @@ def main(argv=None) -> int:
             timeout=args.timeout,
             reporter=reporter,
             explore_parallel=args.explore_parallel,
+            engine=args.engine,
         )
     except TaskFailure as failure:
         print(f"error: {failure}", file=sys.stderr)

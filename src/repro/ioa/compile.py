@@ -328,16 +328,56 @@ class CompiledSender(CompiledAutomaton):
         st.set_protocol_fields(fields)
 
     # ------------------------------------------------------------------
+    # miss resolution (shared by the scalar interface below and the
+    # vectorized engine, which gathers the tables as ndarrays and
+    # resolves the missing (state, input) slots scalar-side)
+    # ------------------------------------------------------------------
+    def resolve_ready(self, sid: int) -> int:
+        """Discover (and table) the readiness bit of state ``sid``."""
+        self.misses += 1
+        self._restore(sid)
+        bit = 1 if self._station.ready_for_message() else 0
+        self.ready_bit[sid] = bit
+        return bit
+
+    def resolve_msg(self, sid: int, mvid: int) -> int:
+        """Discover the ``send_msg`` successor of ``(sid, mvid)``."""
+        self.misses += 1
+        self._restore(sid)
+        self._station.on_send_msg(self.values.values[mvid])
+        nxt = self._intern_current()
+        self._set(self.msg_next[sid], mvid, nxt)
+        return nxt
+
+    def resolve_rcv(self, sid: int, vid: int) -> int:
+        """Discover the ``receive_pkt^{r->t}`` successor of
+        ``(sid, vid)``."""
+        self.misses += 1
+        self._restore(sid)
+        self._station.on_packet(self.values.values[vid])
+        nxt = self._intern_current()
+        self._set(self.rcv_next[sid], vid, nxt)
+        return nxt
+
+    def resolve_commit(self, sid: int) -> int:
+        """Discover the transmission-commit successor of ``sid``."""
+        self.misses += 1
+        self._restore(sid)
+        st = self._station
+        st.packets_sent = 0
+        st.commit_packet(st.current_packet)
+        nxt = self._intern_current()
+        self.commit_next[sid] = nxt
+        return nxt
+
+    # ------------------------------------------------------------------
     # the kernel interface
     # ------------------------------------------------------------------
     def ready(self) -> bool:
         """``ready_for_message()`` of the current state."""
         bit = self.ready_bit[self.cur]
         if bit == _UNKNOWN:
-            self.misses += 1
-            self._restore(self.cur)
-            bit = 1 if self._station.ready_for_message() else 0
-            self.ready_bit[self.cur] = bit
+            bit = self.resolve_ready(self.cur)
         else:
             self.hits += 1
         return bit == 1
@@ -347,11 +387,7 @@ class CompiledSender(CompiledAutomaton):
         row = self.msg_next[self.cur]
         nxt = row[mvid] if mvid < len(row) else _UNKNOWN
         if nxt == _UNKNOWN:
-            self.misses += 1
-            self._restore(self.cur)
-            self._station.on_send_msg(self.values.values[mvid])
-            nxt = self._intern_current()
-            self._set(self.msg_next[self.cur], mvid, nxt)
+            nxt = self.resolve_msg(self.cur, mvid)
         else:
             self.hits += 1
         self.cur = nxt
@@ -361,11 +397,7 @@ class CompiledSender(CompiledAutomaton):
         row = self.rcv_next[self.cur]
         nxt = row[vid] if vid < len(row) else _UNKNOWN
         if nxt == _UNKNOWN:
-            self.misses += 1
-            self._restore(self.cur)
-            self._station.on_packet(self.values.values[vid])
-            nxt = self._intern_current()
-            self._set(self.rcv_next[self.cur], vid, nxt)
+            nxt = self.resolve_rcv(self.cur, vid)
         else:
             self.hits += 1
         self.cur = nxt
@@ -379,13 +411,7 @@ class CompiledSender(CompiledAutomaton):
         """One transmission of the offered packet was committed."""
         nxt = self.commit_next[self.cur]
         if nxt == _UNKNOWN:
-            self.misses += 1
-            self._restore(self.cur)
-            st = self._station
-            st.packets_sent = 0
-            st.commit_packet(st.current_packet)
-            nxt = self._intern_current()
-            self.commit_next[self.cur] = nxt
+            nxt = self.resolve_commit(self.cur)
         else:
             self.hits += 1
         self.cur = nxt
@@ -453,6 +479,30 @@ class CompiledReceiver(CompiledAutomaton):
         return fid
 
     # ------------------------------------------------------------------
+    # miss resolution (shared with the vectorized engine; see
+    # CompiledSender.resolve_*)
+    # ------------------------------------------------------------------
+    def resolve_accept(self, sid: int, vid: int) -> Tuple[int, Tuple]:
+        """Discover the packet macro-transition of ``(sid, vid)``:
+        returns ``(next state id, (delivery vids, control vids))``."""
+        self.misses += 1
+        st = self._station
+        st.restore(((), (), 0, self._fields[sid]))
+        st.on_packet(self.values.values[vid])
+        nxt = self._intern(st.protocol_fields())
+        intern = self.values.intern
+        ops = (
+            tuple(intern(m) for m in st._deliveries),
+            tuple(intern(p) for p in st._outgoing),
+        )
+        self._set(self.rcv_next[sid], vid, nxt)
+        out_row = self.rcv_out[sid]
+        if vid >= len(out_row):
+            out_row.extend([None] * (vid + 1 - len(out_row)))
+        out_row[vid] = ops
+        return nxt, ops
+
+    # ------------------------------------------------------------------
     # the kernel interface
     # ------------------------------------------------------------------
     def accept(self, vid: int) -> None:
@@ -462,21 +512,7 @@ class CompiledReceiver(CompiledAutomaton):
         row = self.rcv_next[cur]
         nxt = row[vid] if vid < len(row) else _UNKNOWN
         if nxt == _UNKNOWN:
-            self.misses += 1
-            st = self._station
-            st.restore(((), (), 0, self._fields[cur]))
-            st.on_packet(self.values.values[vid])
-            nxt = self._intern(st.protocol_fields())
-            intern = self.values.intern
-            ops = (
-                tuple(intern(m) for m in st._deliveries),
-                tuple(intern(p) for p in st._outgoing),
-            )
-            self._set(self.rcv_next[cur], vid, nxt)
-            out_row = self.rcv_out[cur]
-            if vid >= len(out_row):
-                out_row.extend([None] * (vid + 1 - len(out_row)))
-            out_row[vid] = ops
+            nxt, ops = self.resolve_accept(cur, vid)
         else:
             self.hits += 1
             ops = self.rcv_out[cur][vid]
@@ -531,6 +567,74 @@ class CompiledReceiver(CompiledAutomaton):
             )
         )
         return station
+
+
+def _rows_to_array(np, rows: List[List[int]], width: int):
+    """Dense ``(len(rows), width)`` int64 table from ragged rows,
+    missing slots filled with :data:`_UNKNOWN`."""
+    table = np.full((len(rows), width), _UNKNOWN, dtype=np.int64)
+    for sid, row in enumerate(rows):
+        if row:
+            table[sid, : len(row)] = row
+    return table
+
+
+def export_sender_arrays(kernel: CompiledSender, num_values: int):
+    """The sender tables as contiguous int64 ndarrays.
+
+    Returns ``(ready, out, commit, msg, rcv)``: three state-indexed
+    vectors and two ``(state, value id)`` matrices sized
+    ``num_values`` wide (callers pass ``len(kernel.values)`` so every
+    interned id is addressable).  Unknown slots carry ``-1``; ``out``
+    carries :data:`NO_VALUE` (also ``-1``) for states with nothing to
+    transmit -- that slot is populated at intern time and is never a
+    miss.  The arrays are snapshots: the vectorized engine re-exports
+    after resolving misses through ``resolve_*``.  numpy is imported
+    lazily -- it is an optional (``repro[perf]``) dependency.
+    """
+    import numpy as np
+
+    ready = np.array(kernel.ready_bit, dtype=np.int64)
+    out = np.array(kernel.out_vid, dtype=np.int64)
+    commit = np.array(kernel.commit_next, dtype=np.int64)
+    msg = _rows_to_array(np, kernel.msg_next, num_values)
+    rcv = _rows_to_array(np, kernel.rcv_next, num_values)
+    return ready, out, commit, msg, rcv
+
+
+def export_receiver_arrays(kernel: CompiledReceiver, num_values: int):
+    """The receiver macro-transition tables as contiguous ndarrays.
+
+    Returns ``(next, ndeliv, nout, outs)``: the ``(state, value id) ->
+    state`` successor matrix, the per-slot delivery and control-packet
+    counts, and ``outs[s, v, j]`` = the ``j``-th control packet's value
+    id (``outs``'s last axis is the largest control burst seen, at
+    least 1).  Delivery value ids are deliberately not exported: the
+    batched engines only count deliveries.  Unknown slots carry ``-1``
+    in ``next``/``ndeliv``/``nout``.  Snapshot semantics and the lazy
+    numpy import are as in :func:`export_sender_arrays`.
+    """
+    import numpy as np
+
+    nxt = _rows_to_array(np, kernel.rcv_next, num_values)
+    states = len(kernel.rcv_out)
+    ndeliv = np.full((states, num_values), _UNKNOWN, dtype=np.int64)
+    nout = np.full((states, num_values), _UNKNOWN, dtype=np.int64)
+    max_out = 1
+    for out_row in kernel.rcv_out:
+        for ops in out_row:
+            if ops is not None and len(ops[1]) > max_out:
+                max_out = len(ops[1])
+    outs = np.zeros((states, num_values, max_out), dtype=np.int64)
+    for sid, out_row in enumerate(kernel.rcv_out):
+        for vid, ops in enumerate(out_row):
+            if ops is None:
+                continue
+            ndeliv[sid, vid] = len(ops[0])
+            nout[sid, vid] = len(ops[1])
+            if ops[1]:
+                outs[sid, vid, : len(ops[1])] = ops[1]
+    return nxt, ndeliv, nout, outs
 
 
 class InterpretedSender:
@@ -846,6 +950,23 @@ class CompiledPair:
             if self.receiver_table
             else None
         )
+
+    def table_kernels(self) -> Tuple:
+        """The shared table kernels, *without* a per-trial reset.
+
+        For engines that keep all per-trial state (current state ids,
+        output queues, counters) outside the kernels and only use them
+        as transition tables -- the vectorized engine of
+        :mod:`repro.core.vectrials`.  Such engines may call the
+        ``resolve_*`` discovery methods (which never touch ``cur`` or
+        the queues) concurrently with batch trials sharing this pair.
+        """
+        if not (self.sender_table and self.receiver_table):
+            raise ValueError(
+                "table_kernels() needs a fully table-compilable pair; "
+                "this pair falls back to interpreted kernels"
+            )
+        return self._sender_kernel, self._receiver_kernel
 
     def kernels(self, oracle=None) -> Tuple:
         """A (sender kernel, receiver kernel) pair for one trial."""

@@ -24,6 +24,7 @@ import tempfile
 import time
 from typing import Any, Dict, Optional
 
+from repro.core.vectrials import VECTOR_VERSION
 from repro.ioa.compile import COMPILE_VERSION
 from repro.runtime.task import TaskSpec
 
@@ -45,7 +46,11 @@ KERNEL_VERSION = "repro-kernel/3"
 # (:data:`repro.ioa.compile.COMPILE_VERSION`) is salted in alongside
 # the kernel generation and for the same reason: results produced by a
 # different compiled-path generation must never be served, even to
-# readers that pin or strip the code digest.
+# readers that pin or strip the code digest.  The struct-of-arrays
+# trial generation (:data:`repro.core.vectrials.VECTOR_VERSION`) joins
+# them: engines are bit-identical, so the *engine choice* stays out of
+# task keys, but a vector-generation bump must still flush results the
+# vector tier may have produced.
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -100,6 +105,7 @@ class ResultCache:
                 CACHE_FORMAT,
                 KERNEL_VERSION,
                 COMPILE_VERSION,
+                VECTOR_VERSION,
                 code_version(),
                 spec.experiment,
                 spec.shard,
@@ -144,6 +150,7 @@ class ResultCache:
             "format": CACHE_FORMAT,
             "kernel_version": KERNEL_VERSION,
             "compile_version": COMPILE_VERSION,
+            "vector_version": VECTOR_VERSION,
             "code_version": code_version(),
             "spec": spec.to_dict(),
             "payload": payload,

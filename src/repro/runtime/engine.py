@@ -153,6 +153,7 @@ def run_experiments(
     retries: int = 1,
     reporter=None,
     explore_parallel: Optional[int] = None,
+    engine: str = "auto",
 ) -> RunReport:
     """Run experiments through the task runtime; returns a report.
 
@@ -172,20 +173,31 @@ def run_experiments(
             serial).  Bound onto the task runner, never into task
             specs, so it stays out of cache keys -- completed
             explorations are identical at any count.
+        engine: trial-engine selection (``auto`` / ``vector`` /
+            ``batch`` / ``interpreted``) threaded to engine-aware
+            shard modules (E3/E4).  Execution configuration like
+            ``explore_parallel``: all engines are bit-identical, so it
+            stays out of task specs and cache keys; the resolved
+            choice is recorded in the run manifest.
 
     Raises:
         TaskFailure: a task failed after all retries; no partial
             results are returned.
     """
+    if engine not in ("auto", "vector", "batch", "interpreted"):
+        raise ValueError(
+            "engine must be 'auto', 'vector', 'batch' or 'interpreted', "
+            f"got {engine!r}"
+        )
     runner = None
-    if explore_parallel is not None:
-        # Bind the worker count onto the task body; ``None`` keeps the
-        # executor's default runner (worker.execute falls back to the
-        # environment itself).
+    if explore_parallel is not None or engine != "auto":
+        # Bind the execution configuration onto the task body; the
+        # default keeps the executor's own runner (worker.execute
+        # falls back to the environment itself).
         from repro.runtime.worker import execute
 
         runner = functools.partial(
-            execute, explore_parallel=explore_parallel
+            execute, explore_parallel=explore_parallel, engine=engine
         )
 
     specs = plan_tasks(names, fast=fast, seed=seed)
@@ -210,5 +222,6 @@ def run_experiments(
         workers=workers,
         code_version=cache_mod.code_version(),
         cache_dir=str(cache.directory) if cache is not None else None,
+        engine=engine,
     )
     return RunReport(results=results, manifest=manifest, outcomes=outcomes)

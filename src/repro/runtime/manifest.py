@@ -32,8 +32,14 @@ def build_manifest(
     workers: int,
     code_version: str,
     cache_dir: Optional[str] = None,
+    engine: str = "auto",
 ) -> Dict[str, Any]:
-    """Assemble the manifest dict for one finished run."""
+    """Assemble the manifest dict for one finished run.
+
+    ``engine`` is the run-level trial-engine request; the engine each
+    shard actually resolved to (``auto`` may fan out per protocol) is
+    in that task's ``metrics["engine"]``.
+    """
     tasks = []
     for outcome in outcomes:
         spec = outcome.spec
@@ -67,6 +73,7 @@ def build_manifest(
         "fast": fast,
         "root_seed": seed,
         "workers": workers,
+        "engine": engine,
         "cache_dir": cache_dir,
         "code_version": code_version,
         "tasks": tasks,

@@ -24,15 +24,19 @@ from repro.runtime.task import KIND_SHARD, KIND_WHOLE
 
 
 def execute(
-    spec_dict: Dict[str, Any], explore_parallel: Any = None
+    spec_dict: Dict[str, Any],
+    explore_parallel: Any = None,
+    engine: Any = None,
 ) -> Dict[str, Any]:
     """Run one task; returns ``{"payload": ..., "wall_time": ...}``.
 
-    ``explore_parallel`` is execution configuration, not task identity:
-    it is bound onto this function (``functools.partial``) by the
-    engine rather than carried in the spec dict, so it never reaches
-    cache keys.  Shard tasks ignore it -- no sharded experiment
-    explores state spaces.
+    ``explore_parallel`` and ``engine`` are execution configuration,
+    not task identity: they are bound onto this function
+    (``functools.partial``) by the engine rather than carried in the
+    spec dict, so they never reach cache keys (all trial engines are
+    bit-identical, so the engine choice cannot change a payload).
+    ``engine`` reaches only shard modules that declare
+    ``ENGINE_AWARE = True``; everything else ignores it.
     """
     from repro.experiments.runner import REGISTRY, SHARDED
 
@@ -45,7 +49,12 @@ def execute(
         module = SHARDED.get(name)
         if module is None:
             raise KeyError(f"experiment {name!r} is not sharded")
-        payload = module.run_shard(spec_dict["params"], fast, seed)
+        if engine is not None and getattr(module, "ENGINE_AWARE", False):
+            payload = module.run_shard(
+                spec_dict["params"], fast, seed, engine=engine
+            )
+        else:
+            payload = module.run_shard(spec_dict["params"], fast, seed)
     elif kind == KIND_WHOLE:
         run = REGISTRY.get(name)
         if run is None:

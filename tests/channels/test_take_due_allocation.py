@@ -1,0 +1,68 @@
+"""The batch-trial channel drains its due queue without allocating.
+
+``_TrialChannel.take_due`` sits on the hottest loop of the batch
+probabilistic engine -- once per engine step per direction.  It is
+double-buffered: an empty queue returns the live (empty) list
+untouched, a non-empty queue swaps in a cleared spare, so the steady
+state cycles between exactly two list objects and never constructs a
+new one.  The price is a staleness contract (the returned list is
+valid only until the next call), which the engine honours by draining
+immediately; these tests pin both halves so a refactor cannot quietly
+re-introduce a per-step allocation (the same obligation
+``test_decision_allocation.py`` places on adversaries).
+"""
+
+import random
+
+from repro.core.trials import _TrialChannel
+
+
+def make_channel(q=0.0, seed=1):
+    return _TrialChannel(q, random.Random(seed))
+
+
+def test_nonempty_drain_cycles_between_two_buffers():
+    channel = make_channel(q=0.0)  # q=0: every send is immediately due
+    buffers = set()
+    for vid in range(50):
+        channel.send(vid % 3)
+        due = channel.take_due()
+        assert due == [vid % 3]
+        assert channel.due == []
+        buffers.add(id(due))
+    assert len(buffers) == 2, (
+        "take_due should reuse exactly two list objects, "
+        f"saw {len(buffers)}"
+    )
+
+
+def test_empty_drain_returns_the_live_list_without_swapping():
+    channel = make_channel()
+    live = channel.due
+    for _ in range(5):
+        assert channel.take_due() is live
+
+
+def test_returned_list_is_recycled_on_the_next_nonempty_drain():
+    """The staleness contract: the previously returned list becomes
+    the live due queue again, so holding it across calls would alias
+    fresh arrivals -- callers must drain immediately (the engine does)."""
+    channel = make_channel(q=0.0)
+    channel.send(7)
+    first = channel.take_due()
+    assert first == [7]
+    channel.send(8)
+    second = channel.take_due()
+    assert second == [8]
+    channel.send(9)
+    third = channel.take_due()
+    assert third is first  # the double buffer came back around
+    assert third == [9]
+
+
+def test_delayed_copies_never_reach_the_due_queue():
+    channel = make_channel(q=1.0 - 1e-12, seed=3)  # ~always delayed
+    for vid in range(20):
+        channel.send(vid)
+    assert channel.take_due() == []
+    assert channel.size == 20  # the pool still holds every copy

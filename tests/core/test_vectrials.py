@@ -1,0 +1,355 @@
+"""Equivalence and gating for the struct-of-arrays vector trial engine.
+
+:mod:`repro.core.vectrials` runs whole grids of Theorem 5.1 trials as
+numpy array programs.  It is an *engine tier*, not a model change:
+every result must be bit-identical to the batch engine and to the
+interpreted reference, trial for trial.  This suite pins
+
+* the equivalence matrix -- vector == batch == interpreted over every
+  stock station pair the gate accepts, under randomized seeds and
+  grid shapes, with a completeness guard so a new station class
+  cannot ship without a gate verdict;
+* the exact-RNG contract -- the SoA MT19937 reproduces CPython's
+  ``random.Random`` coin streams bit for bit, and each trial's stream
+  depends only on its own seed (so :func:`derive_seed`-derived grids
+  are position-independent);
+* the strict/soft gate split -- ``engine="vector"`` raises with the
+  refusal reason, ``engine="auto"`` silently falls back (including
+  when numpy is absent, simulated by poisoning the lazy import);
+* the sharded path -- process-sharded grids reassemble identically to
+  the in-process engine.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import vectrials
+from repro.core.theorem41 import plant_backlog
+from repro.core.theorem51 import run_probabilistic_delivery
+from repro.core.trials import run_probabilistic_trials
+from repro.core.vectrials import (
+    VECTOR_MIN_TRIALS,
+    numpy_available,
+    run_probabilistic_trials_sharded,
+    vector_unsupported_reason,
+)
+from repro.datalink.alternating_bit import make_alternating_bit
+from repro.datalink.broken import (
+    BlackHoleReceiver,
+    EagerReceiver,
+    ForgetfulSender,
+    SwapReceiver,
+)
+from repro.datalink.flooding import make_capacity_flooding, make_flooding
+from repro.datalink.gobackn import make_gobackn
+from repro.datalink.sequence import (
+    SequenceReceiver,
+    SequenceSender,
+    make_sequence_protocol,
+)
+from repro.datalink.sequence_mod import make_modular_sequence
+from repro.datalink.stations import ReceiverStation, SenderStation
+from repro.datalink.window import make_window_protocol
+from repro.ioa.sinks import MetricsSink
+from repro.runtime.seeds import derive_seed
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not installed (repro[perf])"
+)
+
+# ---------------------------------------------------------------------------
+# the coverage matrix
+# ---------------------------------------------------------------------------
+
+PAIR_FACTORIES = {
+    "flooding_oracle": lambda: make_flooding(2),
+    "flooding_capacity": lambda: make_capacity_flooding(2, 3),
+    "sequence": make_sequence_protocol,
+    "alternating_bit": make_alternating_bit,
+    "gobackn": lambda: make_gobackn(3),
+    "modular_sequence": make_modular_sequence,
+    "window": make_window_protocol,
+    "black_hole": lambda: (SequenceSender(), BlackHoleReceiver()),
+    "eager": lambda: (SequenceSender(), EagerReceiver()),
+    "forgetful": lambda: (ForgetfulSender(), SequenceReceiver()),
+    "swap": lambda: (SequenceSender(), SwapReceiver()),
+}
+
+#: Pairs the vector gate accepts: both stations table-compile.
+VECTOR_ELIGIBLE = {
+    "alternating_bit",
+    "black_hole",
+    "eager",
+    "flooding_capacity",
+    "forgetful",
+    "modular_sequence",
+    "sequence",
+    "swap",
+}
+
+#: Pairs the gate refuses (interpreted sender plumbing or oracle reads).
+VECTOR_REFUSED = {"flooding_oracle", "gobackn", "window"}
+
+ELIGIBLE_CASES = sorted(
+    (name, PAIR_FACTORIES[name]) for name in VECTOR_ELIGIBLE
+)
+
+
+def all_subclasses(base):
+    found, frontier = set(), [base]
+    while frontier:
+        cls = frontier.pop()
+        for sub in cls.__subclasses__():
+            if sub not in found:
+                found.add(sub)
+                frontier.append(sub)
+    return {cls for cls in found if cls.__module__.startswith("repro.")}
+
+
+def test_every_station_class_has_a_gate_verdict():
+    """A new library station class must join this matrix (mirrors the
+    completeness guard of ``tests/ioa/test_compile_equivalence.py``)."""
+    assert VECTOR_ELIGIBLE | VECTOR_REFUSED == set(PAIR_FACTORIES)
+    assert not VECTOR_ELIGIBLE & VECTOR_REFUSED
+    covered = set()
+    for factory in PAIR_FACTORIES.values():
+        sender, receiver = factory()
+        covered.add(type(sender))
+        covered.add(type(receiver))
+    library = all_subclasses(SenderStation) | all_subclasses(ReceiverStation)
+    assert library <= covered
+
+
+@needs_numpy
+def test_gate_verdicts_match_the_matrix():
+    for name in sorted(VECTOR_ELIGIBLE):
+        assert vector_unsupported_reason(PAIR_FACTORIES[name]) is None, name
+    for name in sorted(VECTOR_REFUSED):
+        reason = vector_unsupported_reason(PAIR_FACTORIES[name])
+        assert reason is not None and "table-compilable" in reason, name
+
+
+# ---------------------------------------------------------------------------
+# the equivalence property
+# ---------------------------------------------------------------------------
+
+
+@needs_numpy
+@pytest.mark.parametrize(
+    "name, factory", ELIGIBLE_CASES, ids=[n for n, _ in ELIGIBLE_CASES]
+)
+@given(
+    root=st.integers(min_value=0, max_value=2**32 - 1),
+    q=st.sampled_from([0.0, 0.2, 0.5, 0.8]),
+    n=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=6, deadline=None)
+def test_vector_matches_batch_and_interpreted(name, factory, root, q, n):
+    """vector == batch == interpreted, field for field, trial for
+    trial (dataclass equality covers the cumulative series too)."""
+    trials = [
+        dict(q=q, n=n, seed=derive_seed(root, "vec-equiv", f"t{i}"))
+        for i in range(3)
+    ]
+    common = dict(max_steps=600)
+    vec = run_probabilistic_trials(factory, trials, engine="vector", **common)
+    bat = run_probabilistic_trials(factory, trials, engine="batch", **common)
+    ref = run_probabilistic_trials(
+        factory, trials, engine="interpreted", **common
+    )
+    assert vec == bat == ref
+
+
+@needs_numpy
+def test_vector_honours_packet_budgets_and_messages():
+    trials = [
+        dict(q=0.3, n=20, seed=s, packet_budget=40, message=f"t{s}")
+        for s in range(8)
+    ]
+    vec = run_probabilistic_trials(
+        make_sequence_protocol, trials, engine="vector"
+    )
+    bat = run_probabilistic_trials(
+        make_sequence_protocol, trials, engine="batch"
+    )
+    assert vec == bat
+    assert any(not result.completed for result in vec)  # budget bites
+
+
+@needs_numpy
+def test_metrics_sink_totals_match_batch():
+    def observe(engine):
+        sink = MetricsSink(count_steps=False)
+        run_probabilistic_trials(
+            make_sequence_protocol,
+            [dict(q=0.3, n=8, seed=seed) for seed in range(20)],
+            engine=engine,
+            sinks=[sink],
+        )
+        return sink.snapshot()
+
+    assert observe("vector") == observe("batch")
+
+
+# ---------------------------------------------------------------------------
+# the exact-RNG contract
+# ---------------------------------------------------------------------------
+
+
+@needs_numpy
+def test_coin_streams_are_bit_exact_with_random_random():
+    """The SoA twister's 53-bit coin draws reproduce ``random.Random``
+    across two twist boundaries, for small, huge and derived seeds."""
+    np = vectrials._numpy()
+    seeds = (0, 1, 97, 2**64 + 12345, derive_seed(0, "rng", "t3"))
+    column = vectrials._CoinColumn(np, vectrials._init_states(np, seeds))
+    idx = np.arange(len(seeds))
+    drawn = np.stack([column.draw(idx) for _ in range(700)], axis=1)
+    floats = (drawn * (1.0 / 9007199254740992.0)).tolist()
+    for row, seed in zip(floats, seeds):
+        reference = random.Random(seed)
+        assert row == [reference.random() for _ in range(700)]
+
+
+@needs_numpy
+def test_trial_results_depend_only_on_their_own_seed():
+    """A trial's result is a function of its own (derived) seed, not
+    of its grid position or batch neighbours."""
+    seeds = [derive_seed(0, "grid", f"t{i}") for i in range(20)]
+    grid = run_probabilistic_trials(
+        make_sequence_protocol,
+        [dict(q=0.3, n=5, seed=seed) for seed in seeds],
+        engine="vector",
+    )
+    for position in (0, 7, 19):
+        solo = run_probabilistic_delivery(
+            make_sequence_protocol,
+            q=0.3,
+            n=5,
+            seed=seeds[position],
+            engine="interpreted",
+        )
+        assert grid[position] == solo
+
+
+# ---------------------------------------------------------------------------
+# the strict/soft gate split
+# ---------------------------------------------------------------------------
+
+
+def test_strict_vector_refuses_ineligible_grids():
+    with pytest.raises(ValueError, match="cannot run this grid"):
+        run_probabilistic_trials(
+            lambda: make_gobackn(3),
+            [dict(q=0.2, n=2, seed=0)],
+            engine="vector",
+        )
+
+
+def test_auto_falls_back_for_refused_pairs():
+    factory = lambda: make_gobackn(3)
+    trials = [dict(q=0.2, n=2, seed=s) for s in range(VECTOR_MIN_TRIALS)]
+    auto = run_probabilistic_trials(factory, trials)
+    batch = run_probabilistic_trials(factory, trials, engine="batch")
+    assert auto == batch
+
+
+def test_engine_name_validation():
+    with pytest.raises(ValueError, match="engine must be"):
+        run_probabilistic_trials(make_sequence_protocol, [], engine="warp")
+    with pytest.raises(ValueError, match="engine must be"):
+        run_probabilistic_delivery(
+            make_sequence_protocol, q=0.2, n=1, engine="warp"
+        )
+
+
+@needs_numpy
+def test_auto_tier_engages_vector_only_at_scale(monkeypatch):
+    """Below ``VECTOR_MIN_TRIALS`` the auto tier stays on the batch
+    engine (array dispatch overhead beats the loop only at scale)."""
+    calls = {"vector": 0}
+    real = vectrials.run_probabilistic_vector
+
+    def counting(*args, **kwargs):
+        calls["vector"] += 1
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(vectrials, "run_probabilistic_vector", counting)
+    small = [dict(q=0.2, n=3, seed=s) for s in range(VECTOR_MIN_TRIALS - 1)]
+    large = [dict(q=0.2, n=3, seed=s) for s in range(VECTOR_MIN_TRIALS)]
+    run_probabilistic_trials(make_sequence_protocol, small)
+    assert calls["vector"] == 0
+    run_probabilistic_trials(make_sequence_protocol, large)
+    assert calls["vector"] == 1
+
+
+@needs_numpy
+def test_theorem51_vector_dispatch_and_refusal():
+    vec = run_probabilistic_delivery(
+        make_sequence_protocol, q=0.3, n=6, seed=5, engine="vector"
+    )
+    bat = run_probabilistic_delivery(
+        make_sequence_protocol, q=0.3, n=6, seed=5, engine="batch"
+    )
+    assert vec == bat
+    with pytest.raises(ValueError, match="cannot run this"):
+        run_probabilistic_delivery(
+            lambda: make_flooding(2), q=0.3, n=4, seed=0, engine="vector"
+        )
+
+
+def test_theorem41_refuses_the_vector_engine():
+    """Pumping materialises a live system per trial; the vector tier
+    never holds one, so the refusal is structural, not a gap."""
+    with pytest.raises(ValueError, match="cannot plant backlogs"):
+        plant_backlog(make_sequence_protocol, 8, engine="vector")
+
+
+def test_numpy_absence_degrades_softly(monkeypatch):
+    """With the lazy numpy import poisoned, auto falls back silently,
+    strict selection raises, and results still match the reference."""
+    monkeypatch.setattr(vectrials, "_numpy_module", False)
+    assert not numpy_available()
+    reason = vector_unsupported_reason(make_sequence_protocol)
+    assert reason is not None and "numpy" in reason
+    trials = [dict(q=0.2, n=3, seed=s) for s in range(VECTOR_MIN_TRIALS)]
+    with pytest.raises(ValueError, match="numpy"):
+        run_probabilistic_trials(
+            make_sequence_protocol, trials, engine="vector"
+        )
+    auto = run_probabilistic_trials(make_sequence_protocol, trials)
+    reference = run_probabilistic_trials(
+        make_sequence_protocol, trials, engine="interpreted"
+    )
+    assert auto == reference
+
+
+# ---------------------------------------------------------------------------
+# the sharded path
+# ---------------------------------------------------------------------------
+
+
+@needs_numpy
+def test_sharded_grid_matches_in_process():
+    trials = [
+        dict(q=0.3, n=5, seed=derive_seed(3, "shard", f"t{i}")) for i in range(24)
+    ]
+    sharded = run_probabilistic_trials_sharded(
+        make_sequence_protocol, trials, num_shards=2
+    )
+    in_process = run_probabilistic_trials(
+        make_sequence_protocol, trials, engine="vector"
+    )
+    assert sharded == in_process
+
+
+def test_sharded_refuses_cross_process_sinks():
+    with pytest.raises(ValueError, match="sinks"):
+        run_probabilistic_trials_sharded(
+            make_sequence_protocol,
+            [dict(q=0.2, n=2, seed=0)],
+            sinks=[MetricsSink()],
+        )

@@ -25,6 +25,7 @@ EXPECTED_BENCHES = {
     "BENCH_kernel.json",
     "BENCH_pipeline.json",
     "BENCH_runtime.json",
+    "BENCH_vector.json",
 }
 
 

@@ -19,6 +19,7 @@ EXPECTED_EXAMPLES = {
     "probabilistic_blowup.py",
     "ttl_rescues_wraparound.py",
     "transport_over_network.py",
+    "vector_sweep.py",
 }
 
 
@@ -36,9 +37,13 @@ def test_every_expected_example_exists():
     assert EXPECTED_EXAMPLES <= present
 
 
+# CI-sized arguments for examples whose defaults are full-scale runs.
+EXAMPLE_ARGS = {"vector_sweep.py": ("2000",)}
+
+
 @pytest.mark.parametrize("name", sorted(EXPECTED_EXAMPLES))
 def test_example_runs_clean(name):
-    result = run_example(name)
+    result = run_example(name, *EXAMPLE_ARGS.get(name, ()))
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout.strip(), "example produced no output"
 
@@ -58,3 +63,10 @@ def test_blowup_example_accepts_q_argument():
     result = run_example("probabilistic_blowup.py", "0.2")
     assert result.returncode == 0
     assert "q=0.2" in result.stdout
+
+
+def test_vector_sweep_reports_engine_and_boundary():
+    result = run_example("vector_sweep.py", "400")
+    assert result.returncode == 0
+    assert "engine=" in result.stdout
+    assert "trials/s" in result.stdout

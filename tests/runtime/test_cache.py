@@ -1,5 +1,6 @@
 """Unit: the on-disk JSON result cache."""
 
+from repro.core.vectrials import VECTOR_VERSION
 from repro.ioa.compile import COMPILE_VERSION
 from repro.runtime import cache as cache_module
 from repro.runtime.cache import (
@@ -124,6 +125,32 @@ def test_compile_version_bump_invalidates_old_entries(
     old_key = cache.key(spec())
     monkeypatch.setattr(
         cache_module, "COMPILE_VERSION", COMPILE_VERSION + ".bumped"
+    )
+    assert cache.key(spec()) != old_key
+    assert cache.get(spec()) is None  # old entry is unreachable
+    cache.put(spec(), {"x": 2})
+    assert cache.get(spec())["payload"] == {"x": 2}
+
+
+def test_entry_records_vector_version(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(spec(), {"x": 1})
+    assert cache.get(spec())["vector_version"] == VECTOR_VERSION
+
+
+def test_vector_version_bump_invalidates_old_entries(
+    tmp_path, monkeypatch
+):
+    """An entry written before a VECTOR_VERSION bump must not be
+    served after it: the engine *choice* stays out of keys (all tiers
+    are bit-identical), but results a different struct-of-arrays
+    generation may have produced are stale even if no source changed."""
+    cache = ResultCache(str(tmp_path))
+    cache.put(spec(), {"x": 1})
+    assert cache.get(spec()) is not None
+    old_key = cache.key(spec())
+    monkeypatch.setattr(
+        cache_module, "VECTOR_VERSION", VECTOR_VERSION + ".bumped"
     )
     assert cache.key(spec()) != old_key
     assert cache.get(spec()) is None  # old entry is unreachable
