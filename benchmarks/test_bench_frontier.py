@@ -1,0 +1,165 @@
+"""Benchmark: the vectorized frontier tier vs the interpreted BFS.
+
+The frontier tier (:mod:`repro.ioa.vecfrontier`) replays the
+level-synchronous exploration as numpy array programs -- successor
+generation as broadcast adds of per-move-class delta tables, dedup as
+``np.unique`` against sorted visited runs, checker classifiers as
+vectorized compares.  Results are bit-identical across tiers (pinned
+by ``tests/ioa/test_vecfrontier.py``); this suite records what the
+array path buys on the workloads that go wide.
+
+Workloads (all capacity-flood(4,4), 3-message alphabet, 6 injections
+-- a frontier that reaches six-figure widths, the regime the tier is
+for; near-chain searches stay on the scalar fallback and gain
+nothing):
+
+* ``explore_capflood44_500k_s`` -- plain state-counting BFS, 500k
+  configuration budget, one in-process shard;
+* ``check_capflood44_typeok_500k_s`` -- the same traversal under the
+  checker with the ``type-ok`` invariant scanned every level.
+
+Both tiers are re-timed live on the current tree (the interpreted
+tier is the before; a canned baseline would dodge host variance), so
+the committed ratios are a single-host A/B.  Numbers come from
+single-CPU runs of the one-shard engine: the tier multiplies with
+sharding rather than replacing it, but cross-process timings would
+measure the pool, not the kernels.  ``BENCH_frontier.json`` records
+the comparison.
+"""
+
+import pathlib
+import time
+
+import pytest
+
+from repro.checker import check_protocol
+from repro.datalink.flooding import make_capacity_flooding
+from repro.ioa.exploration_parallel import explore_station_states_parallel
+from repro.ioa.vecfrontier import numpy_available
+
+BLOB_PATH = (
+    pathlib.Path(__file__).resolve().parents[1] / "BENCH_frontier.json"
+)
+
+#: Target speedup on the flood workloads (committed in the blob).  The
+#: in-test floor is looser because shared CI runners are noisy.
+MIN_SPEEDUP_X = 3.0
+CI_MIN_SPEEDUP_X = 2.2
+
+ALPHABET = ["a", "b", "c"]
+MAX_MESSAGES = 6
+BUDGET = 500_000
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not installed (repro[perf])"
+)
+
+
+def explore_flood(engine):
+    sender, receiver = make_capacity_flooding(4, 4)
+    return explore_station_states_parallel(
+        sender, receiver, ALPHABET, max_messages=MAX_MESSAGES,
+        max_configurations=BUDGET, workers=1, use_processes=False,
+        engine=engine,
+    )
+
+
+def check_flood(engine):
+    sender, receiver = make_capacity_flooding(4, 4)
+    return check_protocol(
+        sender, receiver, ALPHABET, "type-ok", max_messages=MAX_MESSAGES,
+        max_configurations=BUDGET, trace="off", engine=engine,
+    )
+
+
+def best_of(fn, reps=5):
+    timings = []
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - started)
+    return min(timings)
+
+
+def best_of_ab(fn, reps=7):
+    """Min-of-reps for both tiers, interleaved A/B.
+
+    Alternating vector/interpreted runs inside one loop keeps slow
+    drift on a shared host (thermal, co-tenants) from landing entirely
+    on one side of the ratio.
+    """
+    vector, interpreted = [], []
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn("vector")
+        vector.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        fn("interpreted")
+        interpreted.append(time.perf_counter() - started)
+    return min(vector), min(interpreted)
+
+
+@needs_numpy
+def test_bench_explore_vector(benchmark):
+    result = benchmark.pedantic(
+        lambda: explore_flood("vector"), rounds=1, iterations=1
+    )
+    assert result.truncated
+    assert result.perf["engine"]["frontier"]["tier"] == "vector"
+    assert result.perf["engine"]["frontier"]["wide"] is True
+    # The tier changes speed only.
+    assert result.configurations == explore_flood("interpreted").configurations
+
+
+@needs_numpy
+def test_bench_check_vector(benchmark):
+    result = benchmark.pedantic(
+        lambda: check_flood("vector"), rounds=1, iterations=1
+    )
+    assert result.verdict == "budget-exhausted"
+    assert result.stats["engine"]["frontier"]["tier"] == "vector"
+
+
+@needs_numpy
+def test_emit_timings_blob(write_bench_blob):
+    """Live A/B across tiers, committed as BENCH_frontier.json."""
+    explore_vec, explore_int = (
+        round(t, 4) for t in best_of_ab(explore_flood)
+    )
+    check_vec, check_int = (
+        round(t, 4) for t in best_of_ab(check_flood)
+    )
+    explore_x = round(explore_int / max(explore_vec, 1e-9), 2)
+    check_x = round(check_int / max(check_vec, 1e-9), 2)
+    blob = {
+        "bench": "vector-frontier",
+        "baseline_commit": "fa5aa8d",
+        # Baseline: the interpreted tier of the same one-shard
+        # level-synchronous engine, timed in the same process.
+        "before_s": {
+            "explore_capflood44_500k_s": explore_int,
+            "check_capflood44_typeok_500k_s": check_int,
+        },
+        "after_s": {
+            "explore_capflood44_500k_s": explore_vec,
+            "check_capflood44_typeok_500k_s": check_vec,
+        },
+        # Trend number: the plain-exploration ratio (the checker sweep
+        # rides the same kernels; its ratio is recorded alongside).
+        "speedup_x": explore_x,
+        "check_speedup_x": check_x,
+        "min_speedup_x": MIN_SPEEDUP_X,
+        "note": (
+            "single-CPU, one in-process shard: the tier multiplies "
+            "with sharding rather than replacing it"
+        ),
+    }
+    write_bench_blob(BLOB_PATH.name, blob)
+    assert explore_x >= CI_MIN_SPEEDUP_X, (
+        f"frontier tier speedup {explore_x}x fell below even the loose "
+        f"CI floor {CI_MIN_SPEEDUP_X}x (target {MIN_SPEEDUP_X}x)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q", "--benchmark-disable"]))

@@ -154,6 +154,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="counterexample reconstruction mode",
     )
     parser.add_argument(
+        "--engine",
+        choices=("auto", "vector", "interpreted"),
+        default="auto",
+        help=(
+            "BFS tier: auto picks the vectorized frontier engine when "
+            "supported; vector requires it (errors otherwise); "
+            "verdicts are identical across tiers"
+        ),
+    )
+    parser.add_argument(
         "--checkpoint-every", type=int, default=0, metavar="LEVELS"
     )
     parser.add_argument("--checkpoint-dir", default=None, metavar="DIR")
@@ -187,24 +197,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     sender, receiver = make_system_pair(system)
     alphabet = [part for part in args.alphabet.split(",") if part]
 
-    result = check_protocol(
-        sender,
-        receiver,
-        alphabet,
-        prop,
-        max_messages=args.max_messages,
-        max_configurations=args.max_configurations,
-        workers=args.workers,
-        use_processes=True if args.processes else None,
-        trace=args.trace,
-        replay=not args.no_replay,
-        store=args.store,
-        store_dir=args.store_dir,
-        capacity=args.capacity,
-        checkpoint_every=args.checkpoint_every,
-        checkpoint_dir=args.checkpoint_dir,
-        resume=not args.no_resume,
-    )
+    try:
+        result = check_protocol(
+            sender,
+            receiver,
+            alphabet,
+            prop,
+            max_messages=args.max_messages,
+            max_configurations=args.max_configurations,
+            workers=args.workers,
+            use_processes=True if args.processes else None,
+            trace=args.trace,
+            replay=not args.no_replay,
+            store=args.store,
+            store_dir=args.store_dir,
+            capacity=args.capacity,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=not args.no_resume,
+            engine=args.engine,
+        )
+    except ValueError as exc:
+        # e.g. --engine vector on a gate-rejected configuration.
+        parser.error(str(exc))
 
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))

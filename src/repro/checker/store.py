@@ -166,17 +166,22 @@ class DiskVisitedStore(object):
     def _spill(self) -> None:
         if not self._buffer:
             return
-        records = sorted(
-            cfg.to_bytes(RECORD_BYTES, "big") for cfg in self._buffer
+        # Sort the ints, then convert: big-endian fixed-width encoding
+        # of non-negative ints is order-preserving, and C-level int
+        # comparisons beat comparing freshly allocated byte strings.
+        count = len(self._buffer)
+        blob = b"".join(
+            cfg.to_bytes(RECORD_BYTES, "big")
+            for cfg in sorted(self._buffer)
         )
         path = os.path.join(
             self.directory, f"run-{len(self._runs):06d}.bin"
         )
         tmp_path = path + ".tmp"
         with open(tmp_path, "wb") as handle:
-            handle.write(b"".join(records))
+            handle.write(blob)
         os.replace(tmp_path, path)
-        self._runs.append(_SortedRun(path, len(records)))
+        self._runs.append(_SortedRun(path, count))
         self._buffer = set()
 
     def flush(self) -> None:
@@ -202,44 +207,86 @@ class DiskVisitedStore(object):
 class LevelLog(object):
     """Append-only per-level record of adopted frontiers.
 
-    ``append(level, cfgs)`` writes ``level-<n>.bin`` (fixed-width
-    records, same layout as the visited store); ``read(level)`` hands
-    the configurations back.  One file per level keeps the log
-    append-only even across checkpoint resume: re-adopting a restored
-    frontier rewrites that level's file identically instead of
-    double-appending to a single log.
+    ``append(level, cfgs)`` stages the level's fixed-width records
+    (same layout as the visited store) in RAM; every ``flush_every``
+    staged levels -- and on :meth:`flush` -- the batch lands in one
+    self-describing **segment file** ``seg-<n>.bin`` of
+    ``[level:8][count:8][records...]`` entries.  Deep searches log
+    thousands of tiny levels; batching them trades one file creation
+    per level for one per segment, which is where the disk-store
+    overhead used to live.
+
+    The log stays append-only across checkpoint resume: re-adopting a
+    restored frontier re-appends that level into a newer segment, and
+    ``read(level)`` returns the newest occurrence -- identical bytes,
+    since frontiers are deterministic.
     """
 
-    def __init__(self, directory: str) -> None:
+    def __init__(self, directory: str, flush_every: int = 64) -> None:
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
         self.directory = directory
+        self.flush_every = flush_every
         shutil.rmtree(directory, ignore_errors=True)
         os.makedirs(directory, exist_ok=True)
         self.levels_written = 0
-
-    def _path(self, level: int) -> str:
-        return os.path.join(self.directory, f"level-{level:06d}.bin")
+        self._pending: "dict[int, bytes]" = {}
+        # level -> (segment path, byte offset of the records, count).
+        self._index: "dict[int, tuple]" = {}
+        self._segments = 0
 
     def append(self, level: int, cfgs: Iterable[int]) -> None:
-        path = self._path(level)
-        tmp_path = path + ".tmp"
-        with open(tmp_path, "wb") as handle:
-            handle.write(b"".join(
-                cfg.to_bytes(RECORD_BYTES, "big") for cfg in cfgs
-            ))
-        os.replace(tmp_path, path)
+        self._pending[level] = b"".join(
+            cfg.to_bytes(RECORD_BYTES, "big") for cfg in cfgs
+        )
         self.levels_written += 1
+        if len(self._pending) >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write all staged levels as one segment file."""
+        if not self._pending:
+            return
+        path = os.path.join(
+            self.directory, f"seg-{self._segments:06d}.bin"
+        )
+        tmp_path = path + ".tmp"
+        parts = []
+        entries = []
+        offset = 0
+        for level in sorted(self._pending):
+            blob = self._pending[level]
+            count = len(blob) // RECORD_BYTES
+            parts.append(level.to_bytes(8, "big"))
+            parts.append(count.to_bytes(8, "big"))
+            parts.append(blob)
+            entries.append((level, offset + 16, count))
+            offset += 16 + len(blob)
+        with open(tmp_path, "wb") as handle:
+            handle.write(b"".join(parts))
+        os.replace(tmp_path, path)
+        for level, start, count in entries:
+            self._index[level] = (path, start, count)
+        self._segments += 1
+        self._pending = {}
 
     def read(self, level: int) -> List[int]:
-        with open(self._path(level), "rb") as handle:
-            blob = handle.read()
+        blob = self._pending.get(level)
+        if blob is None:
+            entry = self._index.get(level)
+            if entry is None:
+                raise FileNotFoundError(
+                    f"level {level} is not in the log under "
+                    f"{self.directory}"
+                )
+            path, start, count = entry
+            with open(path, "rb") as handle:
+                handle.seek(start)
+                blob = handle.read(count * RECORD_BYTES)
         return [
             int.from_bytes(blob[start:start + RECORD_BYTES], "big")
             for start in range(0, len(blob), RECORD_BYTES)
         ]
 
     def levels(self) -> List[int]:
-        out = []
-        for name in os.listdir(self.directory):
-            if name.startswith("level-") and name.endswith(".bin"):
-                out.append(int(name[len("level-"):-len(".bin")]))
-        return sorted(out)
+        return sorted(set(self._index) | set(self._pending))

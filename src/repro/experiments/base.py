@@ -47,6 +47,29 @@ def explore_workers(override: Any = None) -> int:
         return 0
 
 
+def explore_engine(override: Any = None) -> str:
+    """Frontier-BFS tier for state-space explorations.
+
+    ``override`` is the runner's ``--engine`` choice threaded down to
+    the experiments that enumerate station states (E1, E2).  The
+    trial-engine tier ``"batch"`` has no BFS analogue, and an explicit
+    ``"vector"`` would fail the exploration's strict gate in a
+    numpy-less environment -- both degrade to ``"auto"`` (an explicit
+    ``--engine vector`` means "vectorize wherever exact", not "fail
+    the sweep"; compare ``exp_probabilistic._resolved``).  Tiers are
+    bit-identical so, like ``explore_workers``, the setting stays out
+    of experiment parameters and cache keys.
+    """
+    if override is None or override == "batch":
+        return "auto"
+    if override == "vector":
+        from repro.ioa.vecfrontier import frontier_unsupported_reason
+
+        if frontier_unsupported_reason() is not None:
+            return "auto"
+    return str(override)
+
+
 @dataclass
 class ExperimentResult:
     """Outcome of one experiment run.

@@ -192,10 +192,13 @@ def main(argv=None) -> int:
         choices=("auto", "vector", "batch", "interpreted"),
         default="auto",
         help=(
-            "trial engine for the probabilistic experiments (E3/E4): "
-            "'vector' = struct-of-arrays numpy engine where exact, "
-            "'batch' = compiled per-trial engine, 'interpreted' = pure "
-            "reference loop; all three are bit-identical, so this "
+            "engine tier for engine-aware experiments: the trial "
+            "engine of the probabilistic experiments (E3/E4) and the "
+            "frontier-BFS tier of the state-space explorations "
+            "(E1/E2).  'vector' = numpy array engines where exact, "
+            "'batch' = compiled per-trial engine (trials only; "
+            "explorations treat it as auto), 'interpreted' = pure "
+            "reference loops; all tiers are bit-identical, so this "
             "changes speed only (default: auto)"
         ),
     )

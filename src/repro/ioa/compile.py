@@ -637,6 +637,43 @@ def export_receiver_arrays(kernel: CompiledReceiver, num_values: int):
     return nxt, ndeliv, nout, outs
 
 
+def export_move_deltas(payloads: List[Any], with_dcounts: bool = False):
+    """CSR columns for a batch of move-class delta payloads.
+
+    The frontier tier (:mod:`repro.ioa.vecfrontier`) memoises each
+    move class as ``key -> payload``, where a payload is ``None`` (no
+    enabled move), a bare packed delta (the deterministic output
+    class), a tuple of deltas, or -- ``with_dcounts`` -- a tuple of
+    ``(delta, delivery count)`` pairs for the checker's delivering
+    class.  Returns ``(starts, counts, pool, dpool)`` as plain int
+    lists (``dpool`` is ``None`` unless ``with_dcounts``), with
+    ``starts`` relative to this batch: callers offset into their own
+    flat pools and convert to ndarrays.  Staying list-shaped keeps the
+    helper importable without numpy, like the rest of this module's
+    pure-Python tables.
+    """
+    starts: List[int] = []
+    counts: List[int] = []
+    pool: List[int] = []
+    dpool: List[int] = []
+    for payload in payloads:
+        starts.append(len(pool))
+        if with_dcounts:
+            counts.append(len(payload))
+            for delta, dcount in payload:
+                pool.append(delta)
+                dpool.append(dcount)
+        elif payload is None:
+            counts.append(0)
+        elif isinstance(payload, tuple):
+            counts.append(len(payload))
+            pool.extend(payload)
+        else:  # a bare delta (the output move class)
+            counts.append(1)
+            pool.append(payload)
+    return starts, counts, pool, (dpool if with_dcounts else None)
+
+
 class InterpretedSender:
     """Fallback sender kernel: same interface, live station behind it.
 

@@ -624,6 +624,7 @@ def explore_station_states(
     checkpoint_every: int = 0,
     checkpoint_dir: Optional[str] = None,
     resume: bool = True,
+    engine: str = "auto",
 ) -> ExplorationResult:
     """Enumerate station states reachable under an adversarial channel.
 
@@ -651,6 +652,15 @@ def explore_station_states(
             enabled.  Passing a directory enables checkpointing.
         resume: continue from a matching checkpoint instead of
             restarting (parallel engine only).
+        engine: BFS tier.  ``"auto"`` (default) keeps the serial
+            FIFO kernel here and lets the level-synchronous engine
+            pick its vectorized frontier tier when it is in play;
+            ``"vector"`` forces the level-synchronous engine with the
+            numpy frontier kernels (strict: raises when the gate
+            refuses, see
+            :func:`repro.ioa.vecfrontier.frontier_unsupported_reason`);
+            ``"interpreted"`` forces scalar loops everywhere.  Tiers
+            are bit-identical; the choice changes speed only.
 
     Returns:
         An :class:`ExplorationResult` with the visited station states.
@@ -663,8 +673,13 @@ def explore_station_states(
     count but can exceed the cap by up to one level.  Non-truncated
     results are identical on every path.
     """
+    if engine not in ("auto", "vector", "interpreted"):
+        raise ValueError(
+            f"engine must be 'auto', 'vector' or 'interpreted', "
+            f"got {engine!r}"
+        )
     if (parallel and parallel > 1) or checkpoint_every > 0 \
-            or checkpoint_dir is not None:
+            or checkpoint_dir is not None or engine == "vector":
         from repro.ioa.exploration_parallel import (
             explore_station_states_parallel,
         )
@@ -679,6 +694,7 @@ def explore_station_states(
             checkpoint_every=checkpoint_every,
             checkpoint_dir=checkpoint_dir,
             resume=resume,
+            engine=engine,
         )
 
     started = time.perf_counter()

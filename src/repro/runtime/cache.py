@@ -26,6 +26,7 @@ from typing import Any, Dict, Optional
 
 from repro.core.vectrials import VECTOR_VERSION
 from repro.ioa.compile import COMPILE_VERSION
+from repro.ioa.vecfrontier import FRONTIER_VERSION
 from repro.runtime.task import TaskSpec
 
 # Bump to invalidate every existing cache entry on format changes.
@@ -50,7 +51,9 @@ KERNEL_VERSION = "repro-kernel/3"
 # trial generation (:data:`repro.core.vectrials.VECTOR_VERSION`) joins
 # them: engines are bit-identical, so the *engine choice* stays out of
 # task keys, but a vector-generation bump must still flush results the
-# vector tier may have produced.
+# vector tier may have produced.  The frontier-BFS generation
+# (:data:`repro.ioa.vecfrontier.FRONTIER_VERSION`) is salted for the
+# same reason on the exploration/checker side.
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -106,6 +109,7 @@ class ResultCache:
                 KERNEL_VERSION,
                 COMPILE_VERSION,
                 VECTOR_VERSION,
+                FRONTIER_VERSION,
                 code_version(),
                 spec.experiment,
                 spec.shard,
@@ -151,6 +155,7 @@ class ResultCache:
             "kernel_version": KERNEL_VERSION,
             "compile_version": COMPILE_VERSION,
             "vector_version": VECTOR_VERSION,
+            "frontier_version": FRONTIER_VERSION,
             "code_version": code_version(),
             "spec": spec.to_dict(),
             "payload": payload,

@@ -173,9 +173,12 @@ def run_experiments(
             serial).  Bound onto the task runner, never into task
             specs, so it stays out of cache keys -- completed
             explorations are identical at any count.
-        engine: trial-engine selection (``auto`` / ``vector`` /
+        engine: engine-tier selection (``auto`` / ``vector`` /
             ``batch`` / ``interpreted``) threaded to engine-aware
-            shard modules (E3/E4).  Execution configuration like
+            modules -- the trial engines of the probabilistic shards
+            (E3/E4) and the frontier-BFS tier of the state-space
+            explorations (E1/E2, where ``batch`` degrades to
+            ``auto``).  Execution configuration like
             ``explore_parallel``: all engines are bit-identical, so it
             stays out of task specs and cache keys; the resolved
             choice is recorded in the run manifest.

@@ -70,15 +70,39 @@ class TestLevelLog:
         assert log.read(1) == [8]
         assert log.read(2) == []
 
-    def test_rewrite_is_idempotent(self, tmp_path):
-        # Resume replays a level; rewriting must leave identical bytes.
+    def test_appends_batch_into_segments(self, tmp_path):
         directory = str(tmp_path / "levels")
-        log = LevelLog(directory)
+        log = LevelLog(directory, flush_every=4)
+        for level in range(10):
+            log.append(level, [level, level + 100])
+        log.flush()
+        # 10 levels landed in ceil(10/4) = 3 segment files, and every
+        # level reads back from disk (nothing left staged).
+        segments = [
+            name for name in os.listdir(directory)
+            if name.startswith("seg-") and name.endswith(".bin")
+        ]
+        assert len(segments) == 3
+        for level in range(10):
+            assert log.read(level) == [level, level + 100]
+        assert log.levels() == list(range(10))
+
+    def test_rewrite_is_idempotent(self, tmp_path):
+        # Resume replays a level; the newest occurrence wins and holds
+        # identical records.
+        log = LevelLog(str(tmp_path / "levels"))
         log.append(0, [11, 12])
-        path = os.path.join(directory, "level-000000.bin")
-        before = open(path, "rb").read()
+        log.flush()
+        before = log.read(0)
         log.append(0, [11, 12])
-        assert open(path, "rb").read() == before
+        log.flush()
+        assert log.read(0) == before == [11, 12]
+
+    def test_staged_level_readable_before_flush(self, tmp_path):
+        log = LevelLog(str(tmp_path / "levels"), flush_every=64)
+        log.append(0, [1, 2])
+        assert log.read(0) == [1, 2]
+        assert log.levels() == [0]
 
     def test_read_missing_level(self, tmp_path):
         log = LevelLog(str(tmp_path / "levels"))

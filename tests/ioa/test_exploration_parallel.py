@@ -289,6 +289,23 @@ class TestCheckpointHygiene:
             sender, receiver, ["m"], 2, 1, "in-process"
         ) == base
 
+    def test_key_separates_engine_tiers(self, monkeypatch):
+        """Vector-tier checkpoints never resume into interpreted runs,
+        and a FRONTIER_VERSION bump invalidates only vector keys."""
+        import repro.ioa.vecfrontier as vecfrontier
+
+        sender, receiver = make_alternating_bit()
+        args = (sender, receiver, ["m"], 2, 1, "in-process")
+        interp = checkpoint_key(*args, engine_tier="interpreted")
+        vector = checkpoint_key(*args, engine_tier="vector")
+        assert interp != vector
+        monkeypatch.setattr(
+            vecfrontier, "FRONTIER_VERSION",
+            vecfrontier.FRONTIER_VERSION + ".bumped",
+        )
+        assert checkpoint_key(*args, engine_tier="vector") != vector
+        assert checkpoint_key(*args, engine_tier="interpreted") == interp
+
     def test_kernel_version_bump_invalidates(self, tmp_path, monkeypatch):
         """A checkpoint written before a KERNEL_VERSION bump must not
         be resumed after it (mirrors the result-cache pre-bump test)."""

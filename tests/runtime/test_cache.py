@@ -2,6 +2,7 @@
 
 from repro.core.vectrials import VECTOR_VERSION
 from repro.ioa.compile import COMPILE_VERSION
+from repro.ioa.vecfrontier import FRONTIER_VERSION
 from repro.runtime import cache as cache_module
 from repro.runtime.cache import (
     CACHE_FORMAT,
@@ -151,6 +152,32 @@ def test_vector_version_bump_invalidates_old_entries(
     old_key = cache.key(spec())
     monkeypatch.setattr(
         cache_module, "VECTOR_VERSION", VECTOR_VERSION + ".bumped"
+    )
+    assert cache.key(spec()) != old_key
+    assert cache.get(spec()) is None  # old entry is unreachable
+    cache.put(spec(), {"x": 2})
+    assert cache.get(spec())["payload"] == {"x": 2}
+
+
+def test_entry_records_frontier_version(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(spec(), {"x": 1})
+    assert cache.get(spec())["frontier_version"] == FRONTIER_VERSION
+
+
+def test_frontier_version_bump_invalidates_old_entries(
+    tmp_path, monkeypatch
+):
+    """An entry written before a FRONTIER_VERSION bump must not be
+    served after it: the BFS tier choice stays out of keys (tiers are
+    bit-identical), but results a different frontier-kernel generation
+    may have produced are stale even if no source changed."""
+    cache = ResultCache(str(tmp_path))
+    cache.put(spec(), {"x": 1})
+    assert cache.get(spec()) is not None
+    old_key = cache.key(spec())
+    monkeypatch.setattr(
+        cache_module, "FRONTIER_VERSION", FRONTIER_VERSION + ".bumped"
     )
     assert cache.key(spec()) != old_key
     assert cache.get(spec()) is None  # old entry is unreachable
