@@ -1,0 +1,219 @@
+"""Execution of one declarative campaign cell.
+
+:func:`run_cell` is the worker-side body behind ``kind == "cell"``
+tasks (:data:`repro.runtime.task.KIND_CELL`): it takes the compiled,
+self-contained cell parameters (registry names, the grid point, the
+metric list), runs the named scenario, and returns a JSON-able payload
+
+.. code-block:: python
+
+    {"shard": ..., "group": ..., "point": {...},
+     "values": {metric: value, ...},      # the spec's metric set
+     "metrics": {...}}                    # observability telemetry
+
+Three cell kinds:
+
+* ``delivery`` -- :func:`repro.core.theorem51.run_probabilistic_delivery`
+  over the probabilistic channel pair, through the trial-engine tiers
+  (vector -> batch -> interpreted) with the established
+  strict-gate/auto-fallback discipline
+  (:func:`repro.experiments.base.resolve_trial_engine`);
+* ``adversary`` -- a :class:`~repro.datalink.system.DataLinkSystem`
+  run with registry-built channels and adversary, in ``COUNTS`` trace
+  mode (the fast-path kernel: counters, no event materialisation);
+* ``exploration`` -- :func:`repro.ioa.exploration.explore_station_states`
+  through the frontier-BFS tiers
+  (:func:`repro.experiments.base.explore_engine` /
+  :func:`~repro.experiments.base.explore_workers`).
+
+Determinism: everything random flows from the cell's task seed (already
+derived per shard via :func:`repro.runtime.seeds.derive_seed`); engine
+tier and worker count are execution configuration and never change a
+payload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.campaign.spec import (
+    CELL_ADVERSARY,
+    CELL_DELIVERY,
+    CELL_EXPLORATION,
+    split_cell_params,
+)
+
+
+def _delivery_observations(
+    params: Dict[str, Any], fast: bool, seed: int, engine: str
+) -> Dict[str, Any]:
+    from repro.core.theorem51 import run_probabilistic_delivery
+    from repro.experiments.base import resolve_trial_engine
+    from repro.campaign import registry
+
+    scenario, dotted = split_cell_params(params["config"])
+    factory = registry.protocol_factory(
+        params["protocol"], dotted.get("protocol")
+    )
+    q = float(scenario["q"])
+    n = int(scenario["n"])
+    resolved = resolve_trial_engine(engine, pair_factory=factory)
+    run = run_probabilistic_delivery(
+        factory,
+        q=q,
+        n=n,
+        seed=seed,
+        max_steps=int(scenario.get("max_steps", 2_000_000)),
+        packet_budget=scenario.get("packet_budget"),
+        engine=resolved,
+    )
+    return {
+        "q": q,
+        "n": n,
+        "delivered": run.delivered,
+        "packets_total": run.total_packets,
+        "steps": run.steps,
+        "completed": run.delivered >= n,
+        "engine": resolved,
+        "events_elided": run.events_elided,
+    }
+
+
+def _adversary_observations(
+    params: Dict[str, Any], fast: bool, seed: int
+) -> Dict[str, Any]:
+    from repro.datalink.system import DataLinkSystem
+    from repro.ioa.actions import Direction
+    from repro.ioa.execution import TraceMode
+    from repro.campaign import registry
+
+    scenario, dotted = split_cell_params(params["config"])
+    sender, receiver = registry.make_protocol(
+        params["protocol"], dotted.get("protocol")
+    )
+    channel_name = params["channel"] or "nonfifo"
+    adversary_name = params["adversary"] or "optimal"
+    system = DataLinkSystem(
+        sender,
+        receiver,
+        chan_t2r=registry.make_channel(
+            channel_name, Direction.T2R, dotted.get("channel"), seed=seed
+        ),
+        chan_r2t=registry.make_channel(
+            channel_name, Direction.R2T, dotted.get("channel"), seed=seed
+        ),
+        adversary=registry.make_adversary(
+            adversary_name, dotted.get("adversary"), seed=seed
+        ),
+        sender_burst=int(scenario.get("sender_burst", 1)),
+        trace_mode=TraceMode.COUNTS,
+    )
+    n = int(scenario["n"])
+    stats = system.run(
+        [f"m{i}" for i in range(n)],
+        max_steps=int(scenario.get("max_steps", 10_000)),
+    )
+    return {
+        "submitted": stats.submitted,
+        "delivered": stats.delivered,
+        "steps": stats.steps,
+        "packets_t2r": stats.packets_t2r,
+        "packets_r2t": stats.packets_r2t,
+        "packets_total": stats.packets_total,
+        "completed": stats.completed,
+    }
+
+
+def _exploration_observations(
+    params: Dict[str, Any],
+    fast: bool,
+    seed: int,
+    engine: str,
+    explore_parallel: Any,
+) -> Dict[str, Any]:
+    from repro.experiments.base import explore_engine, explore_workers
+    from repro.ioa.actions import Direction
+    from repro.ioa.exploration import explore_station_states
+    from repro.campaign import registry
+
+    scenario, dotted = split_cell_params(params["config"])
+    sender, receiver = registry.make_protocol(
+        params["protocol"], dotted.get("protocol")
+    )
+    resolved = explore_engine(engine if engine != "auto" else None)
+    exploration = explore_station_states(
+        sender,
+        receiver,
+        list(scenario.get("alphabet", ["m"])),
+        max_messages=int(scenario.get("max_messages", 2)),
+        max_configurations=int(scenario.get("max_configurations", 20_000)),
+        parallel=explore_workers(explore_parallel),
+        engine=resolved,
+    )
+    headers = {
+        packet.header for packet in exploration.packet_values[Direction.T2R]
+    }
+    return {
+        "k_t": exploration.k_t,
+        "k_r": exploration.k_r,
+        "state_product": exploration.state_product,
+        "configurations": exploration.configurations,
+        "truncated": exploration.truncated,
+        "wire_headers": len(headers),
+        "engine": resolved,
+    }
+
+
+def run_cell(
+    params: Dict[str, Any],
+    fast: bool,
+    seed: int,
+    engine: str = "auto",
+    explore_parallel: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run one compiled campaign cell; returns its JSON payload.
+
+    ``params`` is the self-contained dict minted by
+    :func:`repro.campaign.compiler.compile_campaign` (registry names +
+    config + metric list), ``seed`` the cell's derived task seed.
+    ``engine``/``explore_parallel`` are execution configuration bound
+    by the scheduler, exactly as for the bespoke experiments: payloads
+    are identical across tiers and worker counts.
+    """
+    from repro.campaign import registry
+
+    cell = params["cell"]
+    if cell == CELL_DELIVERY:
+        observations = _delivery_observations(params, fast, seed, engine)
+    elif cell == CELL_ADVERSARY:
+        observations = _adversary_observations(params, fast, seed)
+    elif cell == CELL_EXPLORATION:
+        observations = _exploration_observations(
+            params, fast, seed, engine, explore_parallel
+        )
+    else:
+        raise ValueError(f"unknown campaign cell kind {cell!r}")
+
+    values: Dict[str, Any] = {}
+    for metric in params["metrics"]:
+        extractor = registry.METRICS.get(metric)
+        if extractor is None or not extractor.supports(cell):
+            raise KeyError(
+                f"metric {metric!r} is not available for {cell!r} cells"
+            )
+        values[metric] = extractor.extract(observations)
+
+    telemetry: Dict[str, Any] = {}
+    if "engine" in observations:
+        telemetry["engine"] = observations["engine"]
+    for key in ("packets_total", "steps", "configurations",
+                "events_elided"):
+        if key in observations:
+            telemetry[key] = observations[key]
+    return {
+        "shard": params["shard"],
+        "group": params["group"],
+        "point": dict(params["point"]),
+        "values": values,
+        "metrics": telemetry,
+    }

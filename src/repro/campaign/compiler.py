@@ -1,0 +1,183 @@
+"""The grid compiler: campaign specs -> seed-sharded runtime tasks.
+
+:func:`compile_campaign` turns one
+:class:`~repro.campaign.spec.CampaignSpec` into the exact
+:class:`~repro.runtime.task.TaskSpec` stream the runtime executes:
+
+* **experiment-backed** specs (``spec.experiment`` set) compile to the
+  registered experiment's own task stream -- same experiment name,
+  same shard ids, same per-shard :func:`derive_seed` inputs, whole
+  cells as ``kind="whole"`` with the root seed -- so the merged output
+  is bit-identical to the bespoke module, and the cache keys are too;
+* **declarative** specs compile to ``kind="cell"`` tasks under the
+  synthetic experiment name ``campaign:<name>``, each carrying a
+  self-contained parameter dict (registry names + config + metric
+  list) that :func:`repro.campaign.cells.run_cell` executes in any
+  worker process.
+
+:func:`campaign_for_experiment` is the inverse direction: every
+registered experiment *is* a campaign.  Modules that publish a
+``CAMPAIGN`` spec (E1-E5) return it; the rest get a synthesized
+whole-experiment spec.  :func:`repro.runtime.engine.plan_tasks` routes
+through this, so the bespoke CLI path and the campaign path plan from
+one compiler.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.campaign.spec import CampaignSpec, ExpandedCell, SpecError
+from repro.runtime.seeds import derive_seed
+from repro.runtime.task import KIND_CELL, KIND_SHARD, KIND_WHOLE, TaskSpec
+
+#: Prefix under which declarative campaigns appear as "experiments" in
+#: task ids, manifests and cache keys.
+CAMPAIGN_EXPERIMENT_PREFIX = "campaign:"
+
+
+def campaign_experiment_name(spec: CampaignSpec) -> str:
+    """The experiment name the spec's tasks run under."""
+    if spec.experiment is not None:
+        return spec.experiment
+    return f"{CAMPAIGN_EXPERIMENT_PREFIX}{spec.name}"
+
+
+def cell_task_params(spec: CampaignSpec, cell: ExpandedCell) -> Dict[str, Any]:
+    """The self-contained parameter dict of one declarative cell.
+
+    Everything the worker needs travels in the task spec itself --
+    registry names resolved from axis values over group defaults, the
+    grid point (for the report row), the merged scenario config and the
+    metric list -- so ``kind="cell"`` tasks execute in any process with
+    no side channel, and the cache key covers the full cell identity.
+    """
+    group = cell.group
+    point = cell.point
+    config = {**group.params, **point}
+    resolved = {
+        axis: config.pop(axis, getattr(group, axis))
+        for axis in ("protocol", "channel", "adversary")
+    }
+    return {
+        "shard": cell.shard,
+        "cell": group.cell,
+        "group": cell.group_index,
+        "label": group.display_label(),
+        "protocol": resolved["protocol"],
+        "channel": resolved["channel"],
+        "adversary": resolved["adversary"],
+        "metrics": list(group.metrics),
+        "point": dict(point),
+        "config": config,
+    }
+
+
+def compile_campaign(
+    spec: CampaignSpec, fast: bool = False, seed: int = 0
+) -> List[TaskSpec]:
+    """Expand one campaign into its task stream, seeds derived per cell.
+
+    The result is a pure function of ``(spec, fast, seed)``: worker
+    count, cache state and engine tier never appear in it, which is
+    what makes serial == parallel == cached runs structural rather
+    than tested-for.
+    """
+    spec.validate()
+    experiment = campaign_experiment_name(spec)
+    if spec.experiment is not None:
+        from repro.experiments.runner import REGISTRY
+
+        if spec.experiment not in REGISTRY:
+            raise KeyError(f"unknown experiment {spec.experiment!r}")
+    else:
+        from repro.campaign import registry
+
+        registry.validate_spec(spec)
+
+    tasks: List[TaskSpec] = []
+    for cell in spec.expand(fast):
+        if spec.experiment is not None:
+            if cell.group.whole:
+                tasks.append(
+                    TaskSpec(
+                        experiment=experiment,
+                        shard="whole",
+                        params={},
+                        fast=fast,
+                        seed=seed,
+                        kind=KIND_WHOLE,
+                    )
+                )
+            else:
+                tasks.append(
+                    TaskSpec(
+                        experiment=experiment,
+                        shard=cell.shard,
+                        params=dict(cell.params),
+                        fast=fast,
+                        seed=derive_seed(seed, experiment, cell.shard),
+                        kind=KIND_SHARD,
+                    )
+                )
+        else:
+            tasks.append(
+                TaskSpec(
+                    experiment=experiment,
+                    shard=cell.shard,
+                    params=cell_task_params(spec, cell),
+                    fast=fast,
+                    seed=derive_seed(seed, experiment, cell.shard),
+                    kind=KIND_CELL,
+                )
+            )
+    return tasks
+
+
+def campaign_for_experiment(name: str) -> CampaignSpec:
+    """The campaign spec behind one registered experiment.
+
+    Modules that publish a ``CAMPAIGN`` attribute (the sharded E3-E5
+    and the exploring E1/E2) return it verbatim; any other registered
+    experiment gets a synthesized single-whole-cell spec.  Raises
+    ``KeyError`` for unknown names, like the old ``plan_tasks`` did.
+    """
+    import sys
+
+    from repro.experiments.runner import REGISTRY, SHARDED
+
+    if name not in REGISTRY:
+        raise KeyError(f"unknown experiment {name!r}")
+    module = SHARDED.get(name) or sys.modules.get(REGISTRY[name].__module__)
+    campaign = getattr(module, "CAMPAIGN", None)
+    if campaign is not None:
+        return campaign
+    if name in SHARDED:
+        # A sharded module without a declarative spec cannot be
+        # synthesized (its shards(fast) is arbitrary code);
+        # plan_tasks keeps the legacy per-shard path for these.
+        raise LookupError(
+            f"sharded experiment {name!r} publishes no CAMPAIGN spec"
+        )
+    from repro.campaign.spec import CellGroup
+
+    return CampaignSpec(
+        name=name,
+        experiment=name,
+        groups=[CellGroup(cell="experiment", whole=True)],
+    )
+
+
+def load_spec(path: str) -> CampaignSpec:
+    """Read, parse and validate a campaign spec from a JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise SpecError(f"cannot read campaign spec {path!r}: {exc}") from exc
+    except ValueError as exc:
+        raise SpecError(f"{path}: not valid JSON: {exc}") from exc
+    spec = CampaignSpec.from_dict(data)
+    spec.validate()
+    return spec

@@ -1,0 +1,88 @@
+"""Merging settled campaign cells into an ``ExperimentResult``.
+
+One table per cell group: the group's axis columns (in declaration
+order) followed by its metric columns (in spec order), one row per
+grid point, rows in expansion order.  The merged object is a plain
+:class:`~repro.experiments.base.ExperimentResult`, so campaign output
+renders, serialises and JSON-round-trips exactly like the bespoke
+experiments -- the CLI, the manifest writer and downstream tooling see
+no difference.
+
+Checks are completeness checks ("every cell produced every metric"):
+declarative campaigns carry no theorem shapes of their own.  Spec
+``notes`` pass through.  Numeric per-cell telemetry aggregates into
+``result.metrics`` with the same discipline as the bespoke merges
+(sum counters, max ``peak_*``, carry string annotations).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.analysis.tables import Table
+from repro.campaign.spec import CampaignSpec
+from repro.experiments.base import ExperimentResult
+
+
+def aggregate_metrics(
+    target: Dict[str, Any], telemetry: Dict[str, Any]
+) -> None:
+    """Fold one cell's telemetry into an aggregate, E4-style.
+
+    Strings are annotations (carried, last writer wins), ``peak_*``
+    keys take the max, everything numeric sums.
+    """
+    for key, value in telemetry.items():
+        if isinstance(value, str):
+            target[key] = value
+        elif key.startswith("peak_"):
+            target[key] = max(target.get(key, 0), value)
+        else:
+            target[key] = target.get(key, 0) + value
+
+
+def merge_campaign(
+    spec: CampaignSpec,
+    payloads: List[Dict[str, Any]],
+    fast: bool,
+) -> ExperimentResult:
+    """Fold cell payloads into the campaign's report.
+
+    ``payloads`` are the settled ``kind="cell"`` task payloads in plan
+    order (the runtime preserves it); cells are matched back to the
+    expansion by shard id, so a reordered list merges identically.
+    """
+    result = ExperimentResult(exp_id=spec.report_id(), title=spec.title)
+    by_shard = {payload["shard"]: payload for payload in payloads}
+
+    cells_by_group: Dict[int, List] = {}
+    for cell in spec.expand(fast):
+        cells_by_group.setdefault(cell.group_index, []).append(cell)
+
+    for index, group in enumerate(spec.groups):
+        cells = cells_by_group.get(index, [])
+        axes = group.axis_names()
+        table = Table(axes + list(group.metrics))
+        complete = True
+        for cell in cells:
+            payload = by_shard.get(cell.shard)
+            values = (payload or {}).get("values", {})
+            row = [cell.point.get(axis) for axis in axes]
+            for metric in group.metrics:
+                if payload is None or metric not in values:
+                    complete = False
+                    row.append(None)
+                else:
+                    row.append(values[metric])
+            table.add_row(row)
+        result.tables.append(table)
+        result.checks[
+            f"{group.display_label()}: all {len(cells)} cells reported "
+            "every metric"
+        ] = complete
+
+    for payload in payloads:
+        aggregate_metrics(result.metrics, payload.get("metrics", {}))
+
+    result.notes.extend(spec.notes)
+    return result

@@ -1,0 +1,509 @@
+"""Name-based registries behind campaign specs.
+
+A :class:`~repro.campaign.spec.CampaignSpec` names everything it
+sweeps -- protocols, channel classes, adversaries, metrics -- and this
+module resolves those names.  Four registries:
+
+* :data:`PROTOCOLS`: name -> station-pair factory (the ``make_*``
+  constructors of :mod:`repro.datalink`); factories accept keyword
+  arguments, swept via dotted axes like ``"protocol.modulus"``.
+* :data:`CHANNELS`: name -> :class:`~repro.channels.base.Channel`
+  subclass, constructed per direction.
+* :data:`ADVERSARIES`: name ->
+  :class:`~repro.channels.adversary.ChannelAdversary` subclass.
+  Seeded adversaries receive the cell's derived seed automatically.
+* :data:`METRICS`: name -> :class:`MetricExtractor` instance mapping a
+  cell's raw observations to one report value.
+
+Completeness is guarded, not hoped for: the test suite walks the
+subclass trees (the ``all_subclasses`` pattern) and asserts every
+concrete adversary/channel/extractor in the library is either
+registered here or listed in the ``EXCLUDED_*`` tables with a reason;
+likewise every ``make_*`` pair factory in :mod:`repro.datalink`.  A
+new class cannot silently stay unsweepable.
+
+``register_*`` hooks let downstream code add entries (a new protocol
+or fault model becomes sweepable in one line); lookups raise KeyErrors
+that list what *is* available.
+"""
+
+from __future__ import annotations
+
+import inspect
+import random
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+from repro.campaign.spec import (
+    CELL_ADVERSARY,
+    CELL_DELIVERY,
+    CELL_EXPLORATION,
+    CampaignSpec,
+    SpecError,
+    split_cell_params,
+)
+from repro.channels.adversary import (
+    ChannelAdversary,
+    DelayAllAdversary,
+    FairAdversary,
+    HoldValuesAdversary,
+    OptimalAdversary,
+    OptimalFromNowAdversary,
+    RandomAdversary,
+    ScriptedAdversary,
+)
+from repro.channels.base import Channel
+from repro.channels.bounded import BoundedReorderChannel
+from repro.channels.faults import (
+    DuplicateAttemptAdversary,
+    PartitionAdversary,
+    PhasedAdversary,
+    ReplayFloodAdversary,
+)
+from repro.channels.fifo import FifoChannel
+from repro.channels.nonfifo import NonFifoChannel
+from repro.channels.probabilistic import ProbabilisticChannel
+from repro.channels.virtual_link import VirtualLinkChannel
+from repro.datalink.alternating_bit import make_alternating_bit
+from repro.datalink.flooding import make_capacity_flooding, make_flooding
+from repro.datalink.gobackn import make_gobackn
+from repro.datalink.sequence import make_sequence_protocol
+from repro.datalink.sequence_mod import make_modular_sequence
+from repro.datalink.window import make_window_protocol
+from repro.ioa.actions import Direction
+
+
+def _lookup(table: Dict[str, Any], name: str, what: str) -> Any:
+    try:
+        return table[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown {what} {name!r}; registered: {sorted(table)} "
+            f"(see `python -m repro.experiments list`)"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# protocols (station-pair factories)
+# ---------------------------------------------------------------------------
+
+PairFactory = Callable[..., Tuple[Any, Any]]
+
+PROTOCOLS: Dict[str, PairFactory] = {
+    "alternating-bit": make_alternating_bit,
+    "sequence": make_sequence_protocol,
+    "modular-sequence": make_modular_sequence,
+    "window": make_window_protocol,
+    "gobackn": make_gobackn,
+    "capacity-flooding": make_capacity_flooding,
+    # Oracle-mode flooding reads the channel -- outside the paper's
+    # model, kept sweepable for the E2/E4-style contrast rows.
+    "flooding": make_flooding,
+}
+
+#: ``make_*`` factories in :mod:`repro.datalink` that are deliberately
+#: not protocol registry entries, with the reason (consumed by the
+#: completeness test).
+EXCLUDED_PROTOCOL_FACTORIES: Dict[str, str] = {
+    "make_system": "builds a full system, not a station pair",
+}
+
+
+def register_protocol(name: str, factory: PairFactory) -> None:
+    """Make a station-pair factory sweepable under ``name``."""
+    if not name or not callable(factory):
+        raise ValueError("register_protocol needs a name and a callable")
+    PROTOCOLS[name] = factory
+
+
+def make_protocol(name: str, kwargs: Optional[Dict[str, Any]] = None):
+    """Build a fresh ``(sender, receiver)`` pair by registry name."""
+    factory = _lookup(PROTOCOLS, name, "protocol")
+    return factory(**(kwargs or {}))
+
+
+def protocol_factory(
+    name: str, kwargs: Optional[Dict[str, Any]] = None
+) -> Callable[[], Tuple[Any, Any]]:
+    """A zero-argument factory closing over the swept kwargs (what the
+    trial engines' gates and :func:`run_probabilistic_delivery` take)."""
+    factory = _lookup(PROTOCOLS, name, "protocol")
+    bound = dict(kwargs or {})
+    return lambda: factory(**bound)
+
+
+# ---------------------------------------------------------------------------
+# channels
+# ---------------------------------------------------------------------------
+
+CHANNELS: Dict[str, Type[Channel]] = {
+    "nonfifo": NonFifoChannel,
+    "fifo": FifoChannel,
+    "bounded-reorder": BoundedReorderChannel,
+    "probabilistic": ProbabilisticChannel,
+}
+
+#: Channel classes that are deliberately not registry entries.
+EXCLUDED_CHANNELS: Dict[type, str] = {
+    Channel: "abstract base",
+    VirtualLinkChannel: (
+        "wraps a live transport system; needs wiring a spec cannot name"
+    ),
+}
+
+
+def register_channel(name: str, cls: Type[Channel]) -> None:
+    """Make a channel class sweepable under ``name``."""
+    if not name or not (isinstance(cls, type) and issubclass(cls, Channel)):
+        raise ValueError("register_channel needs a name and a Channel class")
+    CHANNELS[name] = cls
+
+
+def make_channel(
+    name: str,
+    direction: Direction,
+    kwargs: Optional[Dict[str, Any]] = None,
+    seed: int = 0,
+) -> Channel:
+    """Build one directed channel by registry name.
+
+    Channels whose constructor takes an ``rng`` (the probabilistic
+    one) receive a :class:`random.Random` derived from ``seed`` and the
+    direction -- the same two-stream convention as
+    :func:`repro.datalink.system.make_system`, so a campaign cell at
+    the same seed reproduces exactly.
+    """
+    cls = _lookup(CHANNELS, name, "channel")
+    bound = dict(kwargs or {})
+    if "rng" in inspect.signature(cls).parameters and "rng" not in bound:
+        offset = 0 if direction is Direction.T2R else 1
+        bound["rng"] = random.Random(seed + offset)
+    return cls(direction, **bound)
+
+
+# ---------------------------------------------------------------------------
+# adversaries
+# ---------------------------------------------------------------------------
+
+ADVERSARIES: Dict[str, Type[ChannelAdversary]] = {
+    "optimal": OptimalAdversary,
+    "delay-all": DelayAllAdversary,
+    "fair": FairAdversary,
+    "random": RandomAdversary,
+    "partition": PartitionAdversary,
+    "replay-flood": ReplayFloodAdversary,
+}
+
+#: Adversary classes that are deliberately not registry entries.
+EXCLUDED_ADVERSARIES: Dict[type, str] = {
+    ChannelAdversary: "abstract base",
+    OptimalFromNowAdversary: (
+        "needs a per-run stale-copy cut only the proofs can take"
+    ),
+    HoldValuesAdversary: "parameterised by a packet predicate (not data)",
+    ScriptedAdversary: "plays back an explicit decision script (not data)",
+    PhasedAdversary: "composes other adversary instances into a timeline",
+    DuplicateAttemptAdversary: (
+        "deliberately illegal; exists to prove the (PL1) guard guards"
+    ),
+}
+
+
+def register_adversary(name: str, cls: Type[ChannelAdversary]) -> None:
+    """Make an adversary class sweepable under ``name``."""
+    if not name or not (
+        isinstance(cls, type) and issubclass(cls, ChannelAdversary)
+    ):
+        raise ValueError(
+            "register_adversary needs a name and a ChannelAdversary class"
+        )
+    ADVERSARIES[name] = cls
+
+
+def make_adversary(
+    name: str,
+    kwargs: Optional[Dict[str, Any]] = None,
+    seed: int = 0,
+) -> ChannelAdversary:
+    """Build one adversary by registry name.
+
+    Seeded adversaries (``fair``, ``random``) receive the cell's
+    derived seed unless the spec pins one explicitly via
+    ``"adversary.seed"`` -- randomness always flows from
+    :func:`~repro.runtime.seeds.derive_seed`, never from scheduling.
+    """
+    cls = _lookup(ADVERSARIES, name, "adversary")
+    bound = dict(kwargs or {})
+    if "seed" in inspect.signature(cls).parameters and "seed" not in bound:
+        bound["seed"] = seed
+    return cls(**bound)
+
+
+# ---------------------------------------------------------------------------
+# metric extractors
+# ---------------------------------------------------------------------------
+
+
+class MetricExtractor:
+    """Maps a cell's raw observation dict to one report value.
+
+    Subclass, set ``name``/``cells``/``description``, implement
+    :meth:`extract`, and decorate with :func:`register_metric`.  The
+    completeness test walks this subclass tree: a concrete extractor
+    (non-empty ``name``) that is not registered fails the suite.
+    """
+
+    #: Registry name (empty on abstract intermediates).
+    name: str = ""
+    #: Cell kinds whose observations carry this metric.
+    cells: Tuple[str, ...] = ()
+    #: One line for ``python -m repro.experiments list``.
+    description: str = ""
+
+    def extract(self, observations: Dict[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def supports(self, cell: str) -> bool:
+        """Whether this metric is defined for the given cell kind."""
+        return cell in self.cells
+
+
+class _FieldMetric(MetricExtractor):
+    """Extractor that reads one observation field verbatim."""
+
+    field: str = ""
+
+    def extract(self, observations: Dict[str, Any]) -> Any:
+        return observations[self.field]
+
+
+METRICS: Dict[str, MetricExtractor] = {}
+
+
+def register_metric(cls: Type[MetricExtractor]) -> Type[MetricExtractor]:
+    """Class decorator: instantiate and register one extractor."""
+    instance = cls()
+    if not instance.name or not instance.cells:
+        raise ValueError(
+            f"{cls.__name__} must declare a name and supported cells"
+        )
+    METRICS[instance.name] = instance
+    return cls
+
+
+SCENARIO_CELLS = (CELL_DELIVERY, CELL_ADVERSARY)
+
+
+@register_metric
+class DeliveredMetric(_FieldMetric):
+    name = "delivered"
+    field = "delivered"
+    cells = SCENARIO_CELLS
+    description = "messages handed to the higher layer (rm)"
+
+
+@register_metric
+class SubmittedMetric(_FieldMetric):
+    name = "submitted"
+    field = "submitted"
+    cells = (CELL_ADVERSARY,)
+    description = "messages handed to the sender (sm)"
+
+
+@register_metric
+class StepsMetric(_FieldMetric):
+    name = "steps"
+    field = "steps"
+    cells = SCENARIO_CELLS
+    description = "engine scheduling rounds consumed"
+
+
+@register_metric
+class PacketsTotalMetric(_FieldMetric):
+    name = "packets"
+    field = "packets_total"
+    cells = SCENARIO_CELLS
+    description = "packets sent on both channels together"
+
+
+@register_metric
+class PacketsForwardMetric(_FieldMetric):
+    name = "packets_t2r"
+    field = "packets_t2r"
+    cells = (CELL_ADVERSARY,)
+    description = "forward-channel send_pkt count"
+
+
+@register_metric
+class PacketsReverseMetric(_FieldMetric):
+    name = "packets_r2t"
+    field = "packets_r2t"
+    cells = (CELL_ADVERSARY,)
+    description = "reverse-channel send_pkt count"
+
+
+@register_metric
+class CompletedMetric(_FieldMetric):
+    name = "completed"
+    field = "completed"
+    cells = SCENARIO_CELLS
+    description = "every submitted message delivered within budget"
+
+
+@register_metric
+class PacketsPerMessageMetric(MetricExtractor):
+    name = "packets_per_message"
+    cells = SCENARIO_CELLS
+    description = "packets sent per delivered message (None if none)"
+
+    def extract(self, observations: Dict[str, Any]) -> Any:
+        delivered = observations["delivered"]
+        if not delivered:
+            return None
+        return observations["packets_total"] / delivered
+
+
+@register_metric
+class ConfigurationsMetric(_FieldMetric):
+    name = "configurations"
+    field = "configurations"
+    cells = (CELL_EXPLORATION,)
+    description = "abstract configurations visited by the BFS"
+
+
+@register_metric
+class SenderStatesMetric(_FieldMetric):
+    name = "k_t"
+    field = "k_t"
+    cells = (CELL_EXPLORATION,)
+    description = "distinct sender states visited (>= k_t bound)"
+
+
+@register_metric
+class ReceiverStatesMetric(_FieldMetric):
+    name = "k_r"
+    field = "k_r"
+    cells = (CELL_EXPLORATION,)
+    description = "distinct receiver states visited (>= k_r bound)"
+
+
+@register_metric
+class StateProductMetric(_FieldMetric):
+    name = "state_product"
+    field = "state_product"
+    cells = (CELL_EXPLORATION,)
+    description = "k_t * k_r (the Theorem 2.1 boundness ceiling)"
+
+
+@register_metric
+class TruncatedMetric(_FieldMetric):
+    name = "truncated"
+    field = "truncated"
+    cells = (CELL_EXPLORATION,)
+    description = "exploration hit its configuration budget"
+
+
+@register_metric
+class WireHeadersMetric(_FieldMetric):
+    name = "wire_headers"
+    field = "wire_headers"
+    cells = (CELL_EXPLORATION,)
+    description = "distinct forward-channel packet headers observed"
+
+
+# ---------------------------------------------------------------------------
+# spec validation against the registries
+# ---------------------------------------------------------------------------
+
+
+def _axis_values(group, axis: str):
+    values = group.grid.get(axis)
+    if values is None:
+        return []
+    if isinstance(values, dict):
+        return list(values.get("fast", [])) + list(values.get("full", []))
+    return list(values)
+
+
+def validate_spec(spec: CampaignSpec) -> None:
+    """Resolve every name a declarative spec uses, before compiling.
+
+    Structural validation (:meth:`CampaignSpec.validate`) is assumed to
+    have passed.  Experiment-backed specs resolve against the
+    experiment registry instead and are not checked here.
+
+    Raises:
+        SpecError: a name does not resolve, a metric does not support
+            its group's cell kind, or a cell kind got a registry axis
+            it cannot honour.
+    """
+    if spec.experiment is not None:
+        return
+    for index, group in enumerate(spec.groups):
+        where = f"group {index} ({group.display_label()!r})"
+        protocols = _axis_values(group, "protocol") or [group.protocol]
+        for name in protocols:
+            _lookup(PROTOCOLS, str(name), "protocol")
+        channels = _axis_values(group, "channel") or (
+            [group.channel] if group.channel else []
+        )
+        adversaries = _axis_values(group, "adversary") or (
+            [group.adversary] if group.adversary else []
+        )
+        if group.cell == CELL_DELIVERY:
+            bad = [c for c in channels if c != "probabilistic"]
+            if bad or adversaries:
+                raise SpecError(
+                    f"{where}: delivery cells run over the probabilistic "
+                    "channel pair (the channel is the randomness); they "
+                    "take no other channel and no adversary"
+                )
+            required = {"q", "n"}
+            present = set(group.grid) | set(group.params)
+            missing = required - present
+            if missing:
+                raise SpecError(
+                    f"{where}: delivery cells need {sorted(missing)} "
+                    "(axis or fixed param)"
+                )
+        elif group.cell == CELL_ADVERSARY:
+            for name in channels:
+                _lookup(CHANNELS, str(name), "channel")
+            for name in adversaries:
+                _lookup(ADVERSARIES, str(name), "adversary")
+            if "n" not in set(group.grid) | set(group.params):
+                raise SpecError(
+                    f"{where}: adversary cells need 'n' (messages to "
+                    "deliver; axis or fixed param)"
+                )
+        elif group.cell == CELL_EXPLORATION:
+            if channels or adversaries:
+                raise SpecError(
+                    f"{where}: exploration cells abstract the channel "
+                    "away (set abstraction); they take no channel and "
+                    "no adversary"
+                )
+        for metric in group.metrics:
+            extractor = _lookup(METRICS, metric, "metric")
+            if not extractor.supports(group.cell):
+                raise SpecError(
+                    f"{where}: metric {metric!r} is not defined for "
+                    f"{group.cell!r} cells (supports "
+                    f"{list(extractor.cells)})"
+                )
+        # Dotted parameters must target something the cell constructs.
+        merged = {**group.params}
+        for axis in group.grid:
+            merged.setdefault(axis, None)
+        _, dotted = split_cell_params(merged)
+        for target in dotted:
+            if target == "adversary" and not (
+                adversaries or group.adversary
+            ):
+                raise SpecError(
+                    f"{where}: '{target}.*' parameters but no adversary"
+                )
+            if target == "channel" and group.cell not in (CELL_ADVERSARY,):
+                raise SpecError(
+                    f"{where}: 'channel.*' parameters apply only to "
+                    "adversary cells"
+                )

@@ -1,0 +1,445 @@
+"""The declarative campaign model.
+
+A :class:`CampaignSpec` is one experiment *shape* written down as
+data: which protocols run, over which channels, under which
+adversaries, across which parameter grid, reporting which metrics.
+The grid compiler (:mod:`repro.campaign.compiler`) expands a spec
+into seed-sharded :class:`~repro.runtime.task.TaskSpec` work units;
+the merge layer (:mod:`repro.campaign.merge`) folds the settled cell
+payloads back into an
+:class:`~repro.experiments.base.ExperimentResult`.
+
+A spec is a list of :class:`CellGroup` blocks.  Each group fixes a
+cell kind (see :data:`CELL_KINDS`) and defaults, and sweeps a ``grid``
+of axes; the cross product of the axis values -- in declaration order,
+rightmost axis fastest -- is the group's cell list.  Axis values are
+either one list (both modes) or a ``{"fast": [...], "full": [...]}``
+mapping when CI-sized and full grids differ.  The axes ``protocol``,
+``channel`` and ``adversary`` sweep registry names; dotted axes such
+as ``adversary.p_deliver`` sweep constructor arguments; bare axes are
+scenario parameters (``q``, ``n``, ``max_messages``, ...).
+
+Specs round-trip through JSON exactly: ``from_dict(to_dict(spec)) ==
+spec``, and ``to_dict`` preserves every meaningful order (group order,
+axis order, metric order), so two specs are equal iff their canonical
+JSON is.
+
+Everything here is pure data -- no registry lookups, no execution.
+Name resolution happens in :func:`repro.campaign.registry.validate_spec`
+when a spec is compiled.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+# Cell kinds a group may declare.
+CELL_EXPERIMENT = "experiment"  # delegate to a registered experiment
+CELL_DELIVERY = "delivery"  # probabilistic-channel delivery run
+CELL_ADVERSARY = "adversary"  # adversary-driven DataLinkSystem run
+CELL_EXPLORATION = "exploration"  # station state-space exploration
+
+CELL_KINDS = (
+    CELL_EXPERIMENT,
+    CELL_DELIVERY,
+    CELL_ADVERSARY,
+    CELL_EXPLORATION,
+)
+
+#: Axis names that select registry entries rather than parameters.
+REGISTRY_AXES = ("protocol", "channel", "adversary")
+
+
+class SpecError(ValueError):
+    """A campaign spec is structurally invalid."""
+
+
+def _resolve_axis(name: str, values: Any, fast: bool) -> List[Any]:
+    """One axis's value list for the given mode."""
+    if isinstance(values, dict):
+        unknown = set(values) - {"fast", "full"}
+        if unknown:
+            raise SpecError(
+                f"axis {name!r}: mode mapping may only contain 'fast' "
+                f"and 'full', got {sorted(unknown)}"
+            )
+        try:
+            chosen = values["fast" if fast else "full"]
+        except KeyError as exc:
+            raise SpecError(
+                f"axis {name!r}: missing {exc.args[0]!r} values"
+            ) from None
+    else:
+        chosen = values
+    if not isinstance(chosen, list) or not chosen:
+        raise SpecError(
+            f"axis {name!r}: expected a non-empty list of values, "
+            f"got {chosen!r}"
+        )
+    return list(chosen)
+
+
+def render_shard_id(template: Optional[str], point: Dict[str, Any]) -> str:
+    """The stable cell identifier for one grid point.
+
+    ``template`` uses ``{axis}`` placeholders (plain substring
+    substitution, so dotted axis names like ``adversary.p_deliver``
+    work); ``None`` joins ``axis=value`` pairs in axis order.  The
+    shard id seeds the cell (via
+    :func:`repro.runtime.seeds.derive_seed`) and keys its cache entry,
+    so it must be unique within the spec -- :meth:`CampaignSpec.expand`
+    enforces that.
+    """
+    if template is None:
+        if not point:
+            raise SpecError(
+                "a group with an empty grid needs an explicit template "
+                "(the shard id cannot be derived from zero axes)"
+            )
+        return ",".join(f"{axis}={value}" for axis, value in point.items())
+    shard = template
+    for axis in sorted(point, key=len, reverse=True):
+        shard = shard.replace("{" + axis + "}", str(point[axis]))
+    if "{" in shard or not shard:
+        raise SpecError(
+            f"template {template!r} did not fully render against axes "
+            f"{sorted(point)} (got {shard!r})"
+        )
+    return shard
+
+
+@dataclass
+class CellGroup:
+    """One homogeneous block of campaign cells.
+
+    Attributes:
+        cell: the cell kind (one of :data:`CELL_KINDS`).
+        label: table/progress label; defaults to the cell kind.
+        protocol: default protocol registry name (sweepable via a
+            ``protocol`` axis).
+        channel: default channel registry name (sweepable).
+        adversary: default adversary registry name (sweepable).
+        grid: ordered axes; each value a list or a
+            ``{"fast": [...], "full": [...]}`` mapping.
+        params: fixed cell parameters merged under every grid point.
+        metrics: metric extractor names, in report-column order.
+        template: shard-id template (see :func:`render_shard_id`).
+        whole: experiment-backed groups only -- the single
+            whole-experiment cell of an unsharded experiment.
+    """
+
+    cell: str
+    label: str = ""
+    protocol: Optional[str] = None
+    channel: Optional[str] = None
+    adversary: Optional[str] = None
+    grid: Dict[str, Any] = field(default_factory=dict)
+    params: Dict[str, Any] = field(default_factory=dict)
+    metrics: List[str] = field(default_factory=list)
+    template: Optional[str] = None
+    whole: bool = False
+
+    def display_label(self) -> str:
+        """The label shown in tables and manifests."""
+        return self.label or self.cell
+
+    def axis_names(self) -> List[str]:
+        """The axes, in declaration order."""
+        return list(self.grid)
+
+    def points(self, fast: bool) -> List[Dict[str, Any]]:
+        """The grid points, cross product in declaration order."""
+        axes = self.axis_names()
+        value_lists = [
+            _resolve_axis(axis, self.grid[axis], fast) for axis in axes
+        ]
+        return [
+            dict(zip(axes, combo))
+            for combo in itertools.product(*value_lists)
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-able form; exact round trip via :meth:`from_dict`."""
+        return {
+            "cell": self.cell,
+            "label": self.label,
+            "protocol": self.protocol,
+            "channel": self.channel,
+            "adversary": self.adversary,
+            "grid": {axis: values for axis, values in self.grid.items()},
+            "params": dict(self.params),
+            "metrics": list(self.metrics),
+            "template": self.template,
+            "whole": self.whole,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CellGroup":
+        """Inverse of :meth:`to_dict`; omitted keys take defaults."""
+        if not isinstance(data, dict):
+            raise SpecError(f"cell group must be an object, got {data!r}")
+        known = {
+            "cell", "label", "protocol", "channel", "adversary",
+            "grid", "params", "metrics", "template", "whole",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(
+                f"cell group has unknown keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        if "cell" not in data:
+            raise SpecError("cell group is missing the 'cell' kind")
+        return cls(
+            cell=str(data["cell"]),
+            label=str(data.get("label", "")),
+            protocol=data.get("protocol"),
+            channel=data.get("channel"),
+            adversary=data.get("adversary"),
+            grid=dict(data.get("grid", {})),
+            params=dict(data.get("params", {})),
+            metrics=[str(m) for m in data.get("metrics", [])],
+            template=data.get("template"),
+            whole=bool(data.get("whole", False)),
+        )
+
+
+@dataclass
+class ExpandedCell:
+    """One concrete cell produced by :meth:`CampaignSpec.expand`.
+
+    Attributes:
+        group_index: position of the owning group in the spec.
+        group: the owning group.
+        shard: the cell's stable shard id (seed + cache identity).
+        point: the grid point, in axis order.
+        params: the legacy-style cell parameters: group ``params``,
+            then the point, then ``"shard"`` -- exactly what a sharded
+            experiment module's ``shards(fast)`` historically returned.
+    """
+
+    group_index: int
+    group: CellGroup
+    shard: str
+    point: Dict[str, Any]
+    params: Dict[str, Any]
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative protocol x channel x adversary x grid campaign.
+
+    Attributes:
+        name: the campaign's registry/manifest name.
+        title: one-line description for reports.
+        exp_id: report id (defaults to the name).
+        experiment: when set, the campaign is *experiment-backed*: its
+            cells compile to the registered experiment's own task
+            stream (same shard ids, same derived seeds), so results are
+            bit-identical to the bespoke module.  ``None`` means a
+            fully declarative campaign executed by
+            :mod:`repro.campaign.cells`.
+        groups: the cell groups, in report order.
+        notes: free-form note lines appended to the merged result.
+    """
+
+    name: str
+    title: str = ""
+    exp_id: str = ""
+    experiment: Optional[str] = None
+    groups: List[CellGroup] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def report_id(self) -> str:
+        """The id the merged :class:`ExperimentResult` carries."""
+        return self.exp_id or self.name
+
+    def validate(self) -> None:
+        """Structural validation (registry-independent).
+
+        Raises:
+            SpecError: on any structural problem.  Name resolution
+                against the registries is
+                :func:`repro.campaign.registry.validate_spec`'s job.
+        """
+        if not self.name or not isinstance(self.name, str):
+            raise SpecError("campaign name must be a non-empty string")
+        if not self.groups:
+            raise SpecError(f"campaign {self.name!r} has no cell groups")
+        for index, group in enumerate(self.groups):
+            where = f"group {index} ({group.display_label()!r})"
+            if group.cell not in CELL_KINDS:
+                raise SpecError(
+                    f"{where}: unknown cell kind {group.cell!r}; "
+                    f"expected one of {list(CELL_KINDS)}"
+                )
+            if group.cell == CELL_EXPERIMENT:
+                if self.experiment is None:
+                    raise SpecError(
+                        f"{where}: 'experiment' cells require the "
+                        "spec-level 'experiment' field"
+                    )
+                if group.whole and group.grid:
+                    raise SpecError(
+                        f"{where}: a whole-experiment group cannot "
+                        "also sweep a grid"
+                    )
+            else:
+                if self.experiment is not None:
+                    raise SpecError(
+                        f"{where}: experiment-backed campaigns may "
+                        "only contain 'experiment' cells"
+                    )
+                if group.whole:
+                    raise SpecError(
+                        f"{where}: 'whole' applies only to "
+                        "experiment-backed groups"
+                    )
+                if group.protocol is None and "protocol" not in group.grid:
+                    raise SpecError(
+                        f"{where}: no protocol (set the group default "
+                        "or sweep a 'protocol' axis)"
+                    )
+                if not group.metrics:
+                    raise SpecError(f"{where}: no metrics declared")
+            for axis in group.grid:
+                if not isinstance(axis, str) or not axis:
+                    raise SpecError(
+                        f"{where}: axis names must be non-empty strings"
+                    )
+                # Raises on malformed mode mappings / empty lists.
+                _resolve_axis(axis, group.grid[axis], fast=True)
+                _resolve_axis(axis, group.grid[axis], fast=False)
+            reserved = set(group.params) & (set(group.grid) | {"shard"})
+            if reserved:
+                raise SpecError(
+                    f"{where}: params shadow axes or reserved keys: "
+                    f"{sorted(reserved)}"
+                )
+        # Shard ids must be unique per mode (they seed and cache cells).
+        for fast in (True, False):
+            self.expand(fast)
+
+    def expand(self, fast: bool) -> List[ExpandedCell]:
+        """Every cell of the campaign for one mode, in group order.
+
+        The expansion is a pure function of ``(spec, fast)`` --
+        scheduling, caching and worker count never change it -- and the
+        shard ids it mints are checked unique here.
+        """
+        cells: List[ExpandedCell] = []
+        seen: Dict[str, int] = {}
+        for index, group in enumerate(self.groups):
+            if group.whole:
+                cells.append(
+                    ExpandedCell(
+                        group_index=index,
+                        group=group,
+                        shard="whole",
+                        point={},
+                        params={},
+                    )
+                )
+                continue
+            for point in group.points(fast):
+                shard = render_shard_id(group.template, point)
+                if shard in seen:
+                    raise SpecError(
+                        f"duplicate shard id {shard!r} (groups "
+                        f"{seen[shard]} and {index}); shard ids seed "
+                        "and cache cells, so they must be unique"
+                    )
+                seen[shard] = index
+                params = {**group.params, **point, "shard": shard}
+                cells.append(
+                    ExpandedCell(
+                        group_index=index,
+                        group=group,
+                        shard=shard,
+                        point=point,
+                        params=params,
+                    )
+                )
+        return cells
+
+    def expand_params(self, fast: bool) -> List[Dict[str, Any]]:
+        """Legacy ``shards(fast)`` view: the cell parameter dicts.
+
+        This is what the sharded experiment modules now return from
+        their ``shards(fast)`` functions -- the historic hand-written
+        lists, derived from the declarative grid.
+        """
+        return [cell.params for cell in self.expand(fast)]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-able form; exact round trip via :meth:`from_dict`.
+
+        Orders (groups, axes, metrics, notes) are preserved, so two
+        specs are byte-identical under ``json.dumps`` iff equal.
+        """
+        return {
+            "name": self.name,
+            "title": self.title,
+            "exp_id": self.exp_id,
+            "experiment": self.experiment,
+            "groups": [group.to_dict() for group in self.groups],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        """Inverse of :meth:`to_dict`; omitted keys take defaults."""
+        if not isinstance(data, dict):
+            raise SpecError(
+                f"campaign spec must be a JSON object, got {data!r}"
+            )
+        known = {
+            "name", "title", "exp_id", "experiment", "groups", "notes",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(
+                f"campaign spec has unknown keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        if "name" not in data:
+            raise SpecError("campaign spec is missing 'name'")
+        groups = data.get("groups", [])
+        if not isinstance(groups, list):
+            raise SpecError("'groups' must be a list of cell groups")
+        return cls(
+            name=str(data["name"]),
+            title=str(data.get("title", "")),
+            exp_id=str(data.get("exp_id", "")),
+            experiment=data.get("experiment"),
+            groups=[CellGroup.from_dict(group) for group in groups],
+            notes=[str(note) for note in data.get("notes", [])],
+        )
+
+
+def split_cell_params(
+    params: Dict[str, Any],
+) -> Tuple[Dict[str, Any], Dict[str, Dict[str, Any]]]:
+    """Separate scenario parameters from dotted constructor arguments.
+
+    Returns ``(scenario, kwargs_by_target)`` where dotted keys like
+    ``"adversary.p_deliver"`` land in
+    ``kwargs_by_target["adversary"]["p_deliver"]`` and everything else
+    stays in ``scenario``.
+    """
+    scenario: Dict[str, Any] = {}
+    kwargs: Dict[str, Dict[str, Any]] = {}
+    for key, value in params.items():
+        if "." in key:
+            target, _, arg = key.partition(".")
+            if target not in REGISTRY_AXES or not arg:
+                raise SpecError(
+                    f"dotted parameter {key!r} must target one of "
+                    f"{list(REGISTRY_AXES)} (e.g. 'adversary.p_deliver')"
+                )
+            kwargs.setdefault(target, {})[arg] = value
+        else:
+            scenario[key] = value
+    return scenario, kwargs

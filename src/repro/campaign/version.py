@@ -1,0 +1,18 @@
+"""The campaign-layer generation constant.
+
+:data:`CAMPAIGN_VERSION` is salted into every task cache key
+(:mod:`repro.runtime.cache`) alongside the kernel/compile/vector/
+frontier generations, and recorded in campaign run manifests.  The
+code digest already changes on any edit, but results produced by a
+different *campaign generation* -- a different cell-parameter
+vocabulary, shard-id scheme or metric contract -- must stay invalid
+even for readers that pin or strip the code digest.  Bump on any
+change to how campaign specs compile to tasks or to what cell
+payloads mean.
+
+This module is a leaf (no imports) so the cache can read the constant
+without pulling the campaign machinery -- and everything it imports --
+into every worker process.
+"""
+
+CAMPAIGN_VERSION = "repro-campaign/1"

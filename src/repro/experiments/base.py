@@ -70,6 +70,58 @@ def explore_engine(override: Any = None) -> str:
     return str(override)
 
 
+def resolve_trial_engine(
+    engine: Any, pair_factory: Any = None, pumping: bool = False
+) -> str:
+    """Trial-engine tier one protocol run actually executes under.
+
+    The engine-aware experiments used to copy-paste this degradation
+    logic; it is the one place the strict-gate/auto-fallback discipline
+    for *trial* engines lives (``explore_engine`` is its frontier-BFS
+    counterpart).  ``None`` means "no preference" and resolves to
+    ``"auto"``.  An explicit ``"vector"`` means "vectorize wherever
+    exact", not "fail the sweep", so it degrades to ``"auto"`` when
+
+    * ``pumping`` is set -- Theorem 4.1 pumping materialises a live
+      system per trial, which the struct-of-arrays engine never holds
+      (``plant_backlog(engine="vector")`` would refuse outright); or
+    * the vector gate refuses ``pair_factory`` (oracle-mode flooding,
+      a numpy-less environment).
+
+    Every other choice passes through unchanged.  All tiers are
+    bit-identical, so resolution affects speed only.
+    """
+    if engine is None:
+        return "auto"
+    if engine != "vector":
+        return str(engine)
+    if pumping:
+        return "auto"
+    from repro.core.vectrials import vector_unsupported_reason
+
+    return "auto" if vector_unsupported_reason(pair_factory) else "vector"
+
+
+def run_sharded(module: Any, fast: bool, seed: int) -> "ExperimentResult":
+    """Run a sharded experiment module in-process, shard by shard.
+
+    The same decomposition and :func:`~repro.runtime.seeds.derive_seed`
+    inputs as the parallel runtime, so ``module.run(...)`` delegating
+    here is bit-identical to a run through the task engine.  This is
+    the one implementation behind the ``run()`` of every sharded
+    module (E3/E4/E5).
+    """
+    from repro.runtime.seeds import derive_seed
+
+    payloads = [
+        module.run_shard(
+            params, fast, derive_seed(seed, module.NAME, params["shard"])
+        )
+        for params in module.shards(fast)
+    ]
+    return module.merge(payloads, fast, seed)
+
+
 @dataclass
 class ExperimentResult:
     """Outcome of one experiment run.

@@ -27,10 +27,17 @@ Schema -- required keys (extra, bench-specific keys are welcome):
     (values below 1.0 are honest slowdowns, e.g. a bounded-overhead
     refactor).  Per-workload ratios belong in an extra key such as
     ``speedup_x_by_workload``.
+
+``python -m repro.experiments bench-report --campaigns RUN.json ...``
+additionally renders the *cross-campaign trend view*: one row per
+campaign run document (the ``--json`` output of ``python -m
+repro.experiments campaign``), summarising cell count, task totals,
+cache hits and wall time -- how the sweeps themselves trend over time.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -179,10 +186,143 @@ def render_report(entries: Sequence[Tuple[pathlib.Path, Any]]) -> str:
     return "\n".join(lines)
 
 
-def main(root: Optional[pathlib.Path] = None) -> int:
-    """Print the trend table; exit 1 when any blob is missing/invalid."""
+def validate_campaign_run(doc: Any) -> List[str]:
+    """Validate one campaign run document; returns problems (empty = ok).
+
+    A run document is the ``--json`` output of ``python -m
+    repro.experiments campaign``: ``{"campaign": spec, "experiments":
+    [...], "manifest": {...}, "passed": bool}``.  Plain experiment run
+    documents (``python -m repro.experiments all --json``) also
+    qualify -- they carry the same ``manifest``/``passed`` keys, just
+    no campaign identity section.
+    """
+    if not isinstance(doc, dict):
+        return [f"expected a JSON object, got {type(doc).__name__}"]
+    errors: List[str] = []
+    manifest = doc.get("manifest")
+    if not isinstance(manifest, dict):
+        errors.append("missing or non-object 'manifest'")
+    elif not isinstance(manifest.get("totals"), dict):
+        errors.append("manifest has no 'totals' section")
+    if "passed" not in doc:
+        errors.append("missing required key 'passed'")
+    return errors
+
+
+def _campaign_row(doc: Dict[str, Any]) -> Tuple[str, ...]:
+    manifest = doc["manifest"]
+    totals = manifest["totals"]
+    identity = manifest.get("campaign", {})
+    name = identity.get("name") or ",".join(manifest.get("experiments", []))
+    cells = identity.get("cells")
+    return (
+        name or "?",
+        str(cells) if cells is not None else str(totals.get("tasks", "?")),
+        str(totals.get("tasks", "?")),
+        str(totals.get("ran", "?")),
+        str(totals.get("cached", "?")),
+        f"{float(totals.get('wall_time', 0.0)):.4f}",
+        "yes" if doc.get("passed") else "no",
+    )
+
+
+def render_campaign_report(
+    entries: Sequence[Tuple[pathlib.Path, Any]],
+) -> str:
+    """The cross-campaign trend table over run documents.
+
+    One row per run, in the order given on the command line (callers
+    pass runs oldest-first to read the trend top to bottom).  Invalid
+    documents get an error row, like :func:`render_report`.
+    """
+    header = (
+        "campaign", "cells", "tasks", "ran", "cached", "wall_s", "passed",
+    )
+    rows: List[Tuple[str, ...]] = []
+    problems: List[str] = []
+    for path, doc in entries:
+        errors = validate_campaign_run(doc)
+        if errors:
+            problems.append(f"{path.name}: " + "; ".join(errors))
+            continue
+        rows.append(_campaign_row(doc))
+    if not rows and not problems:
+        return "no campaign run documents given"
+    widths = [
+        max(len(header[col]), *(len(row[col]) for row in rows))
+        if rows
+        else len(header[col])
+        for col in range(len(header))
+    ]
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            for i, cell in enumerate(cells)
+        ).rstrip()
+
+    lines = [fmt(header), fmt(tuple("-" * w for w in widths))]
+    lines.extend(fmt(row) for row in rows)
+    for problem in problems:
+        lines.append(f"INVALID  {problem}")
+    return "\n".join(lines)
+
+
+def load_campaign_runs(
+    paths: Sequence[str],
+) -> List[Tuple[pathlib.Path, Any]]:
+    """Campaign run documents from ``paths``, command-line order.
+
+    Unreadable files carry the decode error string in place of the
+    document, mirroring :func:`load_bench_files`.
+    """
+    entries: List[Tuple[pathlib.Path, Any]] = []
+    for name in paths:
+        path = pathlib.Path(name)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            doc = f"unreadable: {exc}"
+        entries.append((path, doc))
+    return entries
+
+
+def main(
+    root: Optional[pathlib.Path] = None,
+    argv: Optional[Sequence[str]] = None,
+) -> int:
+    """Print the trend table(s); exit 1 on missing/invalid inputs.
+
+    Bare ``main()`` (the CI bench-smoke invocation) renders the
+    BENCH_*.json table exactly as before; ``--campaigns RUN.json ...``
+    appends the cross-campaign trend view.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments bench-report",
+        description="Aggregate benchmark and campaign trend tables",
+    )
+    parser.add_argument(
+        "--campaigns",
+        metavar="RUN.json",
+        nargs="+",
+        default=None,
+        help=(
+            "campaign run documents (--json output of the campaign "
+            "subcommand), oldest first; adds the cross-campaign table"
+        ),
+    )
+    args = parser.parse_args(argv if argv is not None else [])
+
     entries = load_bench_files(root)
     print(render_report(entries))
-    if not entries:
-        return 1
-    return 0 if all(not validate_bench(doc) for _, doc in entries) else 1
+    ok = bool(entries) and all(
+        not validate_bench(doc) for _, doc in entries
+    )
+    if args.campaigns is not None:
+        runs = load_campaign_runs(args.campaigns)
+        print()
+        print(render_campaign_report(runs))
+        ok = ok and bool(runs) and all(
+            not validate_campaign_run(doc) for _, doc in runs
+        )
+    return 0 if ok else 1

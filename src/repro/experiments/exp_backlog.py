@@ -33,16 +33,21 @@ deterministic, so the shard seed is unused.
 
 from __future__ import annotations
 
+import sys
 from typing import Any, Dict, List
 
 from repro.analysis.growth import fit_linear
 from repro.analysis.tables import Table
+from repro.campaign.spec import CampaignSpec, CellGroup
 from repro.core.theorem41 import probe_backlog_cost, run_dichotomy
 from repro.datalink.alternating_bit import make_alternating_bit
 from repro.datalink.flooding import make_flooding
 from repro.datalink.sequence import make_sequence_protocol
-from repro.experiments.base import ExperimentResult
-from repro.runtime.seeds import derive_seed
+from repro.experiments.base import (
+    ExperimentResult,
+    resolve_trial_engine,
+    run_sharded,
+)
 
 EXP_ID = "E3"
 NAME = "backlog"
@@ -53,6 +58,39 @@ ENGINE_AWARE = True
 
 SEQUENCE_BACKLOG = 32
 
+#: The experiment's shape as data: one group per shard family (cost
+#: curves, dichotomy levels, the naive escape probe).  ``shards(fast)``
+#: is this grid's expansion, so the spec is the single source of truth
+#: for the decomposition.
+CAMPAIGN = CampaignSpec(
+    name=NAME,
+    title=TITLE,
+    exp_id=EXP_ID,
+    experiment=NAME,
+    groups=[
+        CellGroup(
+            cell="experiment",
+            label="cost curves",
+            template="curve-K={phases}",
+            params={"kind": "curve"},
+            grid={"phases": {"fast": [2, 3], "full": [2, 3, 6]}},
+        ),
+        CellGroup(
+            cell="experiment",
+            label="dichotomy",
+            template="dichotomy-l={level}",
+            params={"kind": "dichotomy"},
+            grid={"level": {"fast": [6, 12], "full": [6, 12, 24]}},
+        ),
+        CellGroup(
+            cell="experiment",
+            label="naive escape",
+            template="sequence",
+            params={"kind": "sequence"},
+        ),
+    ],
+)
+
 
 def backlog_levels(fast: bool) -> List[int]:
     """The swept backlog sizes for the cost curves."""
@@ -60,28 +98,18 @@ def backlog_levels(fast: bool) -> List[int]:
 
 
 def phase_counts(fast: bool) -> List[int]:
-    """The flooding phase counts (one curve each)."""
-    return [2, 3] if fast else [2, 3, 6]
+    """The flooding phase counts (the campaign's phases axis)."""
+    return [p["phases"] for p in CAMPAIGN.groups[0].points(fast)]
 
 
 def dichotomy_levels(fast: bool) -> List[int]:
     """Backlog levels at which the dichotomy is exercised."""
-    return [6, 12] if fast else [6, 12, 24]
+    return [p["level"] for p in CAMPAIGN.groups[1].points(fast)]
 
 
 def shards(fast: bool) -> List[Dict[str, Any]]:
     """Curves, dichotomy levels and the naive escape, one shard each."""
-    specs: List[Dict[str, Any]] = [
-        {"shard": f"curve-K={phases}", "kind": "curve", "phases": phases}
-        for phases in phase_counts(fast)
-    ]
-    specs.extend(
-        {"shard": f"dichotomy-l={level}", "kind": "dichotomy",
-         "level": level}
-        for level in dichotomy_levels(fast)
-    )
-    specs.append({"shard": "sequence", "kind": "sequence"})
-    return specs
+    return CAMPAIGN.expand_params(fast)
 
 
 def _probe_dict(probe) -> Dict[str, Any]:
@@ -101,10 +129,8 @@ def run_shard(
     del seed  # deterministic
     # Theorem 4.1 pumping always materialises a live system per trial,
     # which the struct-of-arrays engine never holds, so an explicit
-    # ``--engine vector`` degrades to the batched pumping path here
-    # (``plant_backlog(engine="vector")`` would refuse outright).
-    if engine == "vector":
-        engine = "auto"
+    # ``--engine vector`` degrades to the batched pumping path here.
+    engine = resolve_trial_engine(engine, pumping=True)
     kind = params["kind"]
     if kind == "curve":
         phases = int(params["phases"])
@@ -256,8 +282,4 @@ def run(
     E3 explores no state spaces, so it is ignored.
     """
     del explore_parallel
-    payloads = [
-        run_shard(params, fast, derive_seed(seed, NAME, params["shard"]))
-        for params in shards(fast)
-    ]
-    return merge(payloads, fast, seed)
+    return run_sharded(sys.modules[__name__], fast, seed)

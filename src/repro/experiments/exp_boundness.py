@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Callable, List, Tuple
 
 from repro.analysis.tables import Table
+from repro.campaign.spec import CampaignSpec, CellGroup
 from repro.core.boundness import measure_boundness, verify_theorem21
 from repro.datalink.alternating_bit import make_alternating_bit
 from repro.datalink.flooding import make_capacity_flooding
@@ -33,11 +34,22 @@ from repro.experiments.base import (
 )
 
 EXP_ID = "E1"
+NAME = "boundness"
 TITLE = "Theorem 2.1: measured boundness never exceeds k_t * k_r"
 
 #: ``run`` accepts the runner's ``--engine`` selection (BFS tier for
 #: the station-state explorations; tiers are bit-identical).
 ENGINE_AWARE = True
+
+#: E1 runs as one whole-experiment cell (its protocol rows share the
+#: exploration caches, so splitting them into shards buys nothing).
+CAMPAIGN = CampaignSpec(
+    name=NAME,
+    title=TITLE,
+    exp_id=EXP_ID,
+    experiment=NAME,
+    groups=[CellGroup(cell="experiment", whole=True)],
+)
 
 # Exploration visit budget.  Slow mode affords 4x the configurations
 # the pre-parallel engine explored (60k): the interned kernel plus the

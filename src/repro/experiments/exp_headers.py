@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Callable, List, Tuple
 
 from repro.analysis.tables import Table
+from repro.campaign.spec import CampaignSpec, CellGroup
 from repro.core.proof_bounds import identity_f, theorem31_total_budget
 from repro.core.theorem31 import HeaderExhaustionAttack
 from repro.datalink.alternating_bit import make_alternating_bit
@@ -40,11 +41,22 @@ from repro.ioa.actions import Direction
 from repro.ioa.exploration import explore_station_states
 
 EXP_ID = "E2"
+NAME = "headers"
 TITLE = "Theorem 3.1: fixed-header protocols are forged, n-header escapes"
 
 #: ``run`` accepts the runner's ``--engine`` selection (BFS tier for
 #: the station-state explorations; tiers are bit-identical).
 ENGINE_AWARE = True
+
+#: E2 runs as one whole-experiment cell (the attack rows are cheap;
+#: the shared exploration dominates, and it does not shard by row).
+CAMPAIGN = CampaignSpec(
+    name=NAME,
+    title=TITLE,
+    exp_id=EXP_ID,
+    experiment=NAME,
+    groups=[CellGroup(cell="experiment", whole=True)],
+)
 
 # Per-row visit cap for the header-growth explorations below.  The
 # counts are exact when the run completes and lower bounds when it

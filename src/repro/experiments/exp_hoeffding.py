@@ -21,17 +21,18 @@ no randomness -- so the shard seed is unused.
 from __future__ import annotations
 
 import math
+import sys
 from typing import Any, Dict, List
 
 from repro.analysis.tables import Table
+from repro.campaign.spec import CampaignSpec, CellGroup
 from repro.core.hoeffding import (
     epsilon_n,
     exact_binomial_tail,
     hoeffding_tail_bound,
     lemma52_failure_bound,
 )
-from repro.experiments.base import ExperimentResult
-from repro.runtime.seeds import derive_seed
+from repro.experiments.base import ExperimentResult, run_sharded
 
 EXP_ID = "E5"
 NAME = "hoeffding"
@@ -43,15 +44,31 @@ FRACTIONS: List[float] = [0.25, 0.5, 0.75]
 SECTION5_Q = 0.3
 SECTION5_K = 3
 
+#: The experiment's shape as data: one shard per sample size ``n``.
+CAMPAIGN = CampaignSpec(
+    name=NAME,
+    title=TITLE,
+    exp_id=EXP_ID,
+    experiment=NAME,
+    groups=[
+        CellGroup(
+            cell="experiment",
+            label="Hoeffding grid",
+            template="n={n}",
+            grid={"n": {"fast": [50, 200], "full": [50, 200, 1000, 2000]}},
+        )
+    ],
+)
+
 
 def sample_sizes(fast: bool) -> List[int]:
-    """The swept ``n`` values."""
-    return [50, 200] if fast else [50, 200, 1000, 2000]
+    """The swept ``n`` values (the campaign's n axis)."""
+    return [point["n"] for point in CAMPAIGN.groups[0].points(fast)]
 
 
 def shards(fast: bool) -> List[Dict[str, Any]]:
     """One independent work unit per sample size ``n``."""
-    return [{"shard": f"n={n}", "n": n} for n in sample_sizes(fast)]
+    return CAMPAIGN.expand_params(fast)
 
 
 def run_shard(params: Dict[str, Any], fast: bool, seed: int) -> Dict[str, Any]:
@@ -145,8 +162,4 @@ def run(
     E5 explores no state spaces, so it is ignored.
     """
     del explore_parallel
-    payloads = [
-        run_shard(params, fast, derive_seed(seed, NAME, params["shard"]))
-        for params in shards(fast)
-    ]
-    return merge(payloads, fast, seed)
+    return run_sharded(sys.modules[__name__], fast, seed)

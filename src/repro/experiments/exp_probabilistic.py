@@ -32,17 +32,22 @@ cached executions produce identical results.
 
 from __future__ import annotations
 
+import sys
 from typing import Any, Dict, List
 
 from repro.analysis.growth import classify_growth, find_crossover
 from repro.analysis.tables import Table
+from repro.campaign.spec import CampaignSpec, CellGroup
 from repro.core.hoeffding import predicted_growth_factor
 from repro.core.theorem51 import run_probabilistic_delivery
 from repro.datalink.flooding import make_flooding
 from repro.datalink.sequence import make_sequence_protocol
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import (
+    ExperimentResult,
+    resolve_trial_engine,
+    run_sharded,
+)
 from repro.ioa.sinks import MetricsSink
-from repro.runtime.seeds import derive_seed
 
 EXP_ID = "E4"
 NAME = "probabilistic"
@@ -53,25 +58,28 @@ ENGINE_AWARE = True
 
 PHASES = 3
 
-
-def _resolved(engine: str, pair_factory) -> str:
-    """The engine this shard actually runs a protocol under.
-
-    ``"vector"`` degrades to ``"auto"`` for pairs the vector gate
-    refuses (oracle-mode flooding, a numpy-less environment): an
-    explicit ``--engine vector`` means "vectorize wherever exact",
-    not "fail the sweep on the protocol that cannot be".
-    """
-    if engine != "vector":
-        return engine
-    from repro.core.vectrials import vector_unsupported_reason
-
-    return "auto" if vector_unsupported_reason(pair_factory) else "vector"
+#: The experiment's shape as data: one shard per error probability.
+#: ``shards(fast)`` is this grid's expansion, so the spec is the single
+#: source of truth for the sweep.
+CAMPAIGN = CampaignSpec(
+    name=NAME,
+    title=TITLE,
+    exp_id=EXP_ID,
+    experiment=NAME,
+    groups=[
+        CellGroup(
+            cell="experiment",
+            label="probabilistic blowup",
+            template="q={q}",
+            grid={"q": {"fast": [0.2, 0.4], "full": [0.1, 0.2, 0.3, 0.5]}},
+        )
+    ],
+)
 
 
 def error_probabilities(fast: bool) -> List[float]:
-    """The swept channel error probabilities."""
-    return [0.2, 0.4] if fast else [0.1, 0.2, 0.3, 0.5]
+    """The swept channel error probabilities (the campaign's q axis)."""
+    return [point["q"] for point in CAMPAIGN.groups[0].points(fast)]
 
 
 def horizon(q: float, fast: bool) -> int:
@@ -86,7 +94,7 @@ def horizon(q: float, fast: bool) -> int:
 
 def shards(fast: bool) -> List[Dict[str, Any]]:
     """One independent work unit per error probability."""
-    return [{"shard": f"q={q}", "q": q} for q in error_probabilities(fast)]
+    return CAMPAIGN.expand_params(fast)
 
 
 def run_shard(
@@ -97,8 +105,8 @@ def run_shard(
     n = horizon(q, fast)
     budget = 150_000 if fast else 400_000
     flood_factory = lambda: make_flooding(PHASES)  # noqa: E731
-    flood_engine = _resolved(engine, flood_factory)
-    naive_engine = _resolved(engine, make_sequence_protocol)
+    flood_engine = resolve_trial_engine(engine, flood_factory)
+    naive_engine = resolve_trial_engine(engine, make_sequence_protocol)
     # One metrics observer per protocol run.  count_steps=False keeps
     # the COUNTS hot loop free of per-step marks; the step totals come
     # from the run statistics below instead.
@@ -276,8 +284,4 @@ def run(
     E4 explores no state spaces, so it is ignored.
     """
     del explore_parallel
-    payloads = [
-        run_shard(params, fast, derive_seed(seed, NAME, params["shard"]))
-        for params in shards(fast)
-    ]
-    return merge(payloads, fast, seed)
+    return run_sharded(sys.modules[__name__], fast, seed)

@@ -15,9 +15,18 @@ process pool (``--parallel N``), with results cached on disk under
 ``--cache-dir DIR``, disable with ``--no-cache``), and a structured
 run manifest available via ``--json PATH``.
 
-``python -m repro.experiments bench-report`` prints the aggregate
-benchmark trend table from the committed ``BENCH_*.json`` files
-instead of running experiments.
+Sibling subcommands (each owns its own flag namespace):
+
+* ``python -m repro.experiments campaign SPEC.json`` runs a
+  declarative campaign spec (see :mod:`repro.campaign`);
+* ``python -m repro.experiments list`` prints the experiment registry
+  and the campaign registries (protocols, channels, adversaries,
+  metrics);
+* ``python -m repro.experiments check`` runs the bounded model
+  checker (see :mod:`repro.checker.cli`);
+* ``python -m repro.experiments bench-report`` prints the aggregate
+  benchmark trend table from the committed ``BENCH_*.json`` files
+  (``--campaigns RUN.json ...`` adds the cross-campaign trend view).
 
 The transcript printed here is what EXPERIMENTS.md records.
 """
@@ -128,12 +137,24 @@ def run_all(
 def main(argv=None) -> int:
     """CLI entry point.  Returns a process exit code."""
     # Subcommand dispatch happens on the raw argv, before argparse:
-    # `check` owns its whole flag namespace (see repro.checker.cli).
+    # each subcommand owns its whole flag namespace.
     raw = list(sys.argv[1:]) if argv is None else list(argv)
     if raw and raw[0] == "check":
         from repro.checker.cli import main as check_main
 
         return check_main(raw[1:])
+    if raw and raw[0] == "campaign":
+        from repro.campaign.cli import campaign_main
+
+        return campaign_main(raw[1:])
+    if raw and raw[0] == "list":
+        from repro.campaign.cli import list_main
+
+        return list_main(raw[1:])
+    if raw and raw[0] == "bench-report":
+        from repro.experiments import bench_report
+
+        return bench_report.main(argv=raw[1:])
 
     from repro.runtime import (
         ResultCache,
@@ -156,9 +177,11 @@ def main(argv=None) -> int:
         default="all",
         help=(
             f"one of {sorted(REGISTRY)}, 'all' (default), "
+            "'campaign' to run a declarative campaign spec, "
+            "'list' to print the experiment and campaign registries, "
             "'bench-report' to print the BENCH_*.json trend table, or "
             "'check' to run the bounded model checker "
-            "(see 'check --help')"
+            "(see each subcommand's --help)"
         ),
     )
     parser.add_argument(
@@ -241,11 +264,6 @@ def main(argv=None) -> int:
         help="also write the transcript as markdown to FILE",
     )
     args = parser.parse_args(argv)
-
-    if args.experiment == "bench-report":
-        from repro.experiments import bench_report
-
-        return bench_report.main()
 
     names = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
     if any(name not in REGISTRY for name in names):

@@ -24,6 +24,7 @@ import tempfile
 import time
 from typing import Any, Dict, Optional
 
+from repro.campaign.version import CAMPAIGN_VERSION
 from repro.core.vectrials import VECTOR_VERSION
 from repro.ioa.compile import COMPILE_VERSION
 from repro.ioa.vecfrontier import FRONTIER_VERSION
@@ -53,7 +54,10 @@ KERNEL_VERSION = "repro-kernel/3"
 # task keys, but a vector-generation bump must still flush results the
 # vector tier may have produced.  The frontier-BFS generation
 # (:data:`repro.ioa.vecfrontier.FRONTIER_VERSION`) is salted for the
-# same reason on the exploration/checker side.
+# same reason on the exploration/checker side, and the campaign-layer
+# generation (:data:`repro.campaign.version.CAMPAIGN_VERSION`) for the
+# spec-compilation side: a change to how campaign cells are minted or
+# what their payloads mean must flush every entry those cells wrote.
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -110,6 +114,7 @@ class ResultCache:
                 COMPILE_VERSION,
                 VECTOR_VERSION,
                 FRONTIER_VERSION,
+                CAMPAIGN_VERSION,
                 code_version(),
                 spec.experiment,
                 spec.shard,
@@ -156,6 +161,7 @@ class ResultCache:
             "compile_version": COMPILE_VERSION,
             "vector_version": VECTOR_VERSION,
             "frontier_version": FRONTIER_VERSION,
+            "campaign_version": CAMPAIGN_VERSION,
             "code_version": code_version(),
             "spec": spec.to_dict(),
             "payload": payload,

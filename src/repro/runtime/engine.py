@@ -24,14 +24,7 @@ from repro.experiments.base import ExperimentResult
 from repro.runtime import cache as cache_mod
 from repro.runtime.executor import run_tasks
 from repro.runtime.manifest import build_manifest
-from repro.runtime.seeds import derive_seed
-from repro.runtime.task import (
-    KIND_SHARD,
-    KIND_WHOLE,
-    STATUS_FAILED,
-    TaskOutcome,
-    TaskSpec,
-)
+from repro.runtime.task import STATUS_FAILED, TaskOutcome, TaskSpec
 
 
 class TaskFailure(RuntimeError):
@@ -76,44 +69,48 @@ def plan_tasks(
 ) -> List[TaskSpec]:
     """Decompose experiments into task specs, seeds derived per shard.
 
-    Sharded experiments (those in
-    :data:`repro.experiments.runner.SHARDED`) contribute one spec per
-    parameter shard with a :func:`derive_seed`-derived seed; the rest
-    contribute a single whole-experiment spec carrying the root seed,
-    which keeps their output bit-identical to a direct
-    ``run(fast=..., seed=...)`` call.
+    Every experiment plans through the campaign compiler
+    (:mod:`repro.campaign.compiler`): modules that publish a
+    ``CAMPAIGN`` spec expand their declarative grids, unsharded ones
+    get a synthesized whole-experiment spec.  Sharded modules
+    *without* a ``CAMPAIGN`` spec (third-party or test-injected) keep
+    the legacy path -- one spec per ``shards(fast)`` entry.  Either
+    way, shard tasks carry :func:`~repro.runtime.seeds.derive_seed`
+    seeds and whole tasks the root seed, which keeps output
+    bit-identical to a direct ``run(fast=..., seed=...)`` call.
     """
+    from repro.campaign.compiler import (
+        campaign_for_experiment,
+        compile_campaign,
+    )
     from repro.experiments.runner import REGISTRY, SHARDED
+    from repro.runtime.seeds import derive_seed
+    from repro.runtime.task import KIND_SHARD
 
     specs: List[TaskSpec] = []
     for name in names:
         if name not in REGISTRY:
             raise KeyError(f"unknown experiment {name!r}")
         module = SHARDED.get(name)
-        if module is None:
-            specs.append(
-                TaskSpec(
-                    experiment=name,
-                    shard="whole",
-                    params={},
-                    fast=fast,
-                    seed=seed,
-                    kind=KIND_WHOLE,
+        if module is not None and getattr(module, "CAMPAIGN", None) is None:
+            for params in module.shards(fast):
+                shard = params["shard"]
+                specs.append(
+                    TaskSpec(
+                        experiment=name,
+                        shard=shard,
+                        params=dict(params),
+                        fast=fast,
+                        seed=derive_seed(seed, name, shard),
+                        kind=KIND_SHARD,
+                    )
                 )
-            )
             continue
-        for params in module.shards(fast):
-            shard = params["shard"]
-            specs.append(
-                TaskSpec(
-                    experiment=name,
-                    shard=shard,
-                    params=dict(params),
-                    fast=fast,
-                    seed=derive_seed(seed, name, shard),
-                    kind=KIND_SHARD,
-                )
+        specs.extend(
+            compile_campaign(
+                campaign_for_experiment(name), fast=fast, seed=seed
             )
+        )
     return specs
 
 

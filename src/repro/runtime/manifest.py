@@ -33,12 +33,18 @@ def build_manifest(
     code_version: str,
     cache_dir: Optional[str] = None,
     engine: str = "auto",
+    campaign: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble the manifest dict for one finished run.
 
     ``engine`` is the run-level trial-engine request; the engine each
     shard actually resolved to (``auto`` may fan out per protocol) is
-    in that task's ``metrics["engine"]``.
+    in that task's ``metrics["engine"]``.  ``campaign`` is the
+    campaign-identity section for runs planned from a
+    :class:`~repro.campaign.spec.CampaignSpec` (see
+    :func:`repro.campaign.engine.manifest_entry`); plain experiment
+    runs omit the key, keeping their manifests byte-identical to the
+    pre-campaign format.
     """
     tasks = []
     for outcome in outcomes:
@@ -67,7 +73,7 @@ def build_manifest(
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 continue
             metric_totals[name] = metric_totals.get(name, 0) + value
-    return {
+    manifest: Dict[str, Any] = {
         "schema": MANIFEST_SCHEMA,
         "experiments": list(names),
         "fast": fast,
@@ -92,3 +98,6 @@ def build_manifest(
             "metrics": metric_totals,
         },
     }
+    if campaign is not None:
+        manifest["campaign"] = dict(campaign)
+    return manifest

@@ -1,8 +1,10 @@
 """The runtime's task model.
 
-A :class:`TaskSpec` is one independent work unit: either one *shard*
-of a sharded experiment (a parameter point with its derived seed) or a
-*whole* unsharded experiment.  Specs are plain JSON-able data so they
+A :class:`TaskSpec` is one independent work unit: one *shard* of a
+sharded experiment (a parameter point with its derived seed), a
+*whole* unsharded experiment, or one declarative campaign *cell*
+(self-contained registry names + parameters, see
+:mod:`repro.campaign.cells`).  Specs are plain JSON-able data so they
 cross process boundaries and cache files unchanged; the mapping from
 spec to executable code lives in :mod:`repro.runtime.worker`.
 
@@ -19,6 +21,7 @@ from typing import Any, Dict, Optional
 # Task kinds.
 KIND_SHARD = "shard"  # one shard of a sharded experiment
 KIND_WHOLE = "whole"  # an entire unsharded experiment
+KIND_CELL = "cell"  # one declarative campaign cell
 
 # Outcome statuses.
 STATUS_OK = "ok"  # executed this run
@@ -39,7 +42,7 @@ class TaskSpec:
         seed: the seed this task runs with -- already derived via
             :func:`repro.runtime.seeds.derive_seed` for shard tasks,
             the root seed for whole-experiment tasks.
-        kind: ``"shard"`` or ``"whole"``.
+        kind: ``"shard"``, ``"whole"`` or ``"cell"``.
     """
 
     experiment: str

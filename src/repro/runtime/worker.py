@@ -12,7 +12,9 @@ Dispatch is by experiment name through the registries in
 * ``kind == "shard"`` -> the sharded module's
   ``run_shard(params, fast, seed)``;
 * ``kind == "whole"`` -> the registered ``run(fast=..., seed=...)``,
-  serialized via ``ExperimentResult.to_dict()``.
+  serialized via ``ExperimentResult.to_dict()``;
+* ``kind == "cell"`` -> :func:`repro.campaign.cells.run_cell` on the
+  task's self-contained cell parameters (declarative campaigns).
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ import sys
 import time
 from typing import Any, Dict
 
-from repro.runtime.task import KIND_SHARD, KIND_WHOLE
+from repro.runtime.task import KIND_CELL, KIND_SHARD, KIND_WHOLE
 
 
 def execute(
@@ -57,6 +59,19 @@ def execute(
             )
         else:
             payload = module.run_shard(spec_dict["params"], fast, seed)
+    elif kind == KIND_CELL:
+        from repro.campaign.cells import run_cell
+
+        # Cells are uniformly engine-aware: the tier/worker choice is
+        # resolved inside the cell per kind, exactly as the bespoke
+        # experiments resolve it per shard.
+        payload = run_cell(
+            spec_dict["params"],
+            fast,
+            seed,
+            engine=engine if engine is not None else "auto",
+            explore_parallel=explore_parallel,
+        )
     elif kind == KIND_WHOLE:
         run = REGISTRY.get(name)
         if run is None:

@@ -1,0 +1,140 @@
+"""The grid compiler: specs -> task streams, bit-compatible with E1-E5."""
+
+import pytest
+
+from repro.campaign.compiler import (
+    campaign_experiment_name,
+    campaign_for_experiment,
+    cell_task_params,
+    compile_campaign,
+)
+from repro.campaign.spec import CampaignSpec, CellGroup
+from repro.runtime.seeds import derive_seed
+from repro.runtime.task import KIND_CELL, KIND_SHARD, KIND_WHOLE
+
+# The historic task decomposition of every registered experiment,
+# pinned as literals: a change to any CAMPAIGN grid that silently
+# reshuffles shard ids (and with them seeds and cache keys) fails here.
+EXPECTED_SHARDS = {
+    "boundness": {True: ["whole"], False: ["whole"]},
+    "headers": {True: ["whole"], False: ["whole"]},
+    "backlog": {
+        True: ["curve-K=2", "curve-K=3", "dichotomy-l=6",
+               "dichotomy-l=12", "sequence"],
+        False: ["curve-K=2", "curve-K=3", "curve-K=6", "dichotomy-l=6",
+                "dichotomy-l=12", "dichotomy-l=24", "sequence"],
+    },
+    "probabilistic": {
+        True: ["q=0.2", "q=0.4"],
+        False: ["q=0.1", "q=0.2", "q=0.3", "q=0.5"],
+    },
+    "hoeffding": {
+        True: ["n=50", "n=200"],
+        False: ["n=50", "n=200", "n=1000", "n=2000"],
+    },
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_SHARDS))
+@pytest.mark.parametrize("fast", [True, False])
+def test_experiment_campaigns_match_legacy_stream(name, fast):
+    tasks = compile_campaign(
+        campaign_for_experiment(name), fast=fast, seed=0
+    )
+    assert [t.shard for t in tasks] == EXPECTED_SHARDS[name][fast]
+    for task in tasks:
+        assert task.experiment == name
+        if task.kind == KIND_WHOLE:
+            assert task.seed == 0 and task.params == {}
+        else:
+            assert task.kind == KIND_SHARD
+            assert task.seed == derive_seed(0, name, task.shard)
+            assert task.params["shard"] == task.shard
+
+
+def test_sharded_campaigns_agree_with_module_shards():
+    from repro.experiments.runner import SHARDED
+
+    for name, module in SHARDED.items():
+        for fast in (True, False):
+            tasks = compile_campaign(
+                campaign_for_experiment(name), fast=fast, seed=0
+            )
+            assert [t.params for t in tasks] == module.shards(fast)
+
+
+def test_synthesized_whole_spec_for_unsharded_experiments():
+    spec = campaign_for_experiment("window")
+    assert spec.experiment == "window"
+    tasks = compile_campaign(spec, fast=True, seed=42)
+    assert len(tasks) == 1
+    assert tasks[0].kind == KIND_WHOLE and tasks[0].seed == 42
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError, match="nope"):
+        campaign_for_experiment("nope")
+
+
+def test_sharded_module_without_campaign_raises(monkeypatch):
+    from repro.experiments import runner
+
+    class _Bare:
+        @staticmethod
+        def shards(fast):
+            return [{"shard": "s"}]
+
+    monkeypatch.setitem(runner.SHARDED, "bare", _Bare)
+    monkeypatch.setitem(runner.REGISTRY, "bare", lambda **kw: None)
+    with pytest.raises(LookupError, match="CAMPAIGN"):
+        campaign_for_experiment("bare")
+    # plan_tasks keeps the legacy per-shard path for such modules.
+    from repro.runtime.engine import plan_tasks
+
+    (task,) = plan_tasks(["bare"], fast=True, seed=5)
+    assert task.kind == KIND_SHARD
+    assert task.seed == derive_seed(5, "bare", "s")
+
+
+def declarative_spec():
+    return CampaignSpec(
+        name="decl",
+        groups=[
+            CellGroup(
+                cell="adversary",
+                label="g",
+                channel="nonfifo",
+                adversary="optimal",
+                grid={"protocol": ["sequence", "alternating-bit"]},
+                params={"n": 3},
+                metrics=["delivered"],
+            ),
+        ],
+    )
+
+
+def test_declarative_compile_mints_cell_tasks():
+    spec = declarative_spec()
+    tasks = compile_campaign(spec, fast=True, seed=0)
+    assert campaign_experiment_name(spec) == "campaign:decl"
+    assert [t.kind for t in tasks] == [KIND_CELL, KIND_CELL]
+    for task in tasks:
+        assert task.experiment == "campaign:decl"
+        assert task.seed == derive_seed(0, "campaign:decl", task.shard)
+        params = task.params
+        assert params["cell"] == "adversary"
+        assert params["channel"] == "nonfifo"
+        assert params["adversary"] == "optimal"
+        assert params["metrics"] == ["delivered"]
+        assert params["config"] == {"n": 3}
+        assert params["protocol"] == params["point"]["protocol"]
+
+
+def test_cell_task_params_resolve_axes_over_defaults():
+    spec = declarative_spec()
+    cell = spec.expand(True)[1]
+    params = cell_task_params(spec, cell)
+    assert params["protocol"] == "alternating-bit"
+    # Registry axes leave the config; scenario params stay.
+    assert "protocol" not in params["config"]
+    assert params["config"]["n"] == 3

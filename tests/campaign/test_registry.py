@@ -1,0 +1,177 @@
+"""Registry completeness guards and construction conventions.
+
+The ``all_subclasses`` walks assert that every concrete adversary,
+channel and metric extractor in the library is either sweepable by
+name or listed in an ``EXCLUDED_*`` table with a reason -- a new class
+cannot silently stay out of reach of campaign specs.
+"""
+
+import inspect
+import pkgutil
+import random
+
+import pytest
+
+import repro.datalink
+from repro.campaign import registry
+from repro.campaign.registry import MetricExtractor
+from repro.campaign.spec import CampaignSpec, CellGroup, SpecError
+from repro.channels.adversary import ChannelAdversary
+from repro.channels.base import Channel
+from repro.ioa.actions import Direction
+
+
+def all_subclasses(base):
+    seen = set()
+    frontier = [base]
+    while frontier:
+        cls = frontier.pop()
+        for sub in cls.__subclasses__():
+            if sub not in seen:
+                seen.add(sub)
+                frontier.append(sub)
+    return seen
+
+
+def library_classes(base):
+    return {
+        cls
+        for cls in all_subclasses(base)
+        if cls.__module__.startswith("repro.")
+    }
+
+
+def test_every_adversary_registered_or_excluded():
+    covered = set(registry.ADVERSARIES.values()) | set(
+        registry.EXCLUDED_ADVERSARIES
+    )
+    missing = library_classes(ChannelAdversary) - covered
+    assert not missing, (
+        f"adversaries neither registered nor excluded-with-reason: "
+        f"{sorted(cls.__name__ for cls in missing)}"
+    )
+    for cls, reason in registry.EXCLUDED_ADVERSARIES.items():
+        assert reason, f"{cls.__name__} excluded without a reason"
+
+
+def test_every_channel_registered_or_excluded():
+    covered = set(registry.CHANNELS.values()) | set(
+        registry.EXCLUDED_CHANNELS
+    )
+    missing = (library_classes(Channel) | {Channel}) - covered
+    assert not missing, (
+        f"channels neither registered nor excluded-with-reason: "
+        f"{sorted(cls.__name__ for cls in missing)}"
+    )
+
+
+def test_every_pair_factory_registered_or_excluded():
+    factories = set()
+    prefix = repro.datalink.__name__ + "."
+    for info in pkgutil.iter_modules(repro.datalink.__path__):
+        module = __import__(prefix + info.name, fromlist=["*"])
+        for name, value in vars(module).items():
+            if name.startswith("make_") and callable(value) and (
+                getattr(value, "__module__", "") == module.__name__
+            ):
+                factories.add(name)
+    covered = {
+        factory.__name__ for factory in registry.PROTOCOLS.values()
+    } | set(registry.EXCLUDED_PROTOCOL_FACTORIES)
+    missing = factories - covered
+    assert not missing, (
+        f"datalink make_* factories neither registered nor excluded: "
+        f"{sorted(missing)}"
+    )
+
+
+def test_every_concrete_metric_registered():
+    concrete = {
+        cls
+        for cls in library_classes(MetricExtractor)
+        if getattr(cls, "name", "")
+    }
+    registered = {type(m) for m in registry.METRICS.values()}
+    missing = concrete - registered
+    assert not missing, (
+        f"metric extractors with a name but no registration: "
+        f"{sorted(cls.__name__ for cls in missing)}"
+    )
+
+
+def test_metric_names_and_cells_declared():
+    for name, extractor in registry.METRICS.items():
+        assert name == extractor.name
+        assert extractor.cells, f"{name} supports no cell kinds"
+        assert extractor.description, f"{name} has no description"
+
+
+def test_lookup_error_mentions_list_command():
+    with pytest.raises(KeyError, match="repro.experiments list"):
+        registry.make_protocol("no-such-protocol")
+
+
+def test_make_channel_two_stream_rng_convention():
+    fwd = registry.make_channel(
+        "probabilistic", Direction.T2R, {"q": 0.3}, seed=7
+    )
+    rev = registry.make_channel(
+        "probabilistic", Direction.R2T, {"q": 0.3}, seed=7
+    )
+    # Same convention as make_system: Random(seed) forward,
+    # Random(seed + 1) reverse.
+    assert fwd._rng.random() == random.Random(7).random()
+    assert rev._rng.random() == random.Random(8).random()
+
+
+def test_make_adversary_seed_injection():
+    fair = registry.make_adversary("fair", None, seed=11)
+    pinned = registry.make_adversary("fair", {"seed": 3}, seed=11)
+    assert "seed" in inspect.signature(type(fair)).parameters
+    # The optimal adversary takes no seed and must not receive one.
+    registry.make_adversary("optimal", None, seed=11)
+    assert fair is not None and pinned is not None
+
+
+def _spec(groups):
+    return CampaignSpec(name="v", groups=groups)
+
+
+def test_validate_spec_rejects_unknown_names():
+    spec = _spec([
+        CellGroup(cell="adversary", protocol="no-such",
+                  channel="nonfifo", adversary="optimal",
+                  grid={"n": [2]}, metrics=["delivered"]),
+    ])
+    spec.validate()
+    with pytest.raises(KeyError, match="no-such"):
+        registry.validate_spec(spec)
+
+
+def test_validate_spec_delivery_rules():
+    spec = _spec([
+        CellGroup(cell="delivery", protocol="sequence",
+                  adversary="optimal", grid={"q": [0.1]},
+                  params={"n": 4}, metrics=["delivered"]),
+    ])
+    spec.validate()
+    with pytest.raises(SpecError, match="no adversary"):
+        registry.validate_spec(spec)
+    spec = _spec([
+        CellGroup(cell="delivery", protocol="sequence",
+                  grid={"q": [0.1]}, metrics=["delivered"]),
+    ])
+    spec.validate()
+    with pytest.raises(SpecError, match="need"):
+        registry.validate_spec(spec)
+
+
+def test_validate_spec_metric_cell_support():
+    spec = _spec([
+        CellGroup(cell="adversary", protocol="sequence",
+                  channel="nonfifo", adversary="optimal",
+                  grid={"n": [2]}, metrics=["k_t"]),
+    ])
+    spec.validate()
+    with pytest.raises(SpecError, match="not defined for"):
+        registry.validate_spec(spec)

@@ -1,0 +1,183 @@
+"""The declarative campaign data model: round trips and validation."""
+
+import json
+
+import pytest
+
+from repro.campaign.spec import (
+    CampaignSpec,
+    CellGroup,
+    SpecError,
+    render_shard_id,
+    split_cell_params,
+)
+
+
+def sample_spec():
+    return CampaignSpec(
+        name="sample",
+        title="A sample sweep",
+        groups=[
+            CellGroup(
+                cell="adversary",
+                label="grid",
+                channel="nonfifo",
+                grid={
+                    "protocol": ["alternating-bit", "sequence"],
+                    "adversary": ["optimal", "replay-flood"],
+                },
+                params={"n": 4},
+                metrics=["delivered", "packets"],
+            ),
+            CellGroup(
+                cell="delivery",
+                protocol="sequence",
+                template="naive-q={q}",
+                grid={"q": {"fast": [0.2], "full": [0.1, 0.2]}},
+                params={"n": 8},
+                metrics=["delivered"],
+            ),
+        ],
+        notes=["a note"],
+    )
+
+
+def test_round_trip_exact():
+    spec = sample_spec()
+    encoded = json.dumps(spec.to_dict())
+    decoded = CampaignSpec.from_dict(json.loads(encoded))
+    assert decoded == spec
+    # to_dict is stable: a second trip is byte-identical.
+    assert json.dumps(decoded.to_dict()) == encoded
+
+
+def test_unknown_keys_rejected():
+    data = sample_spec().to_dict()
+    data["grids"] = {}
+    with pytest.raises(SpecError, match="unknown keys"):
+        CampaignSpec.from_dict(data)
+    group = sample_spec().to_dict()["groups"][0]
+    group["protocols"] = []
+    with pytest.raises(SpecError, match="unknown keys"):
+        CellGroup.from_dict(group)
+
+
+def test_expansion_order_rightmost_fastest():
+    spec = sample_spec()
+    cells = spec.expand(fast=False)
+    grid_shards = [c.shard for c in cells if c.group_index == 0]
+    assert grid_shards == [
+        "protocol=alternating-bit,adversary=optimal",
+        "protocol=alternating-bit,adversary=replay-flood",
+        "protocol=sequence,adversary=optimal",
+        "protocol=sequence,adversary=replay-flood",
+    ]
+
+
+def test_mode_dependent_axes():
+    spec = sample_spec()
+    fast = [c.shard for c in spec.expand(True) if c.group_index == 1]
+    full = [c.shard for c in spec.expand(False) if c.group_index == 1]
+    assert fast == ["naive-q=0.2"]
+    assert full == ["naive-q=0.1", "naive-q=0.2"]
+
+
+def test_expand_params_match_legacy_shape():
+    spec = sample_spec()
+    params = spec.expand_params(True)
+    assert params[0] == {
+        "n": 4,
+        "protocol": "alternating-bit",
+        "adversary": "optimal",
+        "shard": "protocol=alternating-bit,adversary=optimal",
+    }
+
+
+def test_duplicate_shard_ids_rejected():
+    spec = CampaignSpec(
+        name="dup",
+        groups=[
+            CellGroup(
+                cell="delivery",
+                protocol="sequence",
+                template="same",
+                grid={"q": [0.1, 0.2]},
+                params={"n": 4},
+                metrics=["delivered"],
+            ),
+        ],
+    )
+    with pytest.raises(SpecError, match="duplicate shard id"):
+        spec.validate()
+
+
+def test_params_cannot_shadow_axes():
+    spec = CampaignSpec(
+        name="shadow",
+        groups=[
+            CellGroup(
+                cell="delivery",
+                protocol="sequence",
+                grid={"q": [0.1]},
+                params={"q": 0.2, "n": 4},
+                metrics=["delivered"],
+            ),
+        ],
+    )
+    with pytest.raises(SpecError, match="shadow"):
+        spec.validate()
+
+
+def test_metrics_required_for_declarative_cells():
+    spec = CampaignSpec(
+        name="nometrics",
+        groups=[
+            CellGroup(cell="delivery", protocol="sequence",
+                      grid={"q": [0.1]}, params={"n": 4}),
+        ],
+    )
+    with pytest.raises(SpecError, match="no metrics"):
+        spec.validate()
+
+
+def test_whole_only_for_experiment_backed():
+    spec = CampaignSpec(
+        name="w",
+        groups=[CellGroup(cell="delivery", protocol="sequence",
+                          whole=True, metrics=["delivered"])],
+    )
+    with pytest.raises(SpecError, match="whole"):
+        spec.validate()
+
+
+def test_experiment_cells_require_experiment_field():
+    spec = CampaignSpec(
+        name="e",
+        groups=[CellGroup(cell="experiment", whole=True)],
+    )
+    with pytest.raises(SpecError, match="experiment"):
+        spec.validate()
+
+
+def test_render_shard_id_dotted_axes():
+    shard = render_shard_id(
+        "fair-d={adversary.max_delay}", {"adversary.max_delay": 3}
+    )
+    assert shard == "fair-d=3"
+    with pytest.raises(SpecError, match="did not fully render"):
+        render_shard_id("q={q}", {"p": 1})
+    with pytest.raises(SpecError, match="explicit template"):
+        render_shard_id(None, {})
+
+
+def test_split_cell_params():
+    scenario, dotted = split_cell_params(
+        {"n": 4, "adversary.p_deliver": 0.5, "channel.lifetime": 2}
+    )
+    assert scenario == {"n": 4}
+    assert dotted == {
+        "adversary": {"p_deliver": 0.5},
+        "channel": {"lifetime": 2},
+    }
+    with pytest.raises(SpecError, match="dotted parameter"):
+        split_cell_params({"widget.size": 1})

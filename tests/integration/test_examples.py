@@ -20,6 +20,7 @@ EXPECTED_EXAMPLES = {
     "ttl_rescues_wraparound.py",
     "transport_over_network.py",
     "vector_sweep.py",
+    "campaign_sweep.py",
 }
 
 
