@@ -11,7 +11,7 @@ metric list), runs the named scenario, and returns a JSON-able payload
      "values": {metric: value, ...},      # the spec's metric set
      "metrics": {...}}                    # observability telemetry
 
-Three cell kinds:
+Four cell kinds:
 
 * ``delivery`` -- :func:`repro.core.theorem51.run_probabilistic_delivery`
   over the probabilistic channel pair, through the trial-engine tiers
@@ -24,7 +24,14 @@ Three cell kinds:
 * ``exploration`` -- :func:`repro.ioa.exploration.explore_station_states`
   through the frontier-BFS tiers
   (:func:`repro.experiments.base.explore_engine` /
-  :func:`~repro.experiments.base.explore_workers`).
+  :func:`~repro.experiments.base.explore_workers`);
+* ``backlog`` -- Theorem 4.1 backlog planting
+  (:func:`repro.core.theorem41.probe_backlog_cost`, or the full
+  dichotomy via :func:`repro.core.theorem41.run_dichotomy` when the
+  cell sets ``dichotomy``), through the *pumping* engine tiers
+  (:mod:`repro.core.vecpump` -> batch -> interpreted) under the same
+  strict-gate/auto-fallback discipline, resolved against the pumping
+  gate per protocol.
 
 Determinism: everything random flows from the cell's task seed (already
 derived per shard via :func:`repro.runtime.seeds.derive_seed`); engine
@@ -38,6 +45,7 @@ from typing import Any, Dict, Optional
 
 from repro.campaign.spec import (
     CELL_ADVERSARY,
+    CELL_BACKLOG,
     CELL_DELIVERY,
     CELL_EXPLORATION,
     split_cell_params,
@@ -77,6 +85,62 @@ def _delivery_observations(
         "engine": resolved,
         "events_elided": run.events_elided,
     }
+
+
+def _backlog_observations(
+    params: Dict[str, Any], fast: bool, seed: int, engine: str
+) -> Dict[str, Any]:
+    from repro.core.theorem41 import probe_backlog_cost, run_dichotomy
+    from repro.experiments.base import resolve_trial_engine
+    from repro.campaign import registry
+
+    del fast, seed  # backlog planting is deterministic (zero coins)
+    scenario, dotted = split_cell_params(params["config"])
+    factory = registry.protocol_factory(
+        params["protocol"], dotted.get("protocol")
+    )
+    backlog = int(scenario["backlog"])
+    message = scenario.get("message", "m")
+    max_messages = int(scenario.get("max_messages", 4096))
+    max_steps = int(scenario.get("max_steps", 200_000))
+    resolved = resolve_trial_engine(engine, factory, pumping=True)
+    observations: Dict[str, Any]
+    if scenario.get("dichotomy"):
+        outcome = run_dichotomy(
+            factory,
+            backlog,
+            message=message,
+            max_messages=max_messages,
+            max_steps=max_steps,
+            engine=resolved,
+        )
+        probe = outcome.probe
+        observations = {
+            "exceeded_bound": outcome.exceeded_bound,
+            "forged": outcome.forged,
+            "theorem_confirmed": outcome.theorem_confirmed,
+        }
+    else:
+        probe = probe_backlog_cost(
+            factory,
+            backlog,
+            message=message,
+            max_messages=max_messages,
+            max_steps=max_steps,
+            engine=resolved,
+        )
+        observations = {}
+    observations.update(
+        backlog=backlog,
+        backlog_actual=probe.backlog_actual,
+        headers=probe.headers,
+        extension_packets=probe.extension_packets,
+        lower_bound=probe.lower_bound,
+        ratio=probe.ratio,
+        messages_spent=probe.messages_spent,
+        engine=resolved,
+    )
+    return observations
 
 
 def _adversary_observations(
@@ -185,6 +249,8 @@ def run_cell(
     cell = params["cell"]
     if cell == CELL_DELIVERY:
         observations = _delivery_observations(params, fast, seed, engine)
+    elif cell == CELL_BACKLOG:
+        observations = _backlog_observations(params, fast, seed, engine)
     elif cell == CELL_ADVERSARY:
         observations = _adversary_observations(params, fast, seed)
     elif cell == CELL_EXPLORATION:
@@ -207,7 +273,7 @@ def run_cell(
     if "engine" in observations:
         telemetry["engine"] = observations["engine"]
     for key in ("packets_total", "steps", "configurations",
-                "events_elided"):
+                "events_elided", "messages_spent"):
         if key in observations:
             telemetry[key] = observations[key]
     return {

@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, Optional, Tuple, Type
 
 from repro.campaign.spec import (
     CELL_ADVERSARY,
+    CELL_BACKLOG,
     CELL_DELIVERY,
     CELL_EXPLORATION,
     CampaignSpec,
@@ -410,6 +411,69 @@ class WireHeadersMetric(_FieldMetric):
     description = "distinct forward-channel packet headers observed"
 
 
+@register_metric
+class BacklogActualMetric(_FieldMetric):
+    name = "backlog_actual"
+    field = "backlog_actual"
+    cells = (CELL_BACKLOG,)
+    description = "packets in transit when the cost was measured"
+
+
+@register_metric
+class HeadersMetric(_FieldMetric):
+    name = "headers"
+    field = "headers"
+    cells = (CELL_BACKLOG,)
+    description = "distinct forward packet values in use (the k)"
+
+
+@register_metric
+class ExtensionPacketsMetric(_FieldMetric):
+    name = "extension_packets"
+    field = "extension_packets"
+    cells = (CELL_BACKLOG,)
+    description = "packets the next delivery costs (sp^{t->r}(beta))"
+
+
+@register_metric
+class LowerBoundMetric(_FieldMetric):
+    name = "lower_bound"
+    field = "lower_bound"
+    cells = (CELL_BACKLOG,)
+    description = "floor(backlog_actual / k), the Theorem 4.1 floor"
+
+
+@register_metric
+class CostRatioMetric(_FieldMetric):
+    name = "cost_ratio"
+    field = "ratio"
+    cells = (CELL_BACKLOG,)
+    description = "extension cost per unit of backlog (the E3 slope)"
+
+
+@register_metric
+class MessagesSpentMetric(_FieldMetric):
+    name = "messages_spent"
+    field = "messages_spent"
+    cells = (CELL_BACKLOG,)
+    description = "messages delivered while pumping the backlog up"
+
+
+@register_metric
+class TheoremConfirmedMetric(_FieldMetric):
+    name = "theorem_confirmed"
+    field = "theorem_confirmed"
+    cells = (CELL_BACKLOG,)
+    description = "the Theorem 4.1 disjunction held (dichotomy cells)"
+
+
+#: Backlog metrics that exist only when the cell runs the full
+#: dichotomy (``"dichotomy": true``); a plain cost probe never
+#: populates them, so :func:`validate_spec` refuses the combination
+#: up front instead of letting the cell KeyError at run time.
+DICHOTOMY_METRICS = ("theorem_confirmed",)
+
+
 # ---------------------------------------------------------------------------
 # spec validation against the registries
 # ---------------------------------------------------------------------------
@@ -482,6 +546,30 @@ def validate_spec(spec: CampaignSpec) -> None:
                     "away (set abstraction); they take no channel and "
                     "no adversary"
                 )
+        elif group.cell == CELL_BACKLOG:
+            if channels or adversaries:
+                raise SpecError(
+                    f"{where}: backlog cells pump over the proof's "
+                    "optimal channel (Theorem 4.1); they take no "
+                    "channel and no adversary"
+                )
+            present = set(group.grid) | set(group.params)
+            if "backlog" not in present:
+                raise SpecError(
+                    f"{where}: backlog cells need 'backlog' (the "
+                    "planted transit size; axis or fixed param)"
+                )
+            dichotomy = group.params.get("dichotomy") or (
+                "dichotomy" in group.grid
+            )
+            if not dichotomy:
+                gated = [m for m in group.metrics if m in DICHOTOMY_METRICS]
+                if gated:
+                    raise SpecError(
+                        f"{where}: metrics {gated} need the full "
+                        "dichotomy; set \"dichotomy\": true in the "
+                        "group's params"
+                    )
         for metric in group.metrics:
             extractor = _lookup(METRICS, metric, "metric")
             if not extractor.supports(group.cell):

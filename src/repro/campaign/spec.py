@@ -40,12 +40,14 @@ CELL_EXPERIMENT = "experiment"  # delegate to a registered experiment
 CELL_DELIVERY = "delivery"  # probabilistic-channel delivery run
 CELL_ADVERSARY = "adversary"  # adversary-driven DataLinkSystem run
 CELL_EXPLORATION = "exploration"  # station state-space exploration
+CELL_BACKLOG = "backlog"  # Theorem 4.1 backlog planting / dichotomy
 
 CELL_KINDS = (
     CELL_EXPERIMENT,
     CELL_DELIVERY,
     CELL_ADVERSARY,
     CELL_EXPLORATION,
+    CELL_BACKLOG,
 )
 
 #: Axis names that select registry entries rather than parameters.

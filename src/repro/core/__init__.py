@@ -67,6 +67,7 @@ from repro.core.theorem41 import (
     BacklogProbe,
     plant_backlog,
     probe_backlog_cost,
+    probe_backlog_costs,
     run_dichotomy,
 )
 from repro.core.theorem51 import (
@@ -101,6 +102,7 @@ __all__ = [
     "plant_backlog",
     "predicted_growth_factor",
     "probe_backlog_cost",
+    "probe_backlog_costs",
     "pump_message",
     "run_dichotomy",
     "run_probabilistic_delivery",

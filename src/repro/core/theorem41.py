@@ -25,7 +25,7 @@ shape [Afe88]'s protocol achieves and Theorem 4.1 proves optimal.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Hashable, Optional, Tuple
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple
 
 from repro.channels.packets import Packet
 from repro.core.extensions import Extension, find_extension
@@ -116,11 +116,12 @@ def plant_backlog(
     materialises an indistinguishable final configuration --
     and falls back to the interpreted construction for FULL traces;
     ``"interpreted"`` forces the fallback, ``"batch"`` insists and
-    raises when unsupported.  ``"vector"`` is recognised but always
-    refused: pumping must hand back a *live* ``DataLinkSystem`` per
-    trial, and the struct-of-arrays engine keeps no per-trial system
-    to return (the experiment layer maps ``vector`` down to ``auto``
-    here).
+    raises when unsupported.  ``"vector"`` insists on the
+    struct-of-arrays pumping engine (:mod:`repro.core.vecpump`, a
+    one-trial grid here; :func:`probe_backlog_costs` amortises whole
+    curves), raising when the pair fails its gate or a FULL trace is
+    requested.  All tiers are bit-identical, so the choice changes
+    speed only.
     """
     if engine not in ("auto", "vector", "batch", "interpreted"):
         raise ValueError(
@@ -128,11 +129,32 @@ def plant_backlog(
             f"got {engine!r}"
         )
     if engine == "vector":
-        raise ValueError(
-            "the vector engine cannot plant backlogs: Theorem 4.1 "
-            "pumping materialises a live system per trial; use "
-            "engine='auto' (the batched pumping engine)"
+        from repro.core import vecpump
+
+        if trace_mode is not TraceMode.COUNTS:
+            raise ValueError(
+                "the vector pumping engine requires "
+                "trace_mode=TraceMode.COUNTS"
+            )
+        reason = vecpump.pump_unsupported_reason(pair_factory)
+        if reason is not None:
+            raise ValueError(
+                f"the vector pumping engine cannot plant backlogs for "
+                f"this pair: {reason}"
+            )
+        [triple] = vecpump.plant_backlog_vector(
+            pair_factory,
+            [
+                dict(
+                    backlog=backlog,
+                    message=message,
+                    max_messages=max_messages,
+                    max_steps_per_message=max_steps_per_message,
+                    discovery_messages=discovery_messages,
+                )
+            ],
         )
+        return triple
     if engine != "interpreted" and trace_mode is TraceMode.COUNTS:
         from repro.core.trials import plant_backlog_batch
 
@@ -228,6 +250,71 @@ def probe_backlog_cost(
         engine=engine,
     )
     return _probe(system, spent, message, max_steps)
+
+
+def probe_backlog_costs(
+    pair_factory: Callable[[], Tuple[SenderStation, ReceiverStation]],
+    backlogs: Sequence[int],
+    message: Hashable = "m",
+    max_messages: int = 4096,
+    max_steps: int = 200_000,
+    engine: str = "auto",
+) -> List[BacklogProbe]:
+    """Measure a whole cost-vs-backlog curve in one call.
+
+    The grid form of :func:`probe_backlog_cost`: one probe per level,
+    in input order, bit-identical to the scalar sweep at any engine
+    tier.  ``engine="vector"`` insists on the struct-of-arrays pumping
+    engine (:mod:`repro.core.vecpump`), which plants every level of
+    the curve in lockstep over one compiled pair; ``"auto"`` selects
+    it for gate-accepted pairs once the grid reaches
+    ``PUMP_MIN_TRIALS`` levels and otherwise falls back level by
+    level through the batch/interpreted ladder.
+    """
+    if engine not in ("auto", "vector", "batch", "interpreted"):
+        raise ValueError(
+            "engine must be 'auto', 'vector', 'batch' or 'interpreted', "
+            f"got {engine!r}"
+        )
+    backlogs = list(backlogs)
+    if engine in ("auto", "vector"):
+        from repro.core import vecpump
+
+        reason = vecpump.pump_unsupported_reason(pair_factory)
+        if engine == "vector" and reason is not None:
+            raise ValueError(
+                f"the vector pumping engine cannot run this grid: {reason}"
+            )
+        if reason is None and (
+            engine == "vector" or len(backlogs) >= vecpump.PUMP_MIN_TRIALS
+        ):
+            triples = vecpump.plant_backlog_vector(
+                pair_factory,
+                [
+                    dict(
+                        backlog=backlog,
+                        message=message,
+                        max_messages=max_messages,
+                        max_steps_per_message=max_steps,
+                    )
+                    for backlog in backlogs
+                ],
+            )
+            return [
+                _probe(system, spent, message, max_steps)
+                for system, _, spent in triples
+            ]
+    return [
+        probe_backlog_cost(
+            pair_factory,
+            backlog,
+            message=message,
+            max_messages=max_messages,
+            max_steps=max_steps,
+            engine=engine,
+        )
+        for backlog in backlogs
+    ]
 
 
 def _probe(

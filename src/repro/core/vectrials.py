@@ -571,47 +571,36 @@ def vector_trials_unsupported_reason(
     return None
 
 
-class VectorTrialEngine:
-    """Run batches of probabilistic trials as numpy array programs.
+class _TableMirror:
+    """Shared ndarray mirrors of one compiled pair's transition tables.
 
-    Shares one :class:`~repro.ioa.compile.CompiledPair` (and hence one
-    value-id space and one set of transition tables) across every
-    trial of every :meth:`run_trials` call; the ndarray table mirrors
-    are re-exported whenever a gather resolves new ``(state, input)``
-    slots.  Raises :class:`ValueError` at construction when the pair
-    is not fully table-compilable or numpy is unusable -- callers
-    wanting a soft fallback gate first (:func:`vector_supported`).
-
-    Batches larger than ``max_batch`` trials run as consecutive
-    sub-batches to bound memory (the dominant per-trial state is the
-    two 624-word twister rows plus two 312-coin buffers, about 10 KiB).
+    The base of every struct-of-arrays engine (the Theorem 5.1 trial
+    engine below, the Theorem 4.1 pumping engine in
+    :mod:`repro.core.vecpump`): it owns the
+    :class:`~repro.ioa.compile.CompiledPair`, the int32 table mirrors,
+    the geometric capacity growth that follows the kernels' lazy state
+    and value interning, and the masked gathers with scalar-side miss
+    resolution.  Subclasses add the batch loop and its per-trial
+    state; they must validate their own envelope (numpy presence, RNG
+    stream, batch size) *before* calling ``__init__`` so refusal
+    ordering stays theirs.
     """
 
     def __init__(
         self,
         pair_factory: Callable[[], Tuple],
         pair: Optional[CompiledPair] = None,
-        max_batch: int = 8192,
     ) -> None:
         np = _numpy()
         if np is None:
             raise ValueError(
-                "the vector engine needs numpy (install the repro[perf] "
-                "extra)"
+                "struct-of-arrays engines need numpy (install the "
+                "repro[perf] extra)"
             )
-        if not _stream_matches():
-            raise ValueError(
-                "this numpy's MT19937 stream does not reproduce "
-                "random.Random; the vector engine would not be "
-                "bit-identical"
-            )
-        if max_batch < 1:
-            raise ValueError("max_batch must be >= 1")
         self._np = np
         self.pair = pair if pair is not None else CompiledPair(pair_factory)
         self.snd, self.rcv = self.pair.table_kernels()
         self.values = self.pair.values
-        self.max_batch = max_batch
 
     # ------------------------------------------------------------------
     # ndarray table mirrors
@@ -820,6 +809,46 @@ class VectorTrialEngine:
         nout = self.r_nout[states, vids]
         outs = self.r_outs[states, vids]
         return nxt, ndeliv, nout, outs
+
+
+class VectorTrialEngine(_TableMirror):
+    """Run batches of probabilistic trials as numpy array programs.
+
+    Shares one :class:`~repro.ioa.compile.CompiledPair` (and hence one
+    value-id space and one set of transition tables) across every
+    trial of every :meth:`run_trials` call; the ndarray table mirrors
+    are re-exported whenever a gather resolves new ``(state, input)``
+    slots.  Raises :class:`ValueError` at construction when the pair
+    is not fully table-compilable or numpy is unusable -- callers
+    wanting a soft fallback gate first (:func:`vector_supported`).
+
+    Batches larger than ``max_batch`` trials run as consecutive
+    sub-batches to bound memory (the dominant per-trial state is the
+    two 624-word twister rows plus two 312-coin buffers, about 10 KiB).
+    """
+
+    def __init__(
+        self,
+        pair_factory: Callable[[], Tuple],
+        pair: Optional[CompiledPair] = None,
+        max_batch: int = 8192,
+    ) -> None:
+        np = _numpy()
+        if np is None:
+            raise ValueError(
+                "the vector engine needs numpy (install the repro[perf] "
+                "extra)"
+            )
+        if not _stream_matches():
+            raise ValueError(
+                "this numpy's MT19937 stream does not reproduce "
+                "random.Random; the vector engine would not be "
+                "bit-identical"
+            )
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        super().__init__(pair_factory, pair)
+        self.max_batch = max_batch
 
     # ------------------------------------------------------------------
     # the batch loop

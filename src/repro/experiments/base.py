@@ -81,12 +81,14 @@ def resolve_trial_engine(
     counterpart).  ``None`` means "no preference" and resolves to
     ``"auto"``.  An explicit ``"vector"`` means "vectorize wherever
     exact", not "fail the sweep", so it degrades to ``"auto"`` when
-
-    * ``pumping`` is set -- Theorem 4.1 pumping materialises a live
-      system per trial, which the struct-of-arrays engine never holds
-      (``plant_backlog(engine="vector")`` would refuse outright); or
-    * the vector gate refuses ``pair_factory`` (oracle-mode flooding,
-      a numpy-less environment).
+    the relevant gate refuses ``pair_factory``: the pumping gate
+    (:func:`repro.core.vecpump.pump_unsupported_reason`) when
+    ``pumping`` is set -- Theorem 4.1 trials run on the
+    struct-of-arrays pumping tier, whose gate drops the RNG-stream
+    condition because pumping draws no coins -- and the trial-grid
+    gate (:func:`repro.core.vectrials.vector_unsupported_reason`)
+    otherwise.  A ``pumping`` resolution without a ``pair_factory``
+    degrades to ``"auto"`` (nothing to gate against).
 
     Every other choice passes through unchanged.  All tiers are
     bit-identical, so resolution affects speed only.
@@ -96,7 +98,11 @@ def resolve_trial_engine(
     if engine != "vector":
         return str(engine)
     if pumping:
-        return "auto"
+        from repro.core.vecpump import pump_unsupported_reason
+
+        if pair_factory is None:
+            return "auto"
+        return "auto" if pump_unsupported_reason(pair_factory) else "vector"
     from repro.core.vectrials import vector_unsupported_reason
 
     return "auto" if vector_unsupported_reason(pair_factory) else "vector"

@@ -39,7 +39,11 @@ from typing import Any, Dict, List
 from repro.analysis.growth import fit_linear
 from repro.analysis.tables import Table
 from repro.campaign.spec import CampaignSpec, CellGroup
-from repro.core.theorem41 import probe_backlog_cost, run_dichotomy
+from repro.core.theorem41 import (
+    probe_backlog_cost,
+    probe_backlog_costs,
+    run_dichotomy,
+)
 from repro.datalink.alternating_bit import make_alternating_bit
 from repro.datalink.flooding import make_flooding
 from repro.datalink.sequence import make_sequence_protocol
@@ -125,29 +129,31 @@ def _probe_dict(probe) -> Dict[str, Any]:
 def run_shard(
     params: Dict[str, Any], fast: bool, seed: int, engine: str = "auto"
 ) -> Dict[str, Any]:
-    """Execute one curve sweep, dichotomy level or escape probe."""
+    """Execute one curve sweep, dichotomy level or escape probe.
+
+    An explicit ``--engine vector`` resolves against the *pumping*
+    gate per protocol family (:mod:`repro.core.vecpump`): the
+    table-compilable pairs ride the struct-of-arrays pumping tier,
+    the oracle-mode flooding curves degrade to the batched path.
+    """
     del seed  # deterministic
-    # Theorem 4.1 pumping always materialises a live system per trial,
-    # which the struct-of-arrays engine never holds, so an explicit
-    # ``--engine vector`` degrades to the batched pumping path here.
-    engine = resolve_trial_engine(engine, pumping=True)
     kind = params["kind"]
     if kind == "curve":
         phases = int(params["phases"])
+        factory = lambda: make_flooding(phases)  # noqa: E731
+        resolved = resolve_trial_engine(engine, factory, pumping=True)
         probes = [
-            _probe_dict(
-                probe_backlog_cost(
-                    lambda: make_flooding(phases), backlog, engine=engine
-                )
+            _probe_dict(probe)
+            for probe in probe_backlog_costs(
+                factory, backlog_levels(fast), engine=resolved
             )
-            for backlog in backlog_levels(fast)
         ]
         return {
             "kind": kind,
             "phases": phases,
             "probes": probes,
             "metrics": {
-                "engine": engine,
+                "engine": resolved,
                 "packets": sum(p["extension_packets"] for p in probes),
             },
         }
@@ -158,7 +164,8 @@ def run_shard(
             ("abp", make_alternating_bit),
             ("flood", lambda: make_flooding(3)),
         ):
-            outcome = run_dichotomy(factory, level, engine=engine)
+            resolved = resolve_trial_engine(engine, factory, pumping=True)
+            outcome = run_dichotomy(factory, level, engine=resolved)
             rows[label] = {
                 "probe": _probe_dict(outcome.probe),
                 "exceeded_bound": outcome.exceeded_bound,
@@ -167,8 +174,11 @@ def run_shard(
             }
         return {"kind": kind, "level": level, **rows}
     if kind == "sequence":
+        resolved = resolve_trial_engine(
+            engine, make_sequence_protocol, pumping=True
+        )
         probe = probe_backlog_cost(
-            make_sequence_protocol, SEQUENCE_BACKLOG, engine=engine
+            make_sequence_protocol, SEQUENCE_BACKLOG, engine=resolved
         )
         return {"kind": kind, "probe": _probe_dict(probe)}
     raise ValueError(f"unknown backlog shard kind {kind!r}")

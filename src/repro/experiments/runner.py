@@ -215,10 +215,11 @@ def main(argv=None) -> int:
         choices=("auto", "vector", "batch", "interpreted"),
         default="auto",
         help=(
-            "engine tier for engine-aware experiments: the trial "
-            "engine of the probabilistic experiments (E3/E4) and the "
-            "frontier-BFS tier of the state-space explorations "
-            "(E1/E2).  'vector' = numpy array engines where exact, "
+            "engine tier for engine-aware experiments: the trial and "
+            "pumping engines of the probabilistic/backlog experiments "
+            "(E3/E4) and the frontier-BFS tier of the state-space "
+            "explorations (E1/E2).  'vector' = numpy array engines "
+            "where exact, "
             "'batch' = compiled per-trial engine (trials only; "
             "explorations treat it as auto), 'interpreted' = pure "
             "reference loops; all tiers are bit-identical, so this "

@@ -430,6 +430,20 @@ class CompiledSender(CompiledAutomaton):
         station.packets_sent = self.packets_sent
         return station
 
+    def materialise_state(self, sid: int, packets_sent: int):
+        """A real station object in interned state ``sid``.
+
+        For engines that track per-trial cursors outside the kernel
+        (the vectorized pumping engine keeps a state-id *vector*, so
+        ``self.cur`` never reflects any one trial).
+        """
+        station = self._proto.clone()
+        packet, fields = self._snaps[sid]
+        station.current_packet = packet
+        station.set_protocol_fields(fields)
+        station.packets_sent = packets_sent
+        return station
+
 
 class CompiledReceiver(CompiledAutomaton):
     """Table-backed receiver kernel.
@@ -566,6 +580,13 @@ class CompiledReceiver(CompiledAutomaton):
                 self._fields[self.cur],
             )
         )
+        return station
+
+    def materialise_state(self, sid: int, messages_delivered: int):
+        """A real station object in interned state ``sid``, queues
+        empty (external-cursor engines drain them every step)."""
+        station = self._proto.clone()
+        station.restore(((), (), messages_delivered, self._fields[sid]))
         return station
 
 

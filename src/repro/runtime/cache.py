@@ -25,6 +25,7 @@ import time
 from typing import Any, Dict, Optional
 
 from repro.campaign.version import CAMPAIGN_VERSION
+from repro.core.vecpump import PUMP_VERSION
 from repro.core.vectrials import VECTOR_VERSION
 from repro.ioa.compile import COMPILE_VERSION
 from repro.ioa.vecfrontier import FRONTIER_VERSION
@@ -52,7 +53,11 @@ KERNEL_VERSION = "repro-kernel/3"
 # trial generation (:data:`repro.core.vectrials.VECTOR_VERSION`) joins
 # them: engines are bit-identical, so the *engine choice* stays out of
 # task keys, but a vector-generation bump must still flush results the
-# vector tier may have produced.  The frontier-BFS generation
+# vector tier may have produced.  The struct-of-arrays *pumping*
+# generation (:data:`repro.core.vecpump.PUMP_VERSION`) is salted for
+# the same reason on the Theorem 4.1 side: backlog planting rides its
+# own array program, and a bump there must flush any entry the vector
+# pumping tier may have written.  The frontier-BFS generation
 # (:data:`repro.ioa.vecfrontier.FRONTIER_VERSION`) is salted for the
 # same reason on the exploration/checker side, and the campaign-layer
 # generation (:data:`repro.campaign.version.CAMPAIGN_VERSION`) for the
@@ -113,6 +118,7 @@ class ResultCache:
                 KERNEL_VERSION,
                 COMPILE_VERSION,
                 VECTOR_VERSION,
+                PUMP_VERSION,
                 FRONTIER_VERSION,
                 CAMPAIGN_VERSION,
                 code_version(),
@@ -160,6 +166,7 @@ class ResultCache:
             "kernel_version": KERNEL_VERSION,
             "compile_version": COMPILE_VERSION,
             "vector_version": VECTOR_VERSION,
+            "pump_version": PUMP_VERSION,
             "frontier_version": FRONTIER_VERSION,
             "campaign_version": CAMPAIGN_VERSION,
             "code_version": code_version(),

@@ -89,6 +89,64 @@ def test_exploration_cell_reports_state_counts():
     assert values["wire_headers"] >= 2
 
 
+def test_backlog_cell_reports_probe_fields():
+    task = compiled_cell(
+        CellGroup(
+            cell="backlog",
+            protocol="alternating-bit",
+            template="l={backlog}",
+            grid={"backlog": [16]},
+            metrics=["backlog_actual", "headers", "extension_packets",
+                     "lower_bound", "cost_ratio", "messages_spent"],
+        )
+    )
+    first = run_cell(task.params, True, task.seed)
+    again = run_cell(task.params, True, task.seed)
+    assert first == again
+    values = first["values"]
+    assert values["backlog_actual"] >= 16
+    assert values["headers"] >= 1
+    assert values["lower_bound"] == (
+        values["backlog_actual"] // values["headers"]
+    )
+    assert first["metrics"]["engine"] in (
+        "auto", "vector", "batch", "interpreted"
+    )
+    assert first["metrics"]["messages_spent"] >= 1
+
+
+def test_backlog_cell_engine_tiers_identical():
+    task = compiled_cell(
+        CellGroup(
+            cell="backlog",
+            protocol="sequence",
+            template="l={backlog}",
+            grid={"backlog": [12]},
+            metrics=["extension_packets", "lower_bound", "headers"],
+        )
+    )
+    reference = run_cell(task.params, True, task.seed, engine="interpreted")
+    for engine in ("auto", "vector", "batch"):
+        payload = run_cell(task.params, True, task.seed, engine=engine)
+        assert payload["values"] == reference["values"]
+
+
+def test_backlog_cell_dichotomy_mode():
+    task = compiled_cell(
+        CellGroup(
+            cell="backlog",
+            protocol="alternating-bit",
+            template="dichotomy-l={backlog}",
+            grid={"backlog": [12]},
+            params={"dichotomy": True},
+            metrics=["theorem_confirmed", "extension_packets",
+                     "lower_bound"],
+        )
+    )
+    payload = run_cell(task.params, True, task.seed)
+    assert payload["values"]["theorem_confirmed"] is True
+
+
 def test_unsupported_metric_raises():
     task = compiled_cell(
         CellGroup(

@@ -166,6 +166,40 @@ def test_validate_spec_delivery_rules():
         registry.validate_spec(spec)
 
 
+def test_validate_spec_backlog_rules():
+    spec = _spec([
+        CellGroup(cell="backlog", protocol="sequence",
+                  channel="nonfifo", grid={"backlog": [8]},
+                  metrics=["extension_packets"]),
+    ])
+    spec.validate()
+    with pytest.raises(SpecError, match="no.*channel"):
+        registry.validate_spec(spec)
+    spec = _spec([
+        CellGroup(cell="backlog", protocol="sequence",
+                  template="x", metrics=["extension_packets"]),
+    ])
+    spec.validate()
+    with pytest.raises(SpecError, match="backlog"):
+        registry.validate_spec(spec)
+    spec = _spec([
+        CellGroup(cell="backlog", protocol="sequence",
+                  grid={"backlog": [8]},
+                  metrics=["theorem_confirmed"]),
+    ])
+    spec.validate()
+    with pytest.raises(SpecError, match="dichotomy"):
+        registry.validate_spec(spec)
+    spec = _spec([
+        CellGroup(cell="backlog", protocol="sequence",
+                  grid={"backlog": [8]},
+                  params={"dichotomy": True},
+                  metrics=["theorem_confirmed"]),
+    ])
+    spec.validate()
+    registry.validate_spec(spec)  # dichotomy unlocks the gated metric
+
+
 def test_validate_spec_metric_cell_support():
     spec = _spec([
         CellGroup(cell="adversary", protocol="sequence",

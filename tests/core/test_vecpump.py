@@ -1,0 +1,432 @@
+"""Equivalence and gating for the struct-of-arrays pumping engine.
+
+:mod:`repro.core.vecpump` runs whole grids of Theorem 4.1
+backlog-planting trials as numpy array programs.  Like the trial
+engine it mirrors, it is an *engine tier*, not a model change: the
+``(system, pool, messages_spent)`` triple it materialises must be
+bit-identical to the batch pumping path and the interpreted
+construction, field for field -- channel bags included.  This suite
+pins
+
+* the equivalence matrix -- vector == batch == interpreted over every
+  stock station pair the pumping gate accepts, working protocols and
+  deliberately broken ones alike (the broken ones must fail with the
+  *same* error at the same point), with a completeness guard so a new
+  station class cannot ship without a gate verdict;
+* the strict/soft gate split -- an explicit ``engine="vector"``
+  raises with the refusal reason, ``engine="auto"`` silently falls
+  back (including when numpy is absent, simulated by poisoning the
+  lazy import shared with :mod:`repro.core.vectrials`);
+* grid amortisation -- :func:`repro.core.theorem41.probe_backlog_costs`
+  engages the vector tier at :data:`~repro.core.vecpump.PUMP_MIN_TRIALS`
+  under ``auto`` and always under an explicit ``"vector"``.
+
+Pumping draws no coins (the optimal-channel adversary is
+deterministic), so unlike ``tests/core/test_vectrials.py`` there is no
+RNG-stream contract to pin here.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import vecpump
+from repro.core import vectrials
+from repro.core.theorem41 import (
+    plant_backlog,
+    probe_backlog_cost,
+    probe_backlog_costs,
+    run_dichotomy,
+)
+from repro.core.vecpump import (
+    PUMP_MIN_TRIALS,
+    plant_backlog_vector,
+    pump_supported,
+    pump_unsupported_reason,
+)
+from repro.core.vectrials import numpy_available
+from repro.datalink.alternating_bit import make_alternating_bit
+from repro.datalink.broken import (
+    BlackHoleReceiver,
+    EagerReceiver,
+    ForgetfulSender,
+    SwapReceiver,
+)
+from repro.datalink.flooding import make_capacity_flooding, make_flooding
+from repro.datalink.gobackn import make_gobackn
+from repro.datalink.sequence import (
+    SequenceReceiver,
+    SequenceSender,
+    make_sequence_protocol,
+)
+from repro.datalink.sequence_mod import make_modular_sequence
+from repro.datalink.stations import ReceiverStation, SenderStation
+from repro.datalink.window import make_window_protocol
+from repro.ioa.execution import TraceMode
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not installed (repro[perf])"
+)
+
+# ---------------------------------------------------------------------------
+# the coverage matrix
+# ---------------------------------------------------------------------------
+
+PAIR_FACTORIES = {
+    "flooding_oracle": lambda: make_flooding(2),
+    "flooding_capacity": lambda: make_capacity_flooding(2, 3),
+    "sequence": make_sequence_protocol,
+    "alternating_bit": make_alternating_bit,
+    "gobackn": lambda: make_gobackn(3),
+    "modular_sequence": make_modular_sequence,
+    "window": make_window_protocol,
+    "black_hole": lambda: (SequenceSender(), BlackHoleReceiver()),
+    "eager": lambda: (SequenceSender(), EagerReceiver()),
+    "forgetful": lambda: (ForgetfulSender(), SequenceReceiver()),
+    "swap": lambda: (SequenceSender(), SwapReceiver()),
+}
+
+#: Pairs the pumping gate accepts: both stations table-compile (no
+#: RNG-stream condition -- pumping draws no coins).
+PUMP_ELIGIBLE = {
+    "alternating_bit",
+    "black_hole",
+    "eager",
+    "flooding_capacity",
+    "forgetful",
+    "modular_sequence",
+    "sequence",
+    "swap",
+}
+
+#: Pairs the gate refuses (interpreted plumbing or oracle reads).
+PUMP_REFUSED = {"flooding_oracle", "gobackn", "window"}
+
+#: Eligible pairs whose pumping *succeeds* (the broken stations below
+#: fail it, identically across tiers).
+PUMP_WORKING = {
+    "alternating_bit",
+    "flooding_capacity",
+    "modular_sequence",
+    "sequence",
+}
+
+WORKING_CASES = sorted(
+    (name, PAIR_FACTORIES[name]) for name in PUMP_WORKING
+)
+BROKEN_CASES = sorted(
+    (name, PAIR_FACTORIES[name]) for name in PUMP_ELIGIBLE - PUMP_WORKING
+)
+
+
+def all_subclasses(base):
+    found, frontier = set(), [base]
+    while frontier:
+        cls = frontier.pop()
+        for sub in cls.__subclasses__():
+            if sub not in found:
+                found.add(sub)
+                frontier.append(sub)
+    return {cls for cls in found if cls.__module__.startswith("repro.")}
+
+
+def test_every_station_class_has_a_gate_verdict():
+    """A new library station class must join this matrix (the same
+    completeness guard as ``tests/core/test_vectrials.py``)."""
+    assert PUMP_ELIGIBLE | PUMP_REFUSED == set(PAIR_FACTORIES)
+    assert not PUMP_ELIGIBLE & PUMP_REFUSED
+    assert PUMP_WORKING <= PUMP_ELIGIBLE
+    covered = set()
+    for factory in PAIR_FACTORIES.values():
+        sender, receiver = factory()
+        covered.add(type(sender))
+        covered.add(type(receiver))
+    library = all_subclasses(SenderStation) | all_subclasses(ReceiverStation)
+    assert library <= covered
+
+
+@needs_numpy
+def test_gate_verdicts_match_the_matrix():
+    for name in sorted(PUMP_ELIGIBLE):
+        assert pump_unsupported_reason(PAIR_FACTORIES[name]) is None, name
+        assert pump_supported(PAIR_FACTORIES[name]), name
+    for name in sorted(PUMP_REFUSED):
+        reason = pump_unsupported_reason(PAIR_FACTORIES[name])
+        assert reason is not None and "table-compilable" in reason, name
+        assert not pump_supported(PAIR_FACTORIES[name]), name
+
+
+# ---------------------------------------------------------------------------
+# the equivalence property
+# ---------------------------------------------------------------------------
+
+
+def fingerprint(triple):
+    """Every observable field of a planted configuration, including
+    the exact channel bags (copy ids, packets, send indices, insertion
+    order) and the live copy-id counter."""
+    system, pool, spent = triple
+    ex = system.execution
+    c = ex._counts
+    chans = []
+    for chan in (system.chan_t2r, system.chan_r2t):
+        chans.append((
+            {
+                cid: (tc.packet, tc.sent_at)
+                for cid, tc in chan._in_transit.items()
+            },
+            list(chan._in_transit),
+            chan._sent_total,
+            chan._delivered_total,
+            repr(chan._copy_ids),
+        ))
+    return (
+        system.sender.protocol_state(),
+        system.sender.packets_sent,
+        system.receiver.protocol_state(),
+        system.receiver.messages_delivered,
+        chans,
+        ex.length,
+        (c.sm, c.rm, c.sp_t2r, c.sp_r2t, c.rp_t2r, c.rp_r2t,
+         c.distinct_t2r, c.distinct_r2t,
+         c._last_sent_t2r, c._last_sent_r2t),
+        (sorted(pool.reserved_ids), dict(pool.counts)),
+        spent,
+    )
+
+
+def plant(factory, engine, **kwargs):
+    return plant_backlog(
+        factory,
+        kwargs.pop("backlog"),
+        trace_mode=TraceMode.COUNTS,
+        engine=engine,
+        **kwargs,
+    )
+
+
+@needs_numpy
+@pytest.mark.parametrize(
+    "name, factory", WORKING_CASES, ids=[n for n, _ in WORKING_CASES]
+)
+@given(
+    backlog=st.integers(min_value=0, max_value=48),
+    discovery=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=5, deadline=None)
+def test_vector_matches_batch_and_interpreted(
+    name, factory, backlog, discovery
+):
+    """vector == batch == interpreted, field for field -- station
+    states, both channel bags, every counter, the reserve pool and the
+    messages spent."""
+    kwargs = dict(backlog=backlog, discovery_messages=discovery)
+    vec = fingerprint(plant(factory, "vector", **kwargs))
+    bat = fingerprint(plant(factory, "batch", **kwargs))
+    ref = fingerprint(plant(factory, "interpreted", **kwargs))
+    assert vec == bat == ref
+
+
+@needs_numpy
+@pytest.mark.parametrize(
+    "name, factory", BROKEN_CASES, ids=[n for n, _ in BROKEN_CASES]
+)
+def test_broken_pairs_behave_identically(name, factory):
+    """The deliberately broken stations take the same path on every
+    tier: where the pumping starves, the vector tier fails with the
+    batch tier's exact error message; where it limps through (the
+    eager receiver delivers regardless), the configurations match."""
+    outcomes = {}
+    for engine in ("vector", "batch", "interpreted"):
+        try:
+            outcomes[engine] = fingerprint(
+                plant(factory, engine, backlog=8)
+            )
+        except RuntimeError as exc:
+            outcomes[engine] = str(exc)
+    assert outcomes["vector"] == outcomes["batch"] == outcomes["interpreted"]
+
+
+@needs_numpy
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(backlog=0),
+        dict(backlog=5, discovery_messages=0),
+        dict(backlog=9, max_messages=0),
+        dict(backlog=9, max_messages=3),
+        dict(backlog=3, max_steps_per_message=0),
+        dict(backlog=6, message=("tuple", 1)),
+    ],
+    ids=["zero-backlog", "no-discovery", "no-budget", "tiny-budget",
+         "zero-steps", "tuple-message"],
+)
+def test_edge_cases_match_across_tiers(kwargs):
+    """Budget exhaustion, zero-step messages and odd message values
+    take the same path (success or identical error) on every tier."""
+    outcomes = {}
+    for engine in ("vector", "batch", "interpreted"):
+        try:
+            outcomes[engine] = fingerprint(
+                plant(make_sequence_protocol, engine, **dict(kwargs))
+            )
+        except RuntimeError as exc:
+            outcomes[engine] = str(exc)
+    assert outcomes["vector"] == outcomes["batch"] == outcomes["interpreted"]
+
+
+@needs_numpy
+def test_grid_matches_per_trial_planting():
+    """One :func:`plant_backlog_vector` grid call materialises the
+    same configurations as planting each trial alone (trial results
+    are position-independent, so grids amortise safely)."""
+    trials = [
+        dict(backlog=b, discovery_messages=d)
+        for b in (0, 3, 17, 40)
+        for d in (1, 8)
+    ]
+    grid = plant_backlog_vector(make_alternating_bit, trials)
+    assert len(grid) == len(trials)
+    for trial, triple in zip(trials, grid):
+        solo = plant(make_alternating_bit, "batch", **dict(trial))
+        assert fingerprint(triple) == fingerprint(solo)
+
+
+@needs_numpy
+def test_grid_raises_the_first_error_in_input_order():
+    trials = [
+        dict(backlog=4),
+        dict(backlog=4, max_steps_per_message=0),
+        dict(backlog=4, discovery_messages=0, max_messages=0),
+    ]
+    with pytest.raises(RuntimeError, match="failed to deliver"):
+        plant_backlog_vector(make_sequence_protocol, trials)
+
+
+@needs_numpy
+def test_unknown_trial_settings_raise():
+    with pytest.raises(TypeError, match="unsupported trial settings"):
+        plant_backlog_vector(make_sequence_protocol, [dict(backlog=2, q=0.5)])
+    with pytest.raises(TypeError, match="backlog"):
+        plant_backlog_vector(make_sequence_protocol, [dict()])
+
+
+# ---------------------------------------------------------------------------
+# probes, curves, dichotomy
+# ---------------------------------------------------------------------------
+
+
+@needs_numpy
+def test_probe_and_dichotomy_match_batch():
+    for factory in (make_alternating_bit, make_sequence_protocol):
+        vec = probe_backlog_cost(factory, 12, engine="vector")
+        bat = probe_backlog_cost(factory, 12, engine="batch")
+        assert vec == bat
+    vec = run_dichotomy(make_alternating_bit, 12, engine="vector")
+    bat = run_dichotomy(make_alternating_bit, 12, engine="batch")
+    # The replay outcome embeds a live Execution (identity equality);
+    # compare the decision surface instead.
+    for field in ("probe", "exceeded_bound", "forged",
+                  "theorem_confirmed"):
+        assert getattr(vec, field) == getattr(bat, field), field
+    assert (vec.replay is None) == (bat.replay is None)
+    if vec.replay is not None:
+        assert vec.replay.success == bat.replay.success
+        assert vec.replay.reason == bat.replay.reason
+        assert vec.replay.forged_deliveries == bat.replay.forged_deliveries
+
+
+@needs_numpy
+def test_probe_grid_matches_per_level_probes():
+    levels = [0, 4, 9, 33]
+    grid = probe_backlog_costs(
+        make_alternating_bit, levels, engine="vector"
+    )
+    solo = [
+        probe_backlog_cost(make_alternating_bit, level, engine="batch")
+        for level in levels
+    ]
+    assert grid == solo
+
+
+@needs_numpy
+def test_auto_grid_engages_vector_only_at_scale(monkeypatch):
+    """Below ``PUMP_MIN_TRIALS`` levels the auto tier stays on the
+    batch path (array dispatch overhead beats the loop only at grid
+    scale); an explicit ``"vector"`` always takes the grid path."""
+    calls = {"vector": 0}
+    real = vecpump.plant_backlog_vector
+
+    def counting(*args, **kwargs):
+        calls["vector"] += 1
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(vecpump, "plant_backlog_vector", counting)
+    few = list(range(PUMP_MIN_TRIALS - 1))
+    many = list(range(PUMP_MIN_TRIALS))
+    probe_backlog_costs(make_sequence_protocol, few, engine="auto")
+    assert calls["vector"] == 0
+    probe_backlog_costs(make_sequence_protocol, many, engine="auto")
+    assert calls["vector"] == 1
+    probe_backlog_costs(make_sequence_protocol, [3], engine="vector")
+    assert calls["vector"] == 2
+
+
+# ---------------------------------------------------------------------------
+# the strict/soft gate split
+# ---------------------------------------------------------------------------
+
+
+def test_strict_vector_refuses_ineligible_pairs():
+    with pytest.raises(ValueError, match="cannot plant backlogs"):
+        plant_backlog(
+            lambda: make_gobackn(3),
+            8,
+            trace_mode=TraceMode.COUNTS,
+            engine="vector",
+        )
+    with pytest.raises(ValueError, match="cannot run this grid"):
+        probe_backlog_costs(
+            lambda: make_flooding(2), [4, 8], engine="vector"
+        )
+
+
+def test_strict_vector_requires_counts_trace():
+    """The vector tier materialises COUNTS-mode systems; a FULL trace
+    has per-event history no array program reconstructs."""
+    with pytest.raises(ValueError, match="COUNTS"):
+        plant_backlog(make_sequence_protocol, 8, engine="vector")
+
+
+def test_auto_falls_back_for_refused_pairs():
+    """Oracle-mode flooding fails the gate; the auto grid must still
+    answer, via the batch path, with identical probes."""
+    factory = lambda: make_flooding(2)  # noqa: E731
+    levels = list(range(PUMP_MIN_TRIALS))
+    auto = probe_backlog_costs(factory, levels, engine="auto")
+    batch = probe_backlog_costs(factory, levels, engine="batch")
+    assert auto == batch
+
+
+def test_numpy_absence_degrades_softly(monkeypatch):
+    """With the lazy numpy import poisoned (shared with vectrials),
+    the gate reports numpy, strict selection raises, and the auto
+    grid still matches the interpreted reference."""
+    monkeypatch.setattr(vectrials, "_numpy_module", False)
+    reason = pump_unsupported_reason(make_sequence_protocol)
+    assert reason is not None and "numpy" in reason
+    with pytest.raises(ValueError, match="numpy"):
+        plant_backlog_vector(make_sequence_protocol, [dict(backlog=2)])
+    with pytest.raises(ValueError, match="cannot plant backlogs"):
+        plant_backlog(
+            make_sequence_protocol,
+            4,
+            trace_mode=TraceMode.COUNTS,
+            engine="vector",
+        )
+    levels = list(range(PUMP_MIN_TRIALS))
+    auto = probe_backlog_costs(make_sequence_protocol, levels, engine="auto")
+    ref = probe_backlog_costs(
+        make_sequence_protocol, levels, engine="interpreted"
+    )
+    assert auto == ref

@@ -301,11 +301,22 @@ def test_theorem51_vector_dispatch_and_refusal():
         )
 
 
-def test_theorem41_refuses_the_vector_engine():
-    """Pumping materialises a live system per trial; the vector tier
-    never holds one, so the refusal is structural, not a gap."""
-    with pytest.raises(ValueError, match="cannot plant backlogs"):
+def test_theorem41_vector_tier_gate():
+    """Backlog planting now has its own struct-of-arrays tier
+    (:mod:`repro.core.vecpump`); the strict gate still refuses what
+    that tier cannot reproduce -- FULL traces (per-event history no
+    array program reconstructs) and non-table-compilable pairs."""
+    with pytest.raises(ValueError, match="COUNTS"):
         plant_backlog(make_sequence_protocol, 8, engine="vector")
+    from repro.ioa.execution import TraceMode
+
+    with pytest.raises(ValueError, match="cannot plant backlogs"):
+        plant_backlog(
+            lambda: make_gobackn(3),
+            8,
+            trace_mode=TraceMode.COUNTS,
+            engine="vector",
+        )
 
 
 def test_numpy_absence_degrades_softly(monkeypatch):

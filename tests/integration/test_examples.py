@@ -4,6 +4,7 @@ The examples are the library's front door; a release in which they
 crash is broken no matter what the unit tests say.
 """
 
+import json
 import pathlib
 import subprocess
 import sys
@@ -71,3 +72,48 @@ def test_vector_sweep_reports_engine_and_boundary():
     assert result.returncode == 0
     assert "engine=" in result.stdout
     assert "trials/s" in result.stdout
+
+
+# Committed JSON campaign specs; validated and compiled like the CI
+# campaign steps, without paying for a full run per test.
+EXPECTED_SPECS = {"campaign_smoke.json", "backlog_campaign.json"}
+
+
+def test_every_expected_spec_exists():
+    present = {path.name for path in EXAMPLES_DIR.glob("*.json")}
+    assert EXPECTED_SPECS <= present
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_SPECS))
+def test_committed_spec_compiles(name):
+    from repro.campaign.compiler import compile_campaign
+    from repro.campaign.registry import validate_spec
+    from repro.campaign.spec import CampaignSpec
+
+    data = json.loads((EXAMPLES_DIR / name).read_text(encoding="utf-8"))
+    spec = CampaignSpec.from_dict(data)
+    spec.validate()
+    validate_spec(spec)
+    for fast in (True, False):
+        tasks = compile_campaign(spec, fast=fast)
+        assert tasks, f"{name} compiles to an empty grid (fast={fast})"
+
+
+def test_backlog_campaign_cells_run():
+    """The committed backlog spec's fast cells execute end to end and
+    report every requested metric (the CI no-numpy step runs the same
+    spec through the CLI)."""
+    from repro.campaign.cells import run_cell
+    from repro.campaign.compiler import compile_campaign
+    from repro.campaign.spec import CampaignSpec
+
+    data = json.loads(
+        (EXAMPLES_DIR / "backlog_campaign.json").read_text(encoding="utf-8")
+    )
+    tasks = compile_campaign(CampaignSpec.from_dict(data), fast=True)
+    for task in tasks:
+        payload = run_cell(task.params, True, task.seed)
+        assert set(payload["values"]) == set(task.params["metrics"])
+        assert payload["metrics"]["engine"] in (
+            "auto", "vector", "batch", "interpreted"
+        )

@@ -1,5 +1,6 @@
 """Unit: the on-disk JSON result cache."""
 
+from repro.core.vecpump import PUMP_VERSION
 from repro.core.vectrials import VECTOR_VERSION
 from repro.ioa.compile import COMPILE_VERSION
 from repro.ioa.vecfrontier import FRONTIER_VERSION
@@ -152,6 +153,32 @@ def test_vector_version_bump_invalidates_old_entries(
     old_key = cache.key(spec())
     monkeypatch.setattr(
         cache_module, "VECTOR_VERSION", VECTOR_VERSION + ".bumped"
+    )
+    assert cache.key(spec()) != old_key
+    assert cache.get(spec()) is None  # old entry is unreachable
+    cache.put(spec(), {"x": 2})
+    assert cache.get(spec())["payload"] == {"x": 2}
+
+
+def test_entry_records_pump_version(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put(spec(), {"x": 1})
+    assert cache.get(spec())["pump_version"] == PUMP_VERSION
+
+
+def test_pump_version_bump_invalidates_old_entries(
+    tmp_path, monkeypatch
+):
+    """An entry written before a PUMP_VERSION bump must not be served
+    after it: the pumping tier choice stays out of keys (tiers are
+    bit-identical), but results a different struct-of-arrays *pumping*
+    generation may have produced are stale even if no source changed."""
+    cache = ResultCache(str(tmp_path))
+    cache.put(spec(), {"x": 1})
+    assert cache.get(spec()) is not None
+    old_key = cache.key(spec())
+    monkeypatch.setattr(
+        cache_module, "PUMP_VERSION", PUMP_VERSION + ".bumped"
     )
     assert cache.key(spec()) != old_key
     assert cache.get(spec()) is None  # old entry is unreachable
